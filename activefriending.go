@@ -1,0 +1,306 @@
+// Package activefriending is the public API of this reproduction of
+// "An Approximation Algorithm for Active Friending in Online Social
+// Networks" (Tong, Wang, Li, Wu, Du — ICDCS 2019).
+//
+// Active friending helps an initiator s methodically befriend a target t:
+// under the linear-threshold friending model, a user accepts an invitation
+// once the combined familiarity of their mutual friends with s reaches a
+// random threshold, so s should invite a carefully chosen set of
+// intermediate users first. The Minimum Active Friending problem asks for
+// the smallest invitation set I with f(I) ≥ α·p_max, where f is the
+// acceptance probability and p_max its maximum over all invitation sets.
+//
+// The package exposes the paper's RAF algorithm (randomized, O(√n)
+// approximation with controllable success probability), the exact
+// polynomial special case α = 1 (V_max), the HD/SP baselines, forward and
+// reverse Monte-Carlo estimators of f, synthetic dataset generators, and
+// an experiment harness that regenerates every table and figure of the
+// paper's evaluation.
+//
+// Quick start:
+//
+//	g, _ := activefriending.GenerateDataset("Wiki", 0.05, 1)
+//	p, _ := activefriending.NewProblem(g, s, t)
+//	sol, _ := p.Solve(ctx, activefriending.Options{Alpha: 0.3})
+//	fmt.Println(sol.Invited, sol.PStar)
+package activefriending
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/ltm"
+	"repro/internal/maxaf"
+	"repro/internal/realization"
+	"repro/internal/weights"
+)
+
+// Node identifies a user; nodes are dense integers in [0, NumUsers).
+type Node = graph.Node
+
+// Graph is the immutable social graph (see NewGraphBuilder, LoadEdgeList,
+// GenerateDataset).
+type Graph = graph.Graph
+
+// NewGraphBuilder returns a builder for a social graph with n users.
+func NewGraphBuilder(n int) *graph.Builder { return graph.NewBuilder(n) }
+
+// LoadEdgeList parses a SNAP-style edge list ("u v" per line, '#'
+// comments, arbitrary ids remapped densely).
+func LoadEdgeList(r io.Reader) (*Graph, error) { return gen.ReadEdgeList(r) }
+
+// SaveEdgeList writes g in the same format.
+func SaveEdgeList(w io.Writer, g *Graph) error { return gen.WriteEdgeList(w, g) }
+
+// GenerateDataset synthesizes the offline analog of one of the paper's
+// Table I datasets ("Wiki", "HepTh", "HepPh", "Youtube") at the given
+// scale ∈ (0,1] of the published node count.
+func GenerateDataset(name string, scale float64, seed int64) (*Graph, error) {
+	d, err := gen.DatasetByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return d.Generate(scale, seed)
+}
+
+// DatasetNames lists the Table I registry in the paper's order.
+func DatasetNames() []string {
+	ds := gen.Datasets()
+	names := make([]string, len(ds))
+	for i, d := range ds {
+		names[i] = d.Name
+	}
+	return names
+}
+
+// Problem is an active-friending instance: a network with the paper's
+// degree-normalized familiarity weights (w(u,v) = 1/|N_v|), an initiator
+// and a target. Immutable and safe for concurrent use.
+type Problem struct {
+	in *ltm.Instance
+}
+
+// NewProblem validates and builds a problem on g with the paper's weight
+// convention. s and t must be distinct, existing, non-adjacent users.
+func NewProblem(g *Graph, s, t Node) (*Problem, error) {
+	in, err := ltm.NewInstance(g, weights.NewDegree(g), s, t)
+	if err != nil {
+		return nil, err
+	}
+	return &Problem{in: in}, nil
+}
+
+// NewProblemWithWeights builds a problem with an explicit familiarity
+// function; weightOf(u, v) is v's familiarity with u and must satisfy
+// Σ_{u∈N_v} weightOf(u,v) ≤ 1 for every v.
+func NewProblemWithWeights(g *Graph, s, t Node, weightOf func(u, v Node) float64) (*Problem, error) {
+	sch, err := weights.NewExplicit(g, weightOf)
+	if err != nil {
+		return nil, err
+	}
+	in, err := ltm.NewInstance(g, sch, s, t)
+	if err != nil {
+		return nil, err
+	}
+	return &Problem{in: in}, nil
+}
+
+// Initiator returns s.
+func (p *Problem) Initiator() Node { return p.in.S() }
+
+// Target returns t.
+func (p *Problem) Target() Node { return p.in.T() }
+
+// Graph returns the underlying graph.
+func (p *Problem) Graph() *Graph { return p.in.Graph() }
+
+// Options configures Solve. The zero value solves with the paper's
+// experimental defaults (α = 0.1, ε = 0.01, N = 100000) in the practical
+// sampling regime.
+type Options struct {
+	// Alpha is the required fraction of p_max (default 0.1).
+	Alpha float64
+	// Eps is the accuracy slack (default 0.01): the guarantee is
+	// f(I) ≥ (Alpha−Eps)·p_max with probability ≥ 1 − 2/N.
+	Eps float64
+	// N controls the success probability (default 100000).
+	N float64
+	// Seed fixes all randomness; Workers bounds parallelism (0 = CPUs).
+	Seed    int64
+	Workers int
+	// MaxRealizations caps the sampled pool (default 200000; 0 keeps the
+	// default — use Unbounded for the pure-theory sizing).
+	MaxRealizations int64
+	// MaxPmaxDraws caps the p_max estimation (default 2000000).
+	MaxPmaxDraws int64
+	// Unbounded disables both caps: pool sizing follows Eq. 16 exactly.
+	// Feasible only on small instances.
+	Unbounded bool
+}
+
+func (o Options) normalized() Options {
+	out := o
+	if out.Alpha == 0 {
+		out.Alpha = 0.1
+	}
+	if out.Eps == 0 {
+		out.Eps = 0.01
+	}
+	if out.N == 0 {
+		out.N = 100000
+	}
+	if out.MaxRealizations == 0 {
+		out.MaxRealizations = 200000
+	}
+	if out.MaxPmaxDraws == 0 {
+		out.MaxPmaxDraws = 2000000
+	}
+	if out.Unbounded {
+		out.MaxRealizations = 0
+		out.MaxPmaxDraws = 0
+	}
+	return out
+}
+
+// Solution is the output of Solve.
+type Solution struct {
+	// Invited is the invitation set I*, ascending, always containing the
+	// target.
+	Invited []Node
+	// PStar is the algorithm's estimate of p_max.
+	PStar float64
+	// VmaxSize is |V_max| (the α = 1 optimum size).
+	VmaxSize int
+	// Realizations is the pool size used; Covered of PoolType1 sampled
+	// type-1 realizations are covered by Invited.
+	Realizations int64
+	PoolType1    int
+	Covered      int
+}
+
+// ErrTargetUnreachable reports p_max ≈ 0: no invitation strategy works.
+var ErrTargetUnreachable = core.ErrTargetUnreachable
+
+// Solve runs the RAF algorithm (Algorithm 4 of the paper).
+func (p *Problem) Solve(ctx context.Context, opts Options) (*Solution, error) {
+	o := opts.normalized()
+	res, err := core.RAF(ctx, p.in, core.Config{
+		Alpha:           o.Alpha,
+		Eps:             o.Eps,
+		N:               o.N,
+		Seed:            o.Seed,
+		Workers:         o.Workers,
+		MaxRealizations: o.MaxRealizations,
+		MaxPmaxDraws:    o.MaxPmaxDraws,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{
+		Invited:      res.Invited.Members(),
+		PStar:        res.PStar,
+		VmaxSize:     res.VmaxSize,
+		Realizations: res.LUsed,
+		PoolType1:    res.PoolType1,
+		Covered:      res.Covered,
+	}, nil
+}
+
+// MaxSolution is the output of SolveMax.
+type MaxSolution struct {
+	// Invited is the chosen invitation set (size ≤ the budget).
+	Invited []Node
+	// EstimatedF is the pool-based estimate of f(Invited).
+	EstimatedF float64
+}
+
+// SolveMax solves the *maximum* active friending variant (the problem of
+// Yang et al. that the paper's related work targets): maximize f(I)
+// subject to |I| ≤ budget, using the same realization machinery with a
+// budgeted max-coverage greedy. realizations ≤ 0 selects the default pool
+// size.
+func (p *Problem) SolveMax(ctx context.Context, budget int, realizations int64, seed int64) (*MaxSolution, error) {
+	res, err := maxaf.Solve(ctx, p.in, maxaf.Config{
+		Budget:       budget,
+		Realizations: realizations,
+		Seed:         seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &MaxSolution{
+		Invited:    res.Invited.Members(),
+		EstimatedF: res.CoveredFraction,
+	}, nil
+}
+
+// Vmax returns the unique minimum invitation set achieving p_max
+// (Lemma 7; the polynomial α = 1 special case).
+func (p *Problem) Vmax() ([]Node, error) {
+	vm, err := core.Vmax(p.in)
+	if err != nil {
+		return nil, err
+	}
+	return vm.Members(), nil
+}
+
+// AcceptanceProbability estimates f(invited) with trials reverse
+// Monte-Carlo samples (Corollary 1 of the paper). Deterministic per seed.
+func (p *Problem) AcceptanceProbability(ctx context.Context, invited []Node, trials int64, seed int64) (float64, error) {
+	set, err := p.toSet(invited)
+	if err != nil {
+		return 0, err
+	}
+	return realization.EstimateFReverse(ctx, p.in, set, trials, 0, seed)
+}
+
+// AcceptanceProbabilityForward estimates f(invited) by simulating the
+// friending process (Process 1) directly — slower, used to cross-check the
+// reverse estimator (Lemma 1 guarantees agreement).
+func (p *Problem) AcceptanceProbabilityForward(ctx context.Context, invited []Node, trials int64, seed int64) (float64, error) {
+	set, err := p.toSet(invited)
+	if err != nil {
+		return 0, err
+	}
+	return p.in.EstimateF(ctx, set, trials, 0, seed)
+}
+
+// Pmax estimates p_max = f(V) with trials reverse samples.
+func (p *Problem) Pmax(ctx context.Context, trials int64, seed int64) (float64, error) {
+	all := graph.NewNodeSet(p.in.Graph().NumNodes())
+	all.Fill()
+	return realization.EstimateFReverse(ctx, p.in, all, trials, 0, seed)
+}
+
+// HighDegreeSet returns the HD baseline's invitation set of size k.
+func (p *Problem) HighDegreeSet(k int) []Node {
+	order := baselines.HighDegree{}.Rank(p.in)
+	return baselines.PrefixSet(p.in.Graph().NumNodes(), order, k).Members()
+}
+
+// ShortestPathSet returns the SP baseline's invitation set of size k.
+func (p *Problem) ShortestPathSet(k int) []Node {
+	order := baselines.ShortestPath{}.Rank(p.in)
+	return baselines.PrefixSet(p.in.Graph().NumNodes(), order, k).Members()
+}
+
+func (p *Problem) toSet(invited []Node) (*graph.NodeSet, error) {
+	g := p.in.Graph()
+	set := graph.NewNodeSet(g.NumNodes())
+	for _, v := range invited {
+		if err := g.CheckNode(v); err != nil {
+			return nil, fmt.Errorf("activefriending: invited set: %w", err)
+		}
+		set.Add(v)
+	}
+	return set, nil
+}
+
+// IsUnreachable reports whether err indicates a pair with p_max ≈ 0.
+func IsUnreachable(err error) bool { return errors.Is(err, core.ErrTargetUnreachable) }

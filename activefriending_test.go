@@ -1,0 +1,227 @@
+package activefriending
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// lineGraph builds 0-1-2-…-(n−1).
+func lineGraph(n int) *Graph {
+	b := NewGraphBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(Node(i), Node(i+1))
+	}
+	return b.Build()
+}
+
+func TestNewProblemValidation(t *testing.T) {
+	g := lineGraph(4)
+	if _, err := NewProblem(g, 0, 1); err == nil {
+		t.Error("adjacent pair accepted")
+	}
+	if _, err := NewProblem(g, 2, 2); err == nil {
+		t.Error("s == t accepted")
+	}
+	p, err := NewProblem(g, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Initiator() != 0 || p.Target() != 3 || p.Graph().NumNodes() != 4 {
+		t.Error("accessors broken")
+	}
+}
+
+func TestSolveLine(t *testing.T) {
+	g := lineGraph(4)
+	p, err := NewProblem(g, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := p.Solve(context.Background(), Options{
+		Alpha: 0.5, Eps: 0.1, N: 50, Seed: 1,
+		MaxRealizations: 20000, MaxPmaxDraws: 200000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Invited) != 2 || sol.Invited[0] != 2 || sol.Invited[1] != 3 {
+		t.Errorf("Invited = %v, want [2 3]", sol.Invited)
+	}
+	if math.Abs(sol.PStar-0.5) > 0.1 {
+		t.Errorf("PStar = %v, want ~0.5", sol.PStar)
+	}
+	if sol.VmaxSize != 2 || sol.Realizations <= 0 || sol.PoolType1 <= 0 {
+		t.Errorf("diagnostics: %+v", sol)
+	}
+}
+
+func TestSolveDefaultsAndUnreachable(t *testing.T) {
+	b := NewGraphBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(3, 4)
+	g := b.Build()
+	p, err := NewProblem(g, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = p.Solve(context.Background(), Options{MaxPmaxDraws: 1000})
+	if !IsUnreachable(err) {
+		t.Errorf("err = %v, want unreachable", err)
+	}
+	if !errors.Is(err, ErrTargetUnreachable) {
+		t.Errorf("errors.Is failed for %v", err)
+	}
+}
+
+func TestVmaxFacade(t *testing.T) {
+	g := lineGraph(5)
+	p, err := NewProblem(g, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := p.Vmax()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vm) != 3 || vm[0] != 2 || vm[2] != 4 {
+		t.Errorf("Vmax = %v, want [2 3 4]", vm)
+	}
+}
+
+func TestAcceptanceProbabilityAgreement(t *testing.T) {
+	g := lineGraph(4)
+	p, err := NewProblem(g, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	invited := []Node{2, 3}
+	rev, err := p.AcceptanceProbability(ctx, invited, 150000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd, err := p.AcceptanceProbabilityForward(ctx, invited, 150000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rev-0.5) > 0.01 || math.Abs(fwd-0.5) > 0.01 {
+		t.Errorf("estimates rev=%v fwd=%v, want ~0.5", rev, fwd)
+	}
+	pm, err := p.Pmax(ctx, 150000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pm-0.5) > 0.01 {
+		t.Errorf("Pmax = %v, want ~0.5", pm)
+	}
+}
+
+func TestAcceptanceProbabilityBadNode(t *testing.T) {
+	g := lineGraph(4)
+	p, err := NewProblem(g, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AcceptanceProbability(context.Background(), []Node{99}, 100, 1); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+}
+
+func TestBaselineSets(t *testing.T) {
+	g := lineGraph(6)
+	p, err := NewProblem(g, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd := p.HighDegreeSet(3)
+	if len(hd) != 3 {
+		t.Errorf("HD set = %v", hd)
+	}
+	sp := p.ShortestPathSet(4)
+	// SP on a line includes exactly the interior path plus t.
+	want := map[Node]bool{2: true, 3: true, 4: true, 5: true}
+	if len(sp) != 4 {
+		t.Fatalf("SP set = %v", sp)
+	}
+	for _, v := range sp {
+		if !want[v] {
+			t.Errorf("SP set contains unexpected %v", sp)
+		}
+	}
+}
+
+func TestGenerateDataset(t *testing.T) {
+	g, err := GenerateDataset("Wiki", 0.02, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() < 100 {
+		t.Errorf("nodes = %d", g.NumNodes())
+	}
+	if _, err := GenerateDataset("nope", 0.1, 3); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	names := DatasetNames()
+	if len(names) != 4 || names[0] != "Wiki" {
+		t.Errorf("DatasetNames = %v", names)
+	}
+}
+
+func TestEdgeListRoundTripFacade(t *testing.T) {
+	g := lineGraph(5)
+	var sb strings.Builder
+	if err := SaveEdgeList(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadEdgeList(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Errorf("edges = %d, want %d", g2.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestNewProblemWithWeights(t *testing.T) {
+	g := lineGraph(4)
+	p, err := NewProblemWithWeights(g, 0, 3, func(u, v Node) float64 { return 0.4 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With w = 0.4 on every incoming edge: node 2 activates from node 1
+	// with prob 0.4, then t with prob 0.4: f({2,3}) = 0.16.
+	f, err := p.AcceptanceProbability(context.Background(), []Node{2, 3}, 200000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-0.16) > 0.01 {
+		t.Errorf("f = %v, want ~0.16", f)
+	}
+	if _, err := NewProblemWithWeights(g, 0, 3, func(u, v Node) float64 { return 0.9 }); err == nil {
+		t.Error("over-normalized weights accepted")
+	}
+}
+
+func TestSolveMax(t *testing.T) {
+	g := lineGraph(4)
+	p, err := NewProblem(g, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := p.SolveMax(context.Background(), 2, 5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Invited) != 2 || sol.Invited[0] != 2 || sol.Invited[1] != 3 {
+		t.Errorf("SolveMax invited = %v, want [2 3]", sol.Invited)
+	}
+	if sol.EstimatedF < 0.4 || sol.EstimatedF > 0.6 {
+		t.Errorf("EstimatedF = %v, want ~0.5", sol.EstimatedF)
+	}
+	if _, err := p.SolveMax(context.Background(), 0, 100, 1); err == nil {
+		t.Error("budget 0 accepted")
+	}
+}

@@ -1,0 +1,380 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (Sec. IV), one bench per artifact, plus micro-benchmarks for
+// the core machinery (ablations called out in DESIGN.md).
+//
+// Default sizes are laptop-scale so `go test -bench=.` completes in
+// minutes; set AF_SCALE (dataset scale factor multiplier) and AF_PAIRS to
+// approach the paper's setup, e.g.:
+//
+//	AF_SCALE=10 AF_PAIRS=50 go test -bench=Fig3 -benchtime=1x -timeout=0
+package activefriending_test
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/ltm"
+	"repro/internal/maxaf"
+	"repro/internal/realization"
+	"repro/internal/setcover"
+	"repro/internal/weights"
+)
+
+// benchScales are the per-dataset default scales (fractions of published
+// node counts), chosen so every dataset contributes while the whole suite
+// stays fast. AF_SCALE multiplies them (capped at 1).
+var benchScales = map[string]float64{
+	"Wiki":    0.05,
+	"HepTh":   0.02,
+	"HepPh":   0.015,
+	"Youtube": 0.004,
+}
+
+func envFloat(name string, def float64) float64 {
+	if s := os.Getenv(name); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return def
+}
+
+func envInt(name string, def int) int {
+	if s := os.Getenv(name); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return def
+}
+
+type benchSetup struct {
+	g     *graph.Graph
+	w     weights.Scheme
+	pairs []eval.Pair
+	cfg   eval.Config
+}
+
+var (
+	setupMu    sync.Mutex
+	setupCache = map[string]*benchSetup{}
+)
+
+// setupDataset builds (once per process) the graph and screened pairs for
+// a dataset bench.
+func setupDataset(b *testing.B, name string) *benchSetup {
+	b.Helper()
+	setupMu.Lock()
+	defer setupMu.Unlock()
+	if s, ok := setupCache[name]; ok {
+		return s
+	}
+	scale := benchScales[name] * envFloat("AF_SCALE", 1)
+	if scale > 1 {
+		scale = 1
+	}
+	d, err := gen.DatasetByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := d.Generate(scale, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := weights.NewDegree(g)
+	pairs, err := eval.SamplePairs(context.Background(), g, w, eval.PairConfig{
+		Count:         envInt("AF_PAIRS", 3),
+		MinPmax:       0.01,
+		PreferDistant: true,
+		ScreenTrials:  2000,
+		Seed:          1,
+	})
+	if err != nil {
+		b.Fatalf("dataset %s: %v", name, err)
+	}
+	s := &benchSetup{
+		g: g, w: w, pairs: pairs,
+		cfg: eval.Config{
+			Graph: g, Weights: w, Pairs: pairs,
+			Alpha: 0.1, Eps: 0.01, N: 100000,
+			MaxRealizations: 20000, MaxPmaxDraws: 300000,
+			EvalTrials: 5000, Seed: 1,
+		},
+	}
+	setupCache[name] = s
+	return s
+}
+
+// --- Table I ---------------------------------------------------------------
+
+func BenchmarkTable1_DatasetStats(b *testing.B) {
+	scaleMul := envFloat("AF_SCALE", 1)
+	for i := 0; i < b.N; i++ {
+		for _, d := range gen.Datasets() {
+			scale := benchScales[d.Name] * scaleMul
+			if scale > 1 {
+				scale = 1
+			}
+			g, err := d.Generate(scale, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			st := gen.Summarize(g)
+			if st.Nodes == 0 {
+				b.Fatal("empty dataset")
+			}
+			if i == 0 {
+				b.Logf("Table I %s: nodes=%d edges=%d edges/node=%.2f (paper: %d/%d/%.2f)",
+					d.Name, st.Nodes, st.Edges, st.EdgesPerNode,
+					d.PaperNodes, d.PaperEdges, d.PaperAvgDegree)
+			}
+		}
+	}
+}
+
+// --- Fig. 3 (basic experiment, one bench per dataset) ----------------------
+
+func benchFig3(b *testing.B, dataset string) {
+	s := setupDataset(b, dataset)
+	alphas := []float64{0.05, 0.2, 0.35}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.BasicExperiment(context.Background(), s.cfg, alphas)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("Fig3 %s alpha=%.2f: pmax=%.4f RAF=%.4f HD=%.4f SP=%.4f |I|=%.1f",
+					dataset, r.Alpha, r.Pmax, r.RAF, r.HD, r.SP, r.AvgSize)
+			}
+		}
+	}
+}
+
+func BenchmarkFig3_Wiki(b *testing.B)    { benchFig3(b, "Wiki") }
+func BenchmarkFig3_HepTh(b *testing.B)   { benchFig3(b, "HepTh") }
+func BenchmarkFig3_HepPh(b *testing.B)   { benchFig3(b, "HepPh") }
+func BenchmarkFig3_Youtube(b *testing.B) { benchFig3(b, "Youtube") }
+
+// --- Fig. 4 (grow HD to match RAF) and Fig. 5 (grow SP) --------------------
+
+func benchGrowth(b *testing.B, dataset string, ranker baselines.Ranker) {
+	s := setupDataset(b, dataset)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eval.CompareGrowth(context.Background(), s.cfg, ranker)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, bin := range res.Bins {
+				if bin.Count > 0 {
+					b.Logf("%s %s: f-ratio≈%.1f → size-ratio %.2f (%d pts)",
+						dataset, ranker.Name(), bin.XCenter, bin.SizeRatio, bin.Count)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig4_Wiki(b *testing.B)    { benchGrowth(b, "Wiki", baselines.HighDegree{}) }
+func BenchmarkFig4_HepTh(b *testing.B)   { benchGrowth(b, "HepTh", baselines.HighDegree{}) }
+func BenchmarkFig4_HepPh(b *testing.B)   { benchGrowth(b, "HepPh", baselines.HighDegree{}) }
+func BenchmarkFig4_Youtube(b *testing.B) { benchGrowth(b, "Youtube", baselines.HighDegree{}) }
+
+func BenchmarkFig5_Wiki(b *testing.B)    { benchGrowth(b, "Wiki", baselines.ShortestPath{}) }
+func BenchmarkFig5_HepTh(b *testing.B)   { benchGrowth(b, "HepTh", baselines.ShortestPath{}) }
+func BenchmarkFig5_HepPh(b *testing.B)   { benchGrowth(b, "HepPh", baselines.ShortestPath{}) }
+func BenchmarkFig5_Youtube(b *testing.B) { benchGrowth(b, "Youtube", baselines.ShortestPath{}) }
+
+// --- Table II (Vmax comparison) --------------------------------------------
+
+func benchTable2(b *testing.B, dataset string) {
+	s := setupDataset(b, dataset)
+	cfg := s.cfg
+	cfg.Alpha = 0.1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row, err := eval.VmaxExperiment(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("Table II %s: |Vmax|=%.1f |I_RAF|=%.1f ratio=%.2f",
+				dataset, row.AvgVmax, row.AvgRAF, row.AvgRatio)
+		}
+	}
+}
+
+func BenchmarkTable2_Wiki(b *testing.B)    { benchTable2(b, "Wiki") }
+func BenchmarkTable2_HepTh(b *testing.B)   { benchTable2(b, "HepTh") }
+func BenchmarkTable2_HepPh(b *testing.B)   { benchTable2(b, "HepPh") }
+func BenchmarkTable2_Youtube(b *testing.B) { benchTable2(b, "Youtube") }
+
+// --- Fig. 6 (realization sweep) --------------------------------------------
+
+func BenchmarkFig6_RealizationSweep(b *testing.B) {
+	s := setupDataset(b, "Wiki")
+	grid := []int64{500, 2000, 8000, 32000, 128000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := eval.RealizationSweep(context.Background(), s.cfg, grid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, p := range pts {
+				b.Logf("Fig6 Wiki: l=%d → f=%.4f |I|=%d", p.L, p.F, p.Size)
+			}
+		}
+	}
+}
+
+// --- Ablation / machinery micro-benchmarks ---------------------------------
+
+func benchInstance(b *testing.B) *ltm.Instance {
+	b.Helper()
+	s := setupDataset(b, "Wiki")
+	p := s.pairs[0]
+	in, err := ltm.NewInstance(s.g, s.w, p.S, p.T)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in
+}
+
+// BenchmarkSampleTG measures the reverse sampler (Remark 3): the unit cost
+// of every estimator in the library.
+func BenchmarkSampleTG(b *testing.B) {
+	in := benchInstance(b)
+	sp := realization.NewSampler(in)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	type1 := 0
+	for i := 0; i < b.N; i++ {
+		if sp.SampleTG(rng).Outcome == realization.Type1 {
+			type1++
+		}
+	}
+	if b.N > 1000 {
+		b.ReportMetric(float64(type1)/float64(b.N), "type1-frac")
+	}
+}
+
+// BenchmarkForwardSimulate measures one draw of Process 1 — the estimator
+// RAF avoids (compare with BenchmarkSampleTG for the Remark 3 speedup).
+func BenchmarkForwardSimulate(b *testing.B) {
+	in := benchInstance(b)
+	all := graph.NewNodeSet(in.Graph().NumNodes())
+	all.Fill()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.SimulateOnce(all, rng, nil)
+	}
+}
+
+// BenchmarkVmax measures the exact block-cut-tree V_max computation
+// (Lemma 7).
+func BenchmarkVmax(b *testing.B) {
+	in := benchInstance(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Vmax(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSetcoverGreedy measures the MSC greedy on a realization-shaped
+// instance (many short duplicate-heavy sets).
+func BenchmarkSetcoverGreedy(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	distinct := make([][]int32, 200)
+	for i := range distinct {
+		sz := 1 + rng.Intn(6)
+		s := make([]int32, sz)
+		for j := range s {
+			s[j] = int32(rng.Intn(1000))
+		}
+		distinct[i] = s
+	}
+	inst := &setcover.Instance{UniverseSize: 1000}
+	for i := 0; i < 50000; i++ {
+		inst.Sets = append(inst.Sets, distinct[rng.Intn(len(distinct))])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := setcover.Greedy(inst, 30000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRAFSolve measures one full Algorithm 4 run end to end.
+func BenchmarkRAFSolve(b *testing.B) {
+	s := setupDataset(b, "Wiki")
+	p := s.pairs[0]
+	in, err := ltm.NewInstance(s.g, s.w, p.S, p.T)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Config{
+		Alpha: 0.1, Eps: 0.01, N: 100000, Seed: 1,
+		MaxRealizations: 20000, MaxPmaxDraws: 300000,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RAF(context.Background(), in, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPoolSampling measures parallel pool generation (Alg. 3 line 2).
+func BenchmarkPoolSampling(b *testing.B) {
+	in := benchInstance(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := realization.SamplePool(context.Background(), in, 20000, 0, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGenerateWiki measures dataset synthesis.
+func BenchmarkGenerateWiki(b *testing.B) {
+	d, err := gen.DatasetByName("Wiki")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Generate(0.1, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMaxAFSolve measures the budgeted (maximum active friending)
+// extension end to end.
+func BenchmarkMaxAFSolve(b *testing.B) {
+	in := benchInstance(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := maxaf.Solve(context.Background(), in, maxaf.Config{
+			Budget: 20, Realizations: 20000, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

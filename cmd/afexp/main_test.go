@@ -1,0 +1,40 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunTable1(t *testing.T) {
+	if err := run([]string{"-exp", "table1", "-scale", "0.02"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-exp", "table1", "-scale", "0.02", "-csv"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "fig99"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunUnknownDataset(t *testing.T) {
+	if err := run([]string{"-exp", "fig3", "-datasets", "nope", "-pairs", "1"}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+// TestRunFig3Tiny exercises the full fig3 path end to end at minimal cost.
+func TestRunFig3Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	err := run([]string{
+		"-exp", "fig3", "-datasets", "Wiki", "-pairs", "2",
+		"-scale", "0.03", "-maxreal", "3000", "-trials", "2000",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

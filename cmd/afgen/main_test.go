@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDataset(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.txt")
+	if err := run([]string{"-dataset", "Wiki", "-scale", "0.02", "-out", out}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "# Undirected graph") {
+		t.Errorf("missing header: %q", string(data[:40]))
+	}
+}
+
+func TestRunModels(t *testing.T) {
+	for _, args := range [][]string{
+		{"-model", "er", "-n", "30", "-m", "60"},
+		{"-model", "ba", "-n", "30", "-k", "2"},
+		{"-model", "ws", "-n", "30", "-k", "2", "-beta", "0.2"},
+		{"-model", "plc", "-n", "50", "-exponent", "2.5", "-avgdeg", "4"},
+		{"-model", "pm", "-n", "30", "-k", "2", "-prefbias", "0.5"},
+	} {
+		out := filepath.Join(t.TempDir(), "g.txt")
+		if err := run(append(args, "-out", out), os.Stdout); err != nil {
+			t.Errorf("%v: %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}, os.Stdout); err == nil {
+		t.Error("no mode accepted")
+	}
+	if err := run([]string{"-dataset", "nope"}, os.Stdout); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if err := run([]string{"-model", "ba", "-n", "1", "-k", "5"}, os.Stdout); err == nil {
+		t.Error("invalid BA params accepted")
+	}
+}

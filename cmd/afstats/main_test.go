@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunGenerated(t *testing.T) {
+	if err := run([]string{"-scale", "0.02"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scale", "0.02", "-csv"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := os.WriteFile(path, []byte("0 1\n1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-file", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFileErrors(t *testing.T) {
+	if err := run([]string{"-file", "/nonexistent/path"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(bad, []byte("not numbers\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-file", bad}); err == nil {
+		t.Error("malformed file accepted")
+	}
+	if err := run([]string{"-scale", "99"}); err == nil {
+		t.Error("bad scale accepted")
+	}
+}

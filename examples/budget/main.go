@@ -1,0 +1,78 @@
+// Budget: the *maximum* active friending variant — with only b invitations
+// allowed, which users should the initiator contact to maximize the chance
+// the target accepts? Sweeps the budget on a citation-network analog and
+// compares the realization-based solution with the HD baseline.
+//
+// Run with: go run ./examples/budget
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	af "repro"
+)
+
+func main() {
+	ctx := context.Background()
+
+	g, err := af.GenerateDataset("HepTh", 0.05, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("network: %d users, %d friendships (HepTh analog)\n", g.NumNodes(), g.NumEdges())
+
+	// A moderately distant pair: pick the first valid pair among
+	// deterministic candidates with low-but-positive reachability.
+	var p *af.Problem
+	for sTry := 0; sTry < g.NumNodes() && p == nil; sTry += 97 {
+		for tTry := g.NumNodes() - 1; tTry > 0; tTry -= 131 {
+			cand, err := af.NewProblem(g, af.Node(sTry), af.Node(tTry))
+			if err != nil {
+				continue
+			}
+			pm, err := cand.Pmax(ctx, 4000, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if pm >= 0.02 && pm <= 0.5 {
+				p = cand
+				break
+			}
+		}
+	}
+	if p == nil {
+		log.Fatal("no suitable pair found; change the seed")
+	}
+	pmax, err := p.Pmax(ctx, 50000, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pair: s=%d → t=%d, p_max ≈ %.4f\n\n", p.Initiator(), p.Target(), pmax)
+
+	fmt.Println("budget sweep (maximize f(I) subject to |I| ≤ b):")
+	fmt.Println("budget  |I|   f(maxAF)  f(HD)     capture")
+	for _, budget := range []int{2, 5, 10, 25, 50, 100} {
+		sol, err := p.SolveMax(ctx, budget, 40000, 4)
+		if err != nil {
+			if af.IsUnreachable(err) {
+				fmt.Printf("%-6d  target unreachable\n", budget)
+				continue
+			}
+			log.Fatal(err)
+		}
+		fMax, err := p.AcceptanceProbability(ctx, sol.Invited, 40000, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fHD, err := p.AcceptanceProbability(ctx, p.HighDegreeSet(budget), 40000, 6)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6d  %-4d  %.5f   %.5f   %4.1f%% of p_max\n",
+			budget, len(sol.Invited), fMax, fHD, 100*fMax/pmax)
+	}
+	fmt.Println("\nthe realization-based strategy concentrates the budget on whole")
+	fmt.Println("high-probability paths, while HD spends it on popular but unaligned users.")
+}

@@ -1,0 +1,148 @@
+// Package baselines implements the comparison heuristics of the paper's
+// evaluation (Sec. IV): the High-Degree (HD) and Shortest-Path (SP)
+// invitation strategies, plus a Random strawman used in ablations.
+//
+// Each baseline is a Ranker producing a priority order over candidate
+// invitees; the invitation set of budget k is the first k entries. The
+// target t is always ranked first — an invitation set that omits t can
+// never succeed, so seeding it keeps comparisons about the intermediate
+// users (the RAF output always contains t for the same reason). Current
+// friends (N_s) and the initiator are excluded: inviting them is a no-op
+// under the model.
+package baselines
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/ltm"
+)
+
+// Ranker produces a full priority order of candidate invitees for an
+// instance. Implementations are stateless and safe for concurrent use.
+type Ranker interface {
+	// Name identifies the baseline in reports ("HD", "SP", "Random").
+	Name() string
+	// Rank returns every invitable node (t first, then by the baseline's
+	// preference). The order's prefix of length k is the baseline's
+	// invitation set of budget k.
+	Rank(in *ltm.Instance) []graph.Node
+}
+
+// candidates returns all nodes except s and N_s, excluding t as well
+// (callers place t first).
+func candidates(in *ltm.Instance) []graph.Node {
+	g := in.Graph()
+	nsSet := in.InitialFriendSet()
+	out := make([]graph.Node, 0, g.NumNodes())
+	for v := 0; v < g.NumNodes(); v++ {
+		node := graph.Node(v)
+		if node == in.S() || node == in.T() || nsSet.Contains(node) {
+			continue
+		}
+		out = append(out, node)
+	}
+	return out
+}
+
+// HighDegree ranks candidates by descending degree (ties by node id), the
+// HD baseline of Sec. IV.
+type HighDegree struct{}
+
+var _ Ranker = HighDegree{}
+
+// Name implements Ranker.
+func (HighDegree) Name() string { return "HD" }
+
+// Rank implements Ranker.
+func (HighDegree) Rank(in *ltm.Instance) []graph.Node {
+	g := in.Graph()
+	cand := candidates(in)
+	sort.SliceStable(cand, func(i, j int) bool {
+		di, dj := g.Degree(cand[i]), g.Degree(cand[j])
+		if di != dj {
+			return di > dj
+		}
+		return cand[i] < cand[j]
+	})
+	return append([]graph.Node{in.T()}, cand...)
+}
+
+// ShortestPath ranks candidates along successive interior-disjoint
+// shortest s–t paths (the SP baseline): first the nodes of the shortest
+// path in order, then the next disjoint shortest path, and so on. When no
+// further disjoint path exists, remaining candidates follow in descending
+// degree order (the paper does not specify a tail rule; high degree is the
+// natural filler and is documented in DESIGN.md).
+type ShortestPath struct{}
+
+var _ Ranker = ShortestPath{}
+
+// Name implements Ranker.
+func (ShortestPath) Name() string { return "SP" }
+
+// Rank implements Ranker.
+func (ShortestPath) Rank(in *ltm.Instance) []graph.Node {
+	g := in.Graph()
+	nsSet := in.InitialFriendSet()
+	order := []graph.Node{in.T()}
+	seen := graph.NewNodeSetOf(g.NumNodes(), in.T())
+	paths := g.SuccessiveDisjointPaths(in.S(), in.T(), g.NumNodes())
+	for _, p := range paths {
+		for _, v := range p {
+			if v == in.S() || nsSet.Contains(v) || seen.Contains(v) {
+				continue
+			}
+			seen.Add(v)
+			order = append(order, v)
+		}
+	}
+	rest := candidates(in)
+	sort.SliceStable(rest, func(i, j int) bool {
+		di, dj := g.Degree(rest[i]), g.Degree(rest[j])
+		if di != dj {
+			return di > dj
+		}
+		return rest[i] < rest[j]
+	})
+	for _, v := range rest {
+		if !seen.Contains(v) {
+			order = append(order, v)
+		}
+	}
+	return order
+}
+
+// Random ranks candidates uniformly at random (seeded), a strawman lower
+// bound for ablations.
+type Random struct {
+	// Seed fixes the shuffle.
+	Seed int64
+}
+
+var _ Ranker = Random{}
+
+// Name implements Ranker.
+func (Random) Name() string { return "Random" }
+
+// Rank implements Ranker.
+func (r Random) Rank(in *ltm.Instance) []graph.Node {
+	cand := candidates(in)
+	rng := rand.New(rand.NewSource(r.Seed))
+	rng.Shuffle(len(cand), func(i, j int) { cand[i], cand[j] = cand[j], cand[i] })
+	return append([]graph.Node{in.T()}, cand...)
+}
+
+// PrefixSet returns the invitation set formed by the first k entries of
+// order (k is clamped to len(order)).
+func PrefixSet(universe int, order []graph.Node, k int) *graph.NodeSet {
+	if k > len(order) {
+		k = len(order)
+	}
+	s := graph.NewNodeSet(universe)
+	for _, v := range order[:k] {
+		s.Add(v)
+	}
+	return s
+}

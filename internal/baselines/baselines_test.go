@@ -1,0 +1,159 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/ltm"
+	"repro/internal/weights"
+)
+
+func buildInstance(t *testing.T, edges []graph.Edge, n int, s, tt graph.Node) *ltm.Instance {
+	t.Helper()
+	g := graph.FromEdges(n, edges)
+	in, err := ltm.NewInstance(g, weights.NewDegree(g), s, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// Fixture: s=0 - 1 - 2 - t=5, s - 3 - 4 - t, hub 6 adjacent to 1,2,3,4.
+func fixture(t *testing.T) *ltm.Instance {
+	edges := []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 5},
+		{U: 0, V: 3}, {U: 3, V: 4}, {U: 4, V: 5},
+		{U: 6, V: 1}, {U: 6, V: 2}, {U: 6, V: 3}, {U: 6, V: 4},
+	}
+	return buildInstance(t, edges, 7, 0, 5)
+}
+
+func checkCommon(t *testing.T, in *ltm.Instance, order []graph.Node, name string) {
+	t.Helper()
+	if len(order) == 0 || order[0] != in.T() {
+		t.Fatalf("%s: order %v must start with t", name, order)
+	}
+	seen := map[graph.Node]bool{}
+	for _, v := range order {
+		if v == in.S() {
+			t.Errorf("%s: initiator ranked", name)
+		}
+		if in.InitialFriendSet().Contains(v) {
+			t.Errorf("%s: current friend %d ranked", name, v)
+		}
+		if seen[v] {
+			t.Errorf("%s: duplicate %d", name, v)
+		}
+		seen[v] = true
+	}
+	// Every invitable node appears exactly once.
+	want := in.Graph().NumNodes() - 1 - len(in.InitialFriends())
+	if len(order) != want {
+		t.Errorf("%s: ranked %d nodes, want %d", name, len(order), want)
+	}
+}
+
+func TestHighDegreeRank(t *testing.T) {
+	in := fixture(t)
+	order := HighDegree{}.Rank(in)
+	checkCommon(t, in, order, "HD")
+	// After t, the hub 6 (degree 4) must come first among candidates
+	// {2,4,6} (1 and 3 are N_s).
+	if order[1] != 6 {
+		t.Errorf("HD order = %v, want hub 6 right after t", order)
+	}
+}
+
+func TestShortestPathRank(t *testing.T) {
+	in := fixture(t)
+	order := ShortestPath{}.Rank(in)
+	checkCommon(t, in, order, "SP")
+	// The two 3-hop paths are interior-disjoint: {2} and {4} must precede
+	// the hub 6, which lies on no shortest path.
+	pos := map[graph.Node]int{}
+	for i, v := range order {
+		pos[v] = i
+	}
+	if pos[6] < pos[2] || pos[6] < pos[4] {
+		t.Errorf("SP order = %v: hub should come after path nodes", order)
+	}
+}
+
+func TestShortestPathDisconnected(t *testing.T) {
+	// s and t disconnected: SP must still rank all candidates (degree
+	// fallback).
+	edges := []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}, {U: 3, V: 4}}
+	in := buildInstance(t, edges, 5, 0, 4)
+	order := ShortestPath{}.Rank(in)
+	checkCommon(t, in, order, "SP")
+}
+
+func TestRandomRankDeterministicPerSeed(t *testing.T) {
+	in := fixture(t)
+	a := Random{Seed: 5}.Rank(in)
+	b := Random{Seed: 5}.Rank(in)
+	checkCommon(t, in, a, "Random")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different orders")
+		}
+	}
+	c := Random{Seed: 6}.Rank(in)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical orders (suspicious)")
+	}
+}
+
+func TestPrefixSet(t *testing.T) {
+	order := []graph.Node{5, 2, 7}
+	s := PrefixSet(10, order, 2)
+	if s.Len() != 2 || !s.Contains(5) || !s.Contains(2) || s.Contains(7) {
+		t.Errorf("PrefixSet = %v", s.Members())
+	}
+	// Clamp beyond length.
+	if got := PrefixSet(10, order, 99).Len(); got != 3 {
+		t.Errorf("clamped PrefixSet size = %d, want 3", got)
+	}
+	if got := PrefixSet(10, order, 0).Len(); got != 0 {
+		t.Errorf("empty PrefixSet size = %d", got)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (HighDegree{}).Name() != "HD" || (ShortestPath{}).Name() != "SP" || (Random{}).Name() != "Random" {
+		t.Error("baseline names changed; reports depend on them")
+	}
+}
+
+func TestRankersOnRandomGraphs(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(30)
+		b := graph.NewBuilder(n)
+		for i := 1; i < n; i++ {
+			b.AddEdge(graph.Node(i), graph.Node(rng.Intn(i)))
+		}
+		for i := 0; i < n; i++ {
+			b.AddEdge(graph.Node(rng.Intn(n)), graph.Node(rng.Intn(n)))
+		}
+		g := b.Build()
+		if g.HasEdge(0, graph.Node(n-1)) {
+			continue
+		}
+		in, err := ltm.NewInstance(g, weights.NewDegree(g), 0, graph.Node(n-1))
+		if err != nil {
+			continue
+		}
+		for _, r := range []Ranker{HighDegree{}, ShortestPath{}, Random{Seed: seed}} {
+			checkCommon(t, in, r.Rank(in), r.Name())
+		}
+	}
+}

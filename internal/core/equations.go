@@ -1,0 +1,95 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadConfig reports invalid RAF parameters.
+var ErrBadConfig = errors.New("core: invalid configuration")
+
+// Params holds the solved Equation System 1 quantities (Eqs. 10–13/17).
+type Params struct {
+	// Eps0 is the relative error allotted to the p_max estimate (Eq. 10).
+	Eps0 float64
+	// Eps1 is the uniform-deviation error of the realization pool (Eq. 11).
+	Eps1 float64
+	// Beta is the demand fraction handed to the MSC solve (Eq. 12).
+	Beta float64
+}
+
+// lhs evaluates the left side of Eq. 13 for a candidate eps1 with the
+// coupling eps0 = c·eps1:
+//
+//	β(1 − ε₁(1+ε₀)) − ε₁(1+ε₀),  β = (α − ε₁(1+ε₀)) / (1 + ε₁(1+ε₀)).
+//
+// (The paper's Eq. 17 prints α(1+ε₁) inside the first factor — a typo
+// inconsistent with Eq. 13, which this implementation follows.)
+func lhs(alpha, c, eps1 float64) (value, beta float64, feasible bool) {
+	eps0 := c * eps1
+	if eps0 >= 1 {
+		return 0, 0, false
+	}
+	q := eps1 * (1 + eps0)
+	beta = (alpha - q) / (1 + q)
+	if beta <= 0 {
+		return 0, beta, false
+	}
+	return beta*(1-q) - q, beta, true
+}
+
+// SolveEquationSystem determines (ε₀, ε₁, β) satisfying Eqs. 12–13 under
+// the paper's running-time coupling ε₀ = c·ε₁ (the paper uses c = n;
+// Sec. III-C licenses c = |V_max|). It bisects on ε₁: the LHS of Eq. 13
+// tends to α as ε₁ → 0⁺ and decreases continuously, so a root at α − ε
+// exists and is unique for any ε ∈ (0, α).
+func SolveEquationSystem(alpha, eps float64, c float64) (Params, error) {
+	if alpha <= 0 || alpha > 1 {
+		return Params{}, fmt.Errorf("%w: alpha=%v not in (0,1]", ErrBadConfig, alpha)
+	}
+	if eps <= 0 || eps >= alpha {
+		return Params{}, fmt.Errorf("%w: eps=%v must lie in (0, alpha=%v)", ErrBadConfig, eps, alpha)
+	}
+	if c < 1 {
+		return Params{}, fmt.Errorf("%w: coupling factor c=%v must be ≥ 1", ErrBadConfig, c)
+	}
+	target := alpha - eps
+
+	// lhs is continuous and strictly decreasing in eps1 with limit α > target
+	// at 0⁺. eps1 is capped at just under 1/c to keep eps0 = c·eps1 < 1.
+	upper := (1 - 1e-12) / c
+	var eps1 float64
+	if v, _, ok := lhs(alpha, c, upper); ok && v >= target {
+		// The whole feasible range satisfies the target; take the largest
+		// eps1 (cheapest l*) — the guarantee only improves.
+		eps1 = upper
+	} else {
+		// Bisect for the root of lhs(eps1) = target in (0, upper): keep lo on
+		// the (feasible, above-target) side.
+		lo, hi := 0.0, upper
+		for i := 0; i < 200; i++ {
+			mid := (lo + hi) / 2
+			if v, _, ok := lhs(alpha, c, mid); ok && v > target {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		eps1 = lo
+	}
+	if eps1 <= 0 {
+		// target is within floating noise of alpha; pick the tiniest
+		// usable eps1 rather than failing.
+		eps1 = 1e-12
+	}
+	v, beta, ok := lhs(alpha, c, eps1)
+	if !ok {
+		return Params{}, fmt.Errorf("%w: no feasible (eps0, eps1) for alpha=%v eps=%v c=%v", ErrBadConfig, alpha, eps, c)
+	}
+	// The bisection keeps lhs ≥ target (up to float noise), so the
+	// guarantee f(I*) ≥ (α−ε)p_max holds.
+	if v < target-1e-6 {
+		return Params{}, fmt.Errorf("%w: equation residual %v too large", ErrBadConfig, target-v)
+	}
+	return Params{Eps0: c * eps1, Eps1: eps1, Beta: beta}, nil
+}

@@ -1,0 +1,234 @@
+// Package core implements the paper's primary contribution: the
+// Realization-based Active Friending (RAF) algorithm (Algorithm 4) for the
+// Minimum Active Friending problem, together with its ingredients — the
+// equation-system solve (Eq. 17), the p_max estimation (Algorithm 2), the
+// realization-cover framework (Algorithm 3) and the exact V_max of the
+// polynomial α = 1 special case (Lemma 7, Sec. III-C).
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/ltm"
+	"repro/internal/mc"
+	"repro/internal/realization"
+	"repro/internal/rng"
+	"repro/internal/setcover"
+)
+
+// ErrTargetUnreachable reports an instance whose p_max is (statistically
+// indistinguishable from) zero: no invitation strategy can work.
+var ErrTargetUnreachable = errors.New("core: target unreachable (p_max ≈ 0)")
+
+// Config parameterizes the RAF algorithm.
+type Config struct {
+	// Alpha is the required fraction of p_max (Problem 1); (0, 1].
+	Alpha float64
+	// Eps is the accuracy slack ε ∈ (0, Alpha): the output guarantees
+	// f(I*) ≥ (Alpha−Eps)·p_max with probability ≥ 1 − 2/N.
+	Eps float64
+	// N controls the success probability 1 − 2/N; the paper's experiments
+	// use 100000. Must exceed 2.
+	N float64
+	// Seed makes the run reproducible.
+	Seed int64
+	// Workers bounds sampling parallelism; 0 means all CPUs.
+	Workers int
+
+	// MaxRealizations caps the pool size l. The theoretical l* (Eq. 16)
+	// is astronomically conservative (the paper itself shows in Sec. IV-E
+	// that far fewer realizations already saturate quality); 0 means
+	// "theory only, no cap" and is advisable only on small instances.
+	MaxRealizations int64
+	// MaxPmaxDraws caps the stopping-rule sample count of Algorithm 2;
+	// 0 means unbounded. When the cap is hit with zero successes the run
+	// fails with ErrTargetUnreachable.
+	MaxPmaxDraws int64
+	// OverrideL, when positive, skips the theoretical sizing entirely and
+	// uses exactly this many realizations (the practical regime of
+	// Sec. IV-E and Fig. 6). Beta is still derived from the equation
+	// system.
+	OverrideL int64
+	// DisableVmaxReduction, when true, uses n rather than |V_max| as the
+	// union-bound dimension (for ablation; Sec. III-C licenses |V_max|).
+	DisableVmaxReduction bool
+}
+
+func (c *Config) validate() error {
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		return fmt.Errorf("%w: Alpha=%v not in (0,1]", ErrBadConfig, c.Alpha)
+	}
+	if c.Eps <= 0 || c.Eps >= c.Alpha {
+		return fmt.Errorf("%w: Eps=%v must lie in (0, Alpha=%v)", ErrBadConfig, c.Eps, c.Alpha)
+	}
+	if c.N <= 2 {
+		return fmt.Errorf("%w: N=%v must exceed 2", ErrBadConfig, c.N)
+	}
+	if c.MaxRealizations < 0 || c.MaxPmaxDraws < 0 || c.OverrideL < 0 {
+		return fmt.Errorf("%w: negative cap", ErrBadConfig)
+	}
+	return nil
+}
+
+// Result is the output of a RAF run, including the diagnostics needed by
+// the experiments and by EXPERIMENTS.md.
+type Result struct {
+	// Invited is the invitation set I*.
+	Invited *graph.NodeSet
+	// Params holds the solved (ε₀, ε₁, β).
+	Params Params
+	// PStar is the Algorithm 2 estimate of p_max.
+	PStar float64
+	// PmaxDraws is the number of stopping-rule samples spent on PStar.
+	PmaxDraws int64
+	// LTheory is the Eq. 16 threshold l* (possibly +Inf-like huge);
+	// LUsed is the pool size actually sampled after caps/overrides.
+	LTheory float64
+	LUsed   int64
+	// PoolType1 is |B_l¹| and Demand is ⌈β·|B_l¹|⌉.
+	PoolType1 int
+	Demand    int
+	// Covered is the number of pooled realizations covered by Invited.
+	Covered int
+	// VmaxSize is |V_max| (0 when the reduction is disabled).
+	VmaxSize int
+}
+
+// EstimatePmax runs Algorithm 2: the Dagum et al. stopping rule over
+// type-1 realization draws. It returns the estimate and the number of
+// draws used.
+func EstimatePmax(ctx context.Context, in *ltm.Instance, eps0, n float64, maxDraws int64, seed int64) (float64, int64, error) {
+	sp := realization.NewSampler(in)
+	r := rng.DeriveRand(seed, 0xA162)
+	est, draws, err := mc.StoppingRule(ctx, eps0, n, maxDraws, func() bool {
+		return sp.SampleTG(r).Outcome == realization.Type1
+	})
+	if err != nil {
+		if errors.Is(err, mc.ErrZeroEstimate) {
+			return 0, draws, fmt.Errorf("%w: %v", ErrTargetUnreachable, err)
+		}
+		return 0, draws, err
+	}
+	return est, draws, nil
+}
+
+// Framework runs Algorithm 3: sample l realizations, then solve the MSC
+// instance (V, {t(g₁), …}, ⌈β·|B_l¹|⌉) with the greedy Chlamtáč-style
+// solver. It returns the invitation set and the pool diagnostics.
+func Framework(ctx context.Context, in *ltm.Instance, beta float64, l int64, workers int, seed int64) (*graph.NodeSet, *realization.Pool, *setcover.Solution, error) {
+	if beta <= 0 || beta > 1 {
+		return nil, nil, nil, fmt.Errorf("%w: beta=%v not in (0,1]", ErrBadConfig, beta)
+	}
+	pool, err := realization.SamplePool(ctx, in, l, workers, seed)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("core: sampling pool: %w", err)
+	}
+	if pool.NumType1() == 0 {
+		return nil, nil, nil, fmt.Errorf("%w: no type-1 realization in %d draws", ErrTargetUnreachable, l)
+	}
+	demand := int(math.Ceil(beta * float64(pool.NumType1())))
+	if demand < 1 {
+		demand = 1
+	}
+	inst := &setcover.Instance{UniverseSize: in.Graph().NumNodes()}
+	inst.Sets = make([][]int32, 0, pool.NumType1())
+	for _, path := range pool.Type1 {
+		inst.Sets = append(inst.Sets, path)
+	}
+	sol, err := setcover.Greedy(inst, demand)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("core: MSC solve: %w", err)
+	}
+	invited := graph.NewNodeSet(in.Graph().NumNodes())
+	for _, v := range sol.Union {
+		invited.Add(v)
+	}
+	return invited, pool, sol, nil
+}
+
+// RAF runs Algorithm 4 end to end. With probability ≥ 1 − 2/N (for
+// uncapped sampling), f(I*) ≥ (Alpha−Eps)·p_max and |I*|/|I_α| = O(√n)
+// (Theorem 1).
+func RAF(ctx context.Context, in *ltm.Instance, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+
+	// Special case α = 1 (Sec. III-C): V_max is the unique minimum
+	// invitation set achieving p_max and is computable in polynomial time.
+	if cfg.Alpha == 1 {
+		vm, err := Vmax(in)
+		if err != nil {
+			return nil, err
+		}
+		if vm.Len() == 0 {
+			return nil, fmt.Errorf("%w: V_max is empty", ErrTargetUnreachable)
+		}
+		res.Invited = vm
+		res.VmaxSize = vm.Len()
+		return res, nil
+	}
+
+	// Union-bound dimension: |V_max| by default (Sec. III-C), n when the
+	// reduction is disabled.
+	dim := in.Graph().NumNodes()
+	if !cfg.DisableVmaxReduction {
+		vm, err := Vmax(in)
+		if err != nil {
+			return nil, err
+		}
+		res.VmaxSize = vm.Len()
+		if res.VmaxSize == 0 {
+			return nil, fmt.Errorf("%w: V_max is empty", ErrTargetUnreachable)
+		}
+		dim = res.VmaxSize
+	}
+
+	// Step 1: solve the equation system with coupling c = dim.
+	params, err := SolveEquationSystem(cfg.Alpha, cfg.Eps, float64(dim))
+	if err != nil {
+		return nil, err
+	}
+	res.Params = params
+
+	// Step 2: estimate p_max (Algorithm 2).
+	pStar, draws, err := EstimatePmax(ctx, in, params.Eps0, cfg.N, cfg.MaxPmaxDraws, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	res.PStar = pStar
+	res.PmaxDraws = draws
+
+	// Step 3: size the pool (Eq. 16 with the |V_max| refinement), apply
+	// practical caps, and run the framework (Algorithm 3).
+	lTheory, err := mc.RealizationThreshold(params.Eps0, params.Eps1, pStar, dim, cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	res.LTheory = lTheory
+	l := int64(math.Ceil(lTheory))
+	if lTheory > math.MaxInt64/2 {
+		l = math.MaxInt64 / 2
+	}
+	if cfg.OverrideL > 0 {
+		l = cfg.OverrideL
+	} else if cfg.MaxRealizations > 0 && l > cfg.MaxRealizations {
+		l = cfg.MaxRealizations
+	}
+	res.LUsed = l
+
+	invited, pool, sol, err := Framework(ctx, in, params.Beta, l, cfg.Workers, rng.Derive(cfg.Seed, 0xF4A3))
+	if err != nil {
+		return nil, err
+	}
+	res.Invited = invited
+	res.PoolType1 = pool.NumType1()
+	res.Demand = int(math.Ceil(params.Beta * float64(pool.NumType1())))
+	res.Covered = sol.Covered
+	return res, nil
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/ltm"
+)
+
+// Vmax computes the exact V_max of Lemma 7: the unique minimum invitation
+// set achieving p_max. A node u belongs to V_max iff some simple path from
+// a member of N_s to t passes through u with every path node outside
+// {s} ∪ N_s — equivalently, iff u appears in t(g) for some type-1
+// realization g.
+//
+// Plain reachability intersection over-counts (a pendant branch can reach
+// both sides yet lie on no simple path), so the computation is exact: on
+// G′ = G − ({s} ∪ N_s), attach a virtual source z to every boundary node
+// (a G′ node with a neighbor in N_s) and take the vertices on simple z–t
+// paths via the block-cut tree.
+func Vmax(in *ltm.Instance) (*graph.NodeSet, error) {
+	g := in.Graph()
+	n := g.NumNodes()
+	s, t := in.S(), in.T()
+	nsSet := in.InitialFriendSet()
+
+	// Induced subgraph G′ without s and N_s.
+	keep := make([]bool, n)
+	for v := 0; v < n; v++ {
+		keep[v] = graph.Node(v) != s && !nsSet.Contains(graph.Node(v))
+	}
+	sub, orig := g.Subgraph(keep)
+	// Locate t and the boundary in the renumbered graph.
+	newID := make([]graph.Node, n)
+	for i := range newID {
+		newID[i] = -1
+	}
+	for newV, oldV := range orig {
+		newID[oldV] = graph.Node(newV)
+	}
+	tNew := newID[t]
+	if tNew < 0 {
+		return nil, fmt.Errorf("core: target %d unexpectedly excluded from G'", t)
+	}
+
+	// Augment with virtual source z adjacent to every boundary node.
+	z := graph.Node(sub.NumNodes())
+	b := graph.NewBuilder(sub.NumNodes() + 1)
+	for _, e := range sub.Edges() {
+		b.AddEdge(e.U, e.V)
+	}
+	hasBoundary := false
+	for newV, oldV := range orig {
+		for _, u := range g.Neighbors(oldV) {
+			if nsSet.Contains(u) {
+				b.AddEdge(z, graph.Node(newV))
+				hasBoundary = true
+				break
+			}
+		}
+	}
+	out := graph.NewNodeSet(n)
+	if !hasBoundary {
+		// N_s has no links into G′: p_max = 0 and V_max is empty.
+		return out, nil
+	}
+	aug := b.Build()
+	bct := graph.NewBlockCutTree(aug)
+	mask := bct.VerticesOnSimplePaths(aug.NumNodes(), z, tNew)
+	for newV, oldV := range orig {
+		if mask[newV] {
+			out.Add(oldV)
+		}
+	}
+	// z is not a graph vertex; t is included iff reachable (mask[tNew]).
+	if !mask[tNew] {
+		// t unreachable from the boundary: p_max = 0, V_max empty.
+		return graph.NewNodeSet(n), nil
+	}
+	return out, nil
+}
+
+// VmaxApprox returns the reachability-intersection superset of V_max:
+// nodes of G′ that are reachable from the boundary and can reach t.
+// It over-counts pendant branches; it exists for documentation, tests and
+// as a cheaper upper bound.
+func VmaxApprox(in *ltm.Instance) *graph.NodeSet {
+	g := in.Graph()
+	n := g.NumNodes()
+	s, t := in.S(), in.T()
+	nsSet := in.InitialFriendSet()
+	blocked := func(v graph.Node) bool {
+		return v == s || nsSet.Contains(v)
+	}
+	// Boundary: G′ nodes adjacent to N_s.
+	var boundary []graph.Node
+	for v := 0; v < n; v++ {
+		if blocked(graph.Node(v)) {
+			continue
+		}
+		for _, u := range g.Neighbors(graph.Node(v)) {
+			if nsSet.Contains(u) {
+				boundary = append(boundary, graph.Node(v))
+				break
+			}
+		}
+	}
+	fromBoundary := g.Reachable(boundary, blocked)
+	toT := g.Reachable([]graph.Node{t}, blocked)
+	out := graph.NewNodeSet(n)
+	if !fromBoundary[t] {
+		return out
+	}
+	for v := 0; v < n; v++ {
+		if fromBoundary[v] && toT[v] && !blocked(graph.Node(v)) {
+			out.Add(graph.Node(v))
+		}
+	}
+	return out
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/ltm"
+	"repro/internal/realization"
+	"repro/internal/weights"
+)
+
+func line(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(graph.Node(i), graph.Node(i+1))
+	}
+	return b.Build()
+}
+
+func randomConnected(seed int64, n, extra int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(graph.Node(i), graph.Node(rng.Intn(i)))
+	}
+	for i := 0; i < extra; i++ {
+		b.AddEdge(graph.Node(rng.Intn(n)), graph.Node(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+func mustInstance(t *testing.T, g *graph.Graph, s, tt graph.Node) *ltm.Instance {
+	t.Helper()
+	in, err := ltm.NewInstance(g, weights.NewDegree(g), s, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestVmaxLine(t *testing.T) {
+	// 0-1-2-3-4: s=0, t=4. N_s={1}; V_max = {2,3,4}.
+	g := line(5)
+	in := mustInstance(t, g, 0, 4)
+	vm, err := Vmax(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []graph.Node{2, 3, 4}
+	got := vm.Members()
+	if len(got) != len(want) {
+		t.Fatalf("Vmax = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Vmax = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestVmaxExcludesPendant(t *testing.T) {
+	// 0-1-2-3(t) plus pendant 4 hanging off 2: 4 is reachable from both
+	// sides but on no simple path, so 4 ∉ V_max.
+	b := graph.NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(2, 4)
+	g := b.Build()
+	in := mustInstance(t, g, 0, 3)
+	vm, err := Vmax(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.Contains(4) {
+		t.Error("pendant 4 wrongly in V_max")
+	}
+	if !vm.Contains(2) || !vm.Contains(3) {
+		t.Errorf("V_max = %v, want {2,3}", vm.Members())
+	}
+	// The approximation keeps the pendant: documents the difference.
+	approx := VmaxApprox(in)
+	if !approx.Contains(4) {
+		t.Error("VmaxApprox should over-count the pendant")
+	}
+	if !approx.ContainsAll(vm) {
+		t.Error("VmaxApprox must be a superset of Vmax")
+	}
+}
+
+func TestVmaxDisconnected(t *testing.T) {
+	b := graph.NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(3, 4)
+	g := b.Build()
+	in := mustInstance(t, g, 0, 4)
+	vm, err := Vmax(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.Len() != 0 {
+		t.Errorf("V_max = %v, want empty (unreachable)", vm.Members())
+	}
+	if VmaxApprox(in).Len() != 0 {
+		t.Error("VmaxApprox should also be empty")
+	}
+}
+
+func TestVmaxTargetAdjacentToNs(t *testing.T) {
+	// s=0 - 1 - t=2: t(g) can be just {t}; V_max = {2}.
+	g := line(3)
+	in := mustInstance(t, g, 0, 2)
+	vm, err := Vmax(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.Len() != 1 || !vm.Contains(2) {
+		t.Errorf("V_max = %v, want {2}", vm.Members())
+	}
+}
+
+func TestVmaxMultiplePaths(t *testing.T) {
+	// Diamond: s=0-1, 1-2, 1-3, 2-4, 3-4, t=4. V_max = {2,3,4}.
+	b := graph.NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(1, 3)
+	b.AddEdge(2, 4)
+	b.AddEdge(3, 4)
+	g := b.Build()
+	in := mustInstance(t, g, 0, 4)
+	vm, err := Vmax(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []graph.Node{2, 3, 4} {
+		if !vm.Contains(v) {
+			t.Errorf("V_max missing %d", v)
+		}
+	}
+	if vm.Contains(0) || vm.Contains(1) {
+		t.Errorf("V_max contains excluded nodes: %v", vm.Members())
+	}
+}
+
+// TestVmaxContainsAllSampledPaths: every sampled type-1 t(g) must be a
+// subset of V_max (that is Lemma 7's forward direction).
+func TestVmaxContainsAllSampledPaths(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomConnected(seed, 20, 25)
+		s, tt := graph.Node(0), graph.Node(19)
+		if g.HasEdge(s, tt) {
+			return true
+		}
+		in, err := ltm.NewInstance(g, weights.NewDegree(g), s, tt)
+		if err != nil {
+			return true
+		}
+		vm, err := Vmax(in)
+		if err != nil {
+			return false
+		}
+		approx := VmaxApprox(in)
+		if !approx.ContainsAll(vm) {
+			return false
+		}
+		sp := realization.NewSampler(in)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 400; i++ {
+			tg := sp.SampleTG(rng)
+			if tg.Outcome != realization.Type1 {
+				continue
+			}
+			for _, v := range tg.Path {
+				if !vm.Contains(v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestVmaxAchievesPmax validates f(V_max) = p_max (Lemma 7): inviting
+// V_max achieves the same acceptance probability as inviting everyone.
+func TestVmaxAchievesPmax(t *testing.T) {
+	for _, seed := range []int64{41, 42, 43} {
+		g := randomConnected(seed, 16, 20)
+		s, tt := graph.Node(0), graph.Node(15)
+		if g.HasEdge(s, tt) {
+			continue
+		}
+		in := mustInstance(t, g, s, tt)
+		vm, err := Vmax(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all := graph.NewNodeSet(g.NumNodes())
+		all.Fill()
+		ctx := context.Background()
+		const trials = 120000
+		fAll, err := realization.EstimateFReverse(ctx, in, all, trials, 4, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fVm, err := realization.EstimateFReverse(ctx, in, vm, trials, 4, seed+100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fAll-fVm) > 0.01 {
+			t.Errorf("seed %d: f(V) = %v but f(V_max) = %v", seed, fAll, fVm)
+		}
+	}
+}
+
+// TestVmaxMinimality validates the uniqueness half of Lemma 7: removing
+// any node from V_max strictly reduces the acceptance probability, i.e.
+// some sampled realization is no longer covered.
+func TestVmaxMinimality(t *testing.T) {
+	g := randomConnected(77, 14, 12)
+	s, tt := graph.Node(0), graph.Node(13)
+	if g.HasEdge(s, tt) {
+		t.Skip("adjacent pair")
+	}
+	in := mustInstance(t, g, s, tt)
+	vm, err := Vmax(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.Len() == 0 {
+		t.Skip("empty V_max")
+	}
+	// Sample many paths; every V_max member must appear in some path
+	// (witnessing that its removal loses coverage).
+	appeared := graph.NewNodeSet(g.NumNodes())
+	sp := realization.NewSampler(in)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 300000; i++ {
+		tg := sp.SampleTG(rng)
+		if tg.Outcome != realization.Type1 {
+			continue
+		}
+		for _, v := range tg.Path {
+			appeared.Add(v)
+		}
+	}
+	for _, v := range vm.Members() {
+		if !appeared.Contains(v) {
+			t.Errorf("V_max member %d never appeared in 300k sampled paths", v)
+		}
+	}
+	// And no node outside V_max ∪ {s} ∪ N_s ever appears.
+	if !vm.ContainsAll(appeared) {
+		t.Error("sampled paths escaped V_max")
+	}
+}

@@ -1,0 +1,419 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/ltm"
+	"repro/internal/realization"
+	"repro/internal/rng"
+	"repro/internal/weights"
+)
+
+// Config parameterizes an experiment run on one dataset.
+type Config struct {
+	// Graph and Weights define the network; Pairs are the evaluated
+	// (s,t) instances (from SamplePairs).
+	Graph   *graph.Graph
+	Weights weights.Scheme
+	Pairs   []Pair
+
+	// Alpha is the requirement ratio used where a single α is needed
+	// (Figs. 4–6 use the Sec. IV-A setting; Table II uses α = 0.1).
+	Alpha float64
+	// Eps and N are the accuracy/success-probability controls
+	// (paper: ε = 0.01, N = 100000).
+	Eps float64
+	N   float64
+
+	// MaxRealizations caps RAF's pool (the practical regime of
+	// Sec. IV-E); EvalTrials is the Monte-Carlo budget for measuring the
+	// acceptance probability of a produced invitation set.
+	MaxRealizations int64
+	MaxPmaxDraws    int64
+	EvalTrials      int64
+
+	Seed    int64
+	Workers int
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Alpha <= 0 {
+		out.Alpha = 0.1
+	}
+	if out.Eps <= 0 {
+		out.Eps = 0.01
+	}
+	if out.N <= 2 {
+		out.N = 100000
+	}
+	if out.MaxRealizations <= 0 {
+		out.MaxRealizations = 100000
+	}
+	if out.MaxPmaxDraws <= 0 {
+		out.MaxPmaxDraws = 500000
+	}
+	if out.EvalTrials <= 0 {
+		out.EvalTrials = 20000
+	}
+	return out
+}
+
+func (c *Config) rafConfig(alpha float64, seed int64) core.Config {
+	return core.Config{
+		Alpha:           alpha,
+		Eps:             c.Eps,
+		N:               c.N,
+		Seed:            seed,
+		Workers:         c.Workers,
+		MaxRealizations: c.MaxRealizations,
+		MaxPmaxDraws:    c.MaxPmaxDraws,
+	}
+}
+
+// measureF estimates f(invited) with the reverse estimator.
+func (c *Config) measureF(ctx context.Context, in *ltm.Instance, invited *graph.NodeSet, seed int64) (float64, error) {
+	return realization.EstimateFReverse(ctx, in, invited, c.EvalTrials, c.Workers, seed)
+}
+
+// Fig3Row is one x-position of the basic experiment: average acceptance
+// probabilities at a fixed α, with the HD and SP sets sized to |I_RAF|.
+type Fig3Row struct {
+	Alpha float64
+	Pmax  float64 // average p_max across pairs
+	RAF   float64
+	HD    float64
+	SP    float64
+	// AvgSize is the average |I_RAF| at this α.
+	AvgSize float64
+	// Pairs is the number of pairs that contributed (RAF failures are
+	// skipped and counted in Skipped).
+	Pairs   int
+	Skipped int
+}
+
+// BasicExperiment reproduces Fig. 3: for each α in alphas and each pair,
+// run RAF, size HD and SP to |I_RAF|, and average the measured acceptance
+// probabilities.
+func BasicExperiment(ctx context.Context, cfg Config, alphas []float64) ([]Fig3Row, error) {
+	c := cfg.withDefaults()
+	if len(alphas) == 0 {
+		return nil, fmt.Errorf("eval: no alphas given")
+	}
+	hd, sp := baselines.HighDegree{}, baselines.ShortestPath{}
+	rows := make([]Fig3Row, 0, len(alphas))
+	for ai, alpha := range alphas {
+		row := Fig3Row{Alpha: alpha}
+		var sumPmax, sumRAF, sumHD, sumSP, sumSize float64
+		for pi, pair := range c.Pairs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			in, err := ltm.NewInstance(c.Graph, c.Weights, pair.S, pair.T)
+			if err != nil {
+				row.Skipped++
+				continue
+			}
+			seed := rng.Derive(c.Seed, uint64(ai*100003+pi))
+			res, err := core.RAF(ctx, in, c.rafConfig(alpha, seed))
+			if err != nil {
+				if errors.Is(err, core.ErrTargetUnreachable) {
+					row.Skipped++
+					continue
+				}
+				return nil, fmt.Errorf("eval: RAF on pair (%d,%d): %w", pair.S, pair.T, err)
+			}
+			k := res.Invited.Len()
+			fRAF, err := c.measureF(ctx, in, res.Invited, seed+1)
+			if err != nil {
+				return nil, err
+			}
+			hdSet := baselines.PrefixSet(c.Graph.NumNodes(), hd.Rank(in), k)
+			fHD, err := c.measureF(ctx, in, hdSet, seed+2)
+			if err != nil {
+				return nil, err
+			}
+			spSet := baselines.PrefixSet(c.Graph.NumNodes(), sp.Rank(in), k)
+			fSP, err := c.measureF(ctx, in, spSet, seed+3)
+			if err != nil {
+				return nil, err
+			}
+			row.Pairs++
+			sumPmax += pair.Pmax
+			sumRAF += fRAF
+			sumHD += fHD
+			sumSP += fSP
+			sumSize += float64(k)
+		}
+		if row.Pairs > 0 {
+			div := float64(row.Pairs)
+			row.Pmax = sumPmax / div
+			row.RAF = sumRAF / div
+			row.HD = sumHD / div
+			row.SP = sumSP / div
+			row.AvgSize = sumSize / div
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// GrowthBin is one x-bin of Figs. 4–5: among growth points whose
+// acceptance-probability ratio f(I_B)/f(I_RAF) falls in the bin, the
+// average size ratio |I_B|/|I_RAF|.
+type GrowthBin struct {
+	// XCenter is the bin's nominal x (0.2, 0.4, 0.6, 0.8, 1.0).
+	XCenter float64
+	// SizeRatio is the average |I_B|/|I_RAF| in the bin.
+	SizeRatio float64
+	// Count is the number of contributing growth points.
+	Count int
+}
+
+// GrowthResult is the outcome of CompareGrowth on one dataset.
+type GrowthResult struct {
+	Baseline string
+	Bins     []GrowthBin
+	// PairsUsed / PairsSkipped account for RAF failures.
+	PairsUsed    int
+	PairsSkipped int
+}
+
+// CompareGrowth reproduces Fig. 4 (baseline HD) and Fig. 5 (baseline SP):
+// for each pair, run RAF, then grow the baseline's invitation set until it
+// matches f(I_RAF) (or candidates run out), recording
+// (f(I_B,k)/f(I_RAF), k/|I_RAF|) points, pooled over pairs into five bins.
+func CompareGrowth(ctx context.Context, cfg Config, ranker baselines.Ranker) (*GrowthResult, error) {
+	c := cfg.withDefaults()
+	res := &GrowthResult{Baseline: ranker.Name()}
+	type point struct{ x, y float64 }
+	var points []point
+	for pi, pair := range c.Pairs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		in, err := ltm.NewInstance(c.Graph, c.Weights, pair.S, pair.T)
+		if err != nil {
+			res.PairsSkipped++
+			continue
+		}
+		seed := rng.Derive(c.Seed, uint64(0xF16+pi))
+		raf, err := core.RAF(ctx, in, c.rafConfig(c.Alpha, seed))
+		if err != nil {
+			if errors.Is(err, core.ErrTargetUnreachable) {
+				res.PairsSkipped++
+				continue
+			}
+			return nil, fmt.Errorf("eval: RAF on pair (%d,%d): %w", pair.S, pair.T, err)
+		}
+		fRAF, err := c.measureF(ctx, in, raf.Invited, seed+1)
+		if err != nil {
+			return nil, err
+		}
+		if fRAF <= 0 {
+			res.PairsSkipped++
+			continue
+		}
+		kRAF := raf.Invited.Len()
+		order := ranker.Rank(in)
+		// Geometric growth schedule: fine-grained near |I_RAF|, coarse
+		// beyond, so breakpoints (Sec. IV-B) remain visible at bounded
+		// cost.
+		for step, k := 0, maxInt(1, kRAF/4); k <= len(order); step++ {
+			invited := baselines.PrefixSet(c.Graph.NumNodes(), order, k)
+			fB, err := c.measureF(ctx, in, invited, seed+10+int64(step))
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, point{x: fB / fRAF, y: float64(k) / float64(kRAF)})
+			if fB >= fRAF {
+				break
+			}
+			next := int(math.Ceil(float64(k) * 1.35))
+			if next <= k {
+				next = k + 1
+			}
+			k = next
+			if k > len(order) && len(order) > 0 && points[len(points)-1].x < 1 {
+				// Final point with the full candidate set.
+				k = len(order)
+				if invitedAll := baselines.PrefixSet(c.Graph.NumNodes(), order, k); true {
+					fAll, err := c.measureF(ctx, in, invitedAll, seed+999)
+					if err != nil {
+						return nil, err
+					}
+					points = append(points, point{x: fAll / fRAF, y: float64(k) / float64(kRAF)})
+				}
+				break
+			}
+		}
+		res.PairsUsed++
+	}
+	if res.PairsUsed == 0 {
+		return nil, fmt.Errorf("%w: all pairs skipped", ErrNoPairs)
+	}
+	// Five bins centered at 0.2, 0.4, 0.6, 0.8, 1.0 over x ∈ (0, 1+].
+	centers := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	res.Bins = make([]GrowthBin, len(centers))
+	for i, x := range centers {
+		res.Bins[i].XCenter = x
+	}
+	for _, p := range points {
+		x := p.x
+		if x > 1 {
+			x = 1
+		}
+		idx := int(math.Ceil(x*5)) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx > 4 {
+			idx = 4
+		}
+		res.Bins[idx].SizeRatio += p.y
+		res.Bins[idx].Count++
+	}
+	for i := range res.Bins {
+		if res.Bins[i].Count > 0 {
+			res.Bins[i].SizeRatio /= float64(res.Bins[i].Count)
+		}
+	}
+	return res, nil
+}
+
+// VmaxRow is Table II for one dataset: average |V_max|, |I_RAF| (α = 0.1)
+// and their ratio.
+type VmaxRow struct {
+	AvgVmax      float64
+	AvgRAF       float64
+	AvgRatio     float64
+	PairsUsed    int
+	PairsSkipped int
+}
+
+// VmaxExperiment reproduces Table II.
+func VmaxExperiment(ctx context.Context, cfg Config) (*VmaxRow, error) {
+	c := cfg.withDefaults()
+	row := &VmaxRow{}
+	var sumVmax, sumRAF, sumRatio float64
+	for pi, pair := range c.Pairs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		in, err := ltm.NewInstance(c.Graph, c.Weights, pair.S, pair.T)
+		if err != nil {
+			row.PairsSkipped++
+			continue
+		}
+		seed := rng.Derive(c.Seed, uint64(0x7AB2+pi))
+		res, err := core.RAF(ctx, in, c.rafConfig(c.Alpha, seed))
+		if err != nil {
+			if errors.Is(err, core.ErrTargetUnreachable) {
+				row.PairsSkipped++
+				continue
+			}
+			return nil, fmt.Errorf("eval: RAF on pair (%d,%d): %w", pair.S, pair.T, err)
+		}
+		vmSize := res.VmaxSize
+		if vmSize == 0 {
+			vm, err := core.Vmax(in)
+			if err != nil {
+				return nil, err
+			}
+			vmSize = vm.Len()
+		}
+		k := res.Invited.Len()
+		if k == 0 {
+			row.PairsSkipped++
+			continue
+		}
+		row.PairsUsed++
+		sumVmax += float64(vmSize)
+		sumRAF += float64(k)
+		sumRatio += float64(vmSize) / float64(k)
+	}
+	if row.PairsUsed == 0 {
+		return nil, fmt.Errorf("%w: all pairs skipped", ErrNoPairs)
+	}
+	div := float64(row.PairsUsed)
+	row.AvgVmax = sumVmax / div
+	row.AvgRAF = sumRAF / div
+	row.AvgRatio = sumRatio / div
+	return row, nil
+}
+
+// SweepPoint is one x-position of Fig. 6: the acceptance probability of
+// the framework's output when only l realizations are used.
+type SweepPoint struct {
+	L int64
+	F float64
+	// Size is |I*| at this l.
+	Size int
+}
+
+// RealizationSweep reproduces Fig. 6: fix β (from the equation system at
+// cfg.Alpha) and sweep the number of realizations handed to Algorithm 3,
+// measuring the resulting acceptance probability. The paper runs this on
+// a single illustrative pair; the first pair of cfg.Pairs is used.
+func RealizationSweep(ctx context.Context, cfg Config, ls []int64) ([]SweepPoint, error) {
+	c := cfg.withDefaults()
+	if len(c.Pairs) == 0 {
+		return nil, fmt.Errorf("%w: no pair provided", ErrNoPairs)
+	}
+	if len(ls) == 0 {
+		return nil, fmt.Errorf("eval: empty realization grid")
+	}
+	pair := c.Pairs[0]
+	in, err := ltm.NewInstance(c.Graph, c.Weights, pair.S, pair.T)
+	if err != nil {
+		return nil, fmt.Errorf("eval: pair (%d,%d): %w", pair.S, pair.T, err)
+	}
+	vm, err := core.Vmax(in)
+	if err != nil {
+		return nil, err
+	}
+	dim := vm.Len()
+	if dim == 0 {
+		return nil, fmt.Errorf("%w: pair (%d,%d) unreachable", ErrNoPairs, pair.S, pair.T)
+	}
+	params, err := core.SolveEquationSystem(c.Alpha, c.Eps, float64(dim))
+	if err != nil {
+		return nil, err
+	}
+	sorted := append([]int64(nil), ls...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := make([]SweepPoint, 0, len(sorted))
+	for i, l := range sorted {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		invited, _, _, err := core.Framework(ctx, in, params.Beta, l, c.Workers, rng.Derive(c.Seed, uint64(i)))
+		if err != nil {
+			if errors.Is(err, core.ErrTargetUnreachable) {
+				out = append(out, SweepPoint{L: l, F: 0, Size: 0})
+				continue
+			}
+			return nil, err
+		}
+		f, err := c.measureF(ctx, in, invited, rng.Derive(c.Seed, uint64(1000+i)))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{L: l, F: f, Size: invited.Len()})
+	}
+	return out, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

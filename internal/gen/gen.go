@@ -1,0 +1,262 @@
+// Package gen generates synthetic social graphs and reads/writes SNAP-style
+// edge lists. It provides the offline substitutes for the four SNAP
+// datasets of the paper's Table I (Wiki-Vote, Cit-HepTh, Cit-HepPh,
+// Youtube): heavy-tailed preferential-attachment analogs matched to the
+// published node/edge counts, plus general-purpose generators
+// (Erdős–Rényi, Barabási–Albert, Watts–Strogatz, power-law configuration
+// model, stochastic block model) used by tests, examples and ablations.
+package gen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// ErrBadParam reports an invalid generator parameter.
+var ErrBadParam = errors.New("gen: invalid parameter")
+
+// ErdosRenyi samples G(n, m): m distinct uniform edges over n nodes.
+// Requires 0 ≤ m ≤ n(n−1)/2.
+func ErdosRenyi(n int, m int, rng *rand.Rand) (*graph.Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadParam, n)
+	}
+	maxM := int64(n) * int64(n-1) / 2
+	if int64(m) > maxM || m < 0 {
+		return nil, fmt.Errorf("%w: m=%d not in [0, %d]", ErrBadParam, m, maxM)
+	}
+	b := graph.NewBuilder(n)
+	b.Grow(m)
+	seen := make(map[[2]graph.Node]struct{}, m)
+	for len(seen) < m {
+		u := graph.Node(rng.Intn(n))
+		v := graph.Node(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := [2]graph.Node{u, v}
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		b.AddEdge(u, v)
+	}
+	return b.Build(), nil
+}
+
+// BarabasiAlbert grows a preferential-attachment graph: starting from a
+// small clique of k+1 nodes, each new node attaches to k existing nodes
+// chosen proportionally to degree (with rejection of duplicates). The
+// result has roughly n·k edges and a power-law degree tail — the shape of
+// citation and follower networks.
+func BarabasiAlbert(n, k int, rng *rand.Rand) (*graph.Graph, error) {
+	if k < 1 || n < k+1 {
+		return nil, fmt.Errorf("%w: need n > k >= 1, got n=%d k=%d", ErrBadParam, n, k)
+	}
+	b := graph.NewBuilder(n)
+	b.Grow(n * k)
+	// repeated holds each edge endpoint once per incident edge, so uniform
+	// sampling from it is degree-proportional sampling.
+	repeated := make([]graph.Node, 0, 2*n*k)
+	for i := 0; i <= k; i++ {
+		for j := i + 1; j <= k; j++ {
+			b.AddEdge(graph.Node(i), graph.Node(j))
+			repeated = append(repeated, graph.Node(i), graph.Node(j))
+		}
+	}
+	// chosen is a slice (not a map) so iteration order, and therefore the
+	// generated graph for a fixed seed, is deterministic.
+	chosen := make([]graph.Node, 0, k)
+	for v := k + 1; v < n; v++ {
+		chosen = chosen[:0]
+		for len(chosen) < k {
+			u := repeated[rng.Intn(len(repeated))]
+			if !containsNode(chosen, u) {
+				chosen = append(chosen, u)
+			}
+		}
+		for _, u := range chosen {
+			b.AddEdge(graph.Node(v), u)
+			repeated = append(repeated, graph.Node(v), u)
+		}
+	}
+	return b.Build(), nil
+}
+
+// containsNode reports membership in a small slice; the attachment counts
+// here are tiny, so a linear scan beats a map and keeps order stable.
+func containsNode(xs []graph.Node, x graph.Node) bool {
+	for _, y := range xs {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}
+
+// WattsStrogatz samples the small-world model: a ring lattice where every
+// node connects to its k nearest neighbors on each side, with each edge
+// rewired to a uniform endpoint with probability beta.
+func WattsStrogatz(n, k int, beta float64, rng *rand.Rand) (*graph.Graph, error) {
+	if k < 1 || n < 2*k+1 {
+		return nil, fmt.Errorf("%w: need n >= 2k+1, got n=%d k=%d", ErrBadParam, n, k)
+	}
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("%w: beta=%v not in [0,1]", ErrBadParam, beta)
+	}
+	b := graph.NewBuilder(n)
+	b.Grow(n * k)
+	for v := 0; v < n; v++ {
+		for j := 1; j <= k; j++ {
+			u := (v + j) % n
+			if rng.Float64() < beta {
+				// Rewire the far endpoint uniformly (avoid self loop; the
+				// builder deduplicates any parallel edge).
+				u = rng.Intn(n)
+				if u == v {
+					u = (u + 1) % n
+				}
+			}
+			b.AddEdge(graph.Node(v), graph.Node(u))
+		}
+	}
+	return b.Build(), nil
+}
+
+// PowerLawConfiguration samples a configuration-model graph whose degree
+// sequence follows a truncated power law with the given exponent (>1) and
+// average degree approximately avgDeg. Self-loops and parallel edges from
+// the stub matching are discarded, so realized degrees are slightly lower
+// than the drawn sequence.
+func PowerLawConfiguration(n int, exponent, avgDeg float64, rng *rand.Rand) (*graph.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadParam, n)
+	}
+	if exponent <= 1 {
+		return nil, fmt.Errorf("%w: exponent=%v must exceed 1", ErrBadParam, exponent)
+	}
+	if avgDeg <= 0 || avgDeg >= float64(n) {
+		return nil, fmt.Errorf("%w: avgDeg=%v", ErrBadParam, avgDeg)
+	}
+	// Draw degrees from a Pareto-like law d = round(xmin·u^{-1/(exp-1)}),
+	// truncated at n-1, then scale xmin to hit the average.
+	raw := make([]float64, n)
+	mean := 0.0
+	for i := range raw {
+		u := rng.Float64()
+		if u < 1e-12 {
+			u = 1e-12
+		}
+		raw[i] = math.Pow(u, -1/(exponent-1))
+		mean += raw[i]
+	}
+	mean /= float64(n)
+	scale := avgDeg / mean
+	stubs := make([]graph.Node, 0, int(avgDeg*float64(n))+n)
+	for i, r := range raw {
+		d := int(r*scale + 0.5)
+		if d < 1 {
+			d = 1
+		}
+		if d > n-1 {
+			d = n - 1
+		}
+		for j := 0; j < d; j++ {
+			stubs = append(stubs, graph.Node(i))
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	b := graph.NewBuilder(n)
+	b.Grow(len(stubs) / 2)
+	for i := 0; i+1 < len(stubs); i += 2 {
+		b.AddEdge(stubs[i], stubs[i+1]) // self loops/duplicates dropped by builder
+	}
+	return b.Build(), nil
+}
+
+// StochasticBlock samples a planted-partition graph: blocks of the given
+// sizes, with edge probability pIn inside a block and pOut across blocks.
+// Intended for community-structured scenarios; sizes must be small enough
+// that O(n²) sampling is acceptable.
+func StochasticBlock(sizes []int, pIn, pOut float64, rng *rand.Rand) (*graph.Graph, error) {
+	if pIn < 0 || pIn > 1 || pOut < 0 || pOut > 1 {
+		return nil, fmt.Errorf("%w: probabilities pIn=%v pOut=%v", ErrBadParam, pIn, pOut)
+	}
+	n := 0
+	blockOf := []int{}
+	for b, sz := range sizes {
+		if sz <= 0 {
+			return nil, fmt.Errorf("%w: block %d size %d", ErrBadParam, b, sz)
+		}
+		n += sz
+		for i := 0; i < sz; i++ {
+			blockOf = append(blockOf, b)
+		}
+	}
+	bld := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := pOut
+			if blockOf[u] == blockOf[v] {
+				p = pIn
+			}
+			if rng.Float64() < p {
+				bld.AddEdge(graph.Node(u), graph.Node(v))
+			}
+		}
+	}
+	return bld.Build(), nil
+}
+
+// PreferentialMixed grows a graph where each new node attaches k edges,
+// each independently either degree-proportional (probability prefBias) or
+// uniform. prefBias = 1 is Barabási–Albert; 0 is a uniform-attachment
+// random recursive graph. It interpolates the degree-skew of real social
+// networks and is the generator behind the Table I analogs.
+func PreferentialMixed(n, k int, prefBias float64, rng *rand.Rand) (*graph.Graph, error) {
+	if k < 1 || n < k+1 {
+		return nil, fmt.Errorf("%w: need n > k >= 1, got n=%d k=%d", ErrBadParam, n, k)
+	}
+	if prefBias < 0 || prefBias > 1 {
+		return nil, fmt.Errorf("%w: prefBias=%v not in [0,1]", ErrBadParam, prefBias)
+	}
+	b := graph.NewBuilder(n)
+	b.Grow(n * k)
+	repeated := make([]graph.Node, 0, 2*n*k)
+	for i := 0; i <= k; i++ {
+		for j := i + 1; j <= k; j++ {
+			b.AddEdge(graph.Node(i), graph.Node(j))
+			repeated = append(repeated, graph.Node(i), graph.Node(j))
+		}
+	}
+	chosen := make([]graph.Node, 0, k)
+	for v := k + 1; v < n; v++ {
+		chosen = chosen[:0]
+		guard := 0
+		for len(chosen) < k && guard < 64*k {
+			guard++
+			var u graph.Node
+			if rng.Float64() < prefBias {
+				u = repeated[rng.Intn(len(repeated))]
+			} else {
+				u = graph.Node(rng.Intn(v))
+			}
+			if u == graph.Node(v) || containsNode(chosen, u) {
+				continue
+			}
+			chosen = append(chosen, u)
+		}
+		for _, u := range chosen {
+			b.AddEdge(graph.Node(v), u)
+			repeated = append(repeated, graph.Node(v), u)
+		}
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,370 @@
+package gen
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestErdosRenyi(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := ErdosRenyi(50, 200, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 50 {
+		t.Errorf("nodes = %d, want 50", g.NumNodes())
+	}
+	if g.NumEdges() != 200 {
+		t.Errorf("edges = %d, want exactly 200", g.NumEdges())
+	}
+}
+
+func TestErdosRenyiValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := ErdosRenyi(-1, 0, rng); !errors.Is(err, ErrBadParam) {
+		t.Errorf("negative n: err = %v", err)
+	}
+	if _, err := ErdosRenyi(4, 7, rng); !errors.Is(err, ErrBadParam) {
+		t.Errorf("m > n(n-1)/2: err = %v", err)
+	}
+	if _, err := ErdosRenyi(4, -2, rng); !errors.Is(err, ErrBadParam) {
+		t.Errorf("negative m: err = %v", err)
+	}
+	if g, err := ErdosRenyi(4, 6, rng); err != nil || g.NumEdges() != 6 {
+		t.Errorf("K4 case: g=%v err=%v", g, err)
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n, k := 500, 4
+	g, err := BarabasiAlbert(n, k, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != n {
+		t.Errorf("nodes = %d, want %d", g.NumNodes(), n)
+	}
+	// Expected edges: clique k(k+1)/2 plus (n-k-1)*k.
+	want := int64(k*(k+1)/2 + (n-k-1)*k)
+	if g.NumEdges() != want {
+		t.Errorf("edges = %d, want %d", g.NumEdges(), want)
+	}
+	// Connectivity: PA growth always attaches to the existing component.
+	_, comps := g.ConnectedComponents()
+	if comps != 1 {
+		t.Errorf("components = %d, want 1", comps)
+	}
+	// Degree skew: max degree should far exceed the average.
+	if float64(g.MaxDegree()) < 3*g.AvgDegree() {
+		t.Errorf("max degree %d vs avg %.1f: insufficient skew for PA", g.MaxDegree(), g.AvgDegree())
+	}
+}
+
+func TestBarabasiAlbertValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := BarabasiAlbert(3, 3, rng); !errors.Is(err, ErrBadParam) {
+		t.Errorf("n <= k: err = %v", err)
+	}
+	if _, err := BarabasiAlbert(10, 0, rng); !errors.Is(err, ErrBadParam) {
+		t.Errorf("k = 0: err = %v", err)
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, err := WattsStrogatz(100, 3, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 100 {
+		t.Errorf("nodes = %d, want 100", g.NumNodes())
+	}
+	// Ring lattice has exactly n*k edges; rewiring only moves endpoints
+	// (duplicates may slightly reduce the count).
+	if g.NumEdges() > 300 || g.NumEdges() < 270 {
+		t.Errorf("edges = %d, want ≈300", g.NumEdges())
+	}
+}
+
+func TestWattsStrogatzNoRewire(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g, err := WattsStrogatz(20, 2, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 40 {
+		t.Fatalf("pure lattice edges = %d, want 40", g.NumEdges())
+	}
+	for v := 0; v < 20; v++ {
+		if g.Degree(graph.Node(v)) != 4 {
+			t.Errorf("lattice degree(%d) = %d, want 4", v, g.Degree(graph.Node(v)))
+		}
+	}
+}
+
+func TestWattsStrogatzValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := WattsStrogatz(4, 2, 0.5, rng); !errors.Is(err, ErrBadParam) {
+		t.Errorf("n < 2k+1: err = %v", err)
+	}
+	if _, err := WattsStrogatz(10, 2, 1.5, rng); !errors.Is(err, ErrBadParam) {
+		t.Errorf("beta > 1: err = %v", err)
+	}
+}
+
+func TestPowerLawConfiguration(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, err := PowerLawConfiguration(2000, 2.5, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 2000 {
+		t.Errorf("nodes = %d", g.NumNodes())
+	}
+	avg := g.AvgDegree()
+	if avg < 4 || avg > 9 {
+		t.Errorf("avg degree = %v, want roughly 8 (minus collision loss)", avg)
+	}
+	if g.MaxDegree() < 3*int(avg) {
+		t.Errorf("max degree %d lacks power-law tail (avg %v)", g.MaxDegree(), avg)
+	}
+}
+
+func TestPowerLawConfigurationValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct {
+		n        int
+		exp, avg float64
+	}{{1, 2.5, 3}, {100, 1.0, 3}, {100, 2.5, 0}, {100, 2.5, 200}} {
+		if _, err := PowerLawConfiguration(tc.n, tc.exp, tc.avg, rng); !errors.Is(err, ErrBadParam) {
+			t.Errorf("PowerLawConfiguration(%d,%v,%v) err = %v, want ErrBadParam", tc.n, tc.exp, tc.avg, err)
+		}
+	}
+}
+
+func TestStochasticBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g, err := StochasticBlock([]int{50, 50}, 0.2, 0.01, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 100 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	within, across := 0, 0
+	for _, e := range g.Edges() {
+		if (e.U < 50) == (e.V < 50) {
+			within++
+		} else {
+			across++
+		}
+	}
+	if within <= across*3 {
+		t.Errorf("within = %d, across = %d: community structure missing", within, across)
+	}
+}
+
+func TestStochasticBlockValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := StochasticBlock([]int{5, 0}, 0.1, 0.1, rng); !errors.Is(err, ErrBadParam) {
+		t.Errorf("zero block: err = %v", err)
+	}
+	if _, err := StochasticBlock([]int{5}, 1.5, 0.1, rng); !errors.Is(err, ErrBadParam) {
+		t.Errorf("bad pIn: err = %v", err)
+	}
+}
+
+func TestPreferentialMixed(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g, err := PreferentialMixed(400, 5, 0.8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 400 {
+		t.Errorf("nodes = %d", g.NumNodes())
+	}
+	_, comps := g.ConnectedComponents()
+	if comps != 1 {
+		t.Errorf("components = %d, want 1", comps)
+	}
+	if _, err := PreferentialMixed(10, 2, 1.5, rng); !errors.Is(err, ErrBadParam) {
+		t.Errorf("bad prefBias: err = %v", err)
+	}
+	if _, err := PreferentialMixed(2, 2, 0.5, rng); !errors.Is(err, ErrBadParam) {
+		t.Errorf("n too small: err = %v", err)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	g1, err := BarabasiAlbert(200, 3, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := BarabasiAlbert(200, 3, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, e2 := g1.Edges(), g2.Edges()
+	if len(e1) != len(e2) {
+		t.Fatal("edge counts differ for identical seed")
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+}
+
+func TestDatasetsRegistry(t *testing.T) {
+	ds := Datasets()
+	if len(ds) != 4 {
+		t.Fatalf("registry size = %d, want 4", len(ds))
+	}
+	wantNames := []string{"Wiki", "HepTh", "HepPh", "Youtube"}
+	for i, w := range wantNames {
+		if ds[i].Name != w {
+			t.Errorf("dataset %d = %s, want %s", i, ds[i].Name, w)
+		}
+	}
+	if _, err := DatasetByName("Wiki"); err != nil {
+		t.Errorf("DatasetByName(Wiki) err = %v", err)
+	}
+	if _, err := DatasetByName("nope"); !errors.Is(err, ErrBadParam) {
+		t.Errorf("unknown dataset err = %v", err)
+	}
+}
+
+func TestDatasetGenerateMatchesTableI(t *testing.T) {
+	// At scale 0.05 the edges-per-node ratio should match the published
+	// Table I "Avg. Degree" within tolerance for the small datasets.
+	for _, d := range Datasets()[:3] {
+		g, err := d.Generate(0.05, 99)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		ratio := float64(g.NumEdges()) / float64(g.NumNodes())
+		if math.Abs(ratio-d.PaperAvgDegree)/d.PaperAvgDegree > 0.15 {
+			t.Errorf("%s: edges/node = %.2f, paper %.2f", d.Name, ratio, d.PaperAvgDegree)
+		}
+		st := Summarize(g)
+		if st.GiantCompFrac < 0.99 {
+			t.Errorf("%s: giant component %.2f, want ~1 (PA growth)", d.Name, st.GiantCompFrac)
+		}
+	}
+}
+
+func TestDatasetGenerateValidation(t *testing.T) {
+	d := Datasets()[0]
+	if _, err := d.Generate(0, 1); !errors.Is(err, ErrBadParam) {
+		t.Errorf("scale 0: err = %v", err)
+	}
+	if _, err := d.Generate(1.5, 1); !errors.Is(err, ErrBadParam) {
+		t.Errorf("scale 1.5: err = %v", err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	st := Summarize(g)
+	if st.Nodes != 4 || st.Edges != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.MaxDegree != 2 {
+		t.Errorf("MaxDegree = %d, want 2", st.MaxDegree)
+	}
+	if st.GiantCompFrac != 0.75 {
+		t.Errorf("GiantCompFrac = %v, want 0.75", st.GiantCompFrac)
+	}
+	if est := Summarize(&graph.Graph{}); est.Nodes != 0 || est.EdgesPerNode != 0 {
+		t.Errorf("empty stats = %+v", est)
+	}
+}
+
+func TestReadEdgeList(t *testing.T) {
+	in := `# comment line
+
+10 20
+20 30
+30 10
+10 20
+20 10
+`
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 {
+		t.Errorf("nodes = %d, want 3 (dense remap)", g.NumNodes())
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("edges = %d, want 3 (dedup)", g.NumEdges())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"1\n",                      // too few fields
+		"a b\n",                    // non-numeric
+		"1 x\n",                    // non-numeric second
+		"-1 2\n",                   // negative id
+		"3 99999999999999999999\n", // overflow
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); !errors.Is(err, ErrBadEdgeList) {
+			t.Errorf("input %q: err = %v, want ErrBadEdgeList", in, err)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := ErdosRenyi(20, 30, rng)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			return false
+		}
+		g2, err := ReadEdgeList(&buf)
+		if err != nil {
+			return false
+		}
+		// Node ids may be remapped, but counts and the degree multiset
+		// must survive.
+		if g2.NumEdges() != g.NumEdges() {
+			return false
+		}
+		degCount := func(g *graph.Graph) map[int]int {
+			m := map[int]int{}
+			for v := 0; v < g.NumNodes(); v++ {
+				if d := g.Degree(graph.Node(v)); d > 0 {
+					m[d]++
+				}
+			}
+			return m
+		}
+		d1, d2 := degCount(g), degCount(g2)
+		if len(d1) != len(d2) {
+			return false
+		}
+		for k, v := range d1 {
+			if d2[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,79 @@
+package gen
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// ErrBadEdgeList reports a malformed edge-list line.
+var ErrBadEdgeList = errors.New("gen: malformed edge list")
+
+// ReadEdgeList parses a SNAP-style whitespace-separated edge list:
+// one "u v" pair per line, '#' comment lines ignored, arbitrary
+// non-negative integer ids (remapped densely in first-seen order).
+// Directed duplicates (u v / v u) collapse to one undirected edge.
+func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	b := graph.NewBuilder(0)
+	ids := make(map[int64]graph.Node)
+	intern := func(raw int64) graph.Node {
+		if v, ok := ids[raw]; ok {
+			return v
+		}
+		v := graph.Node(len(ids))
+		ids[raw] = v
+		return v
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("%w: line %d: %q", ErrBadEdgeList, lineNo, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrBadEdgeList, lineNo, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrBadEdgeList, lineNo, err)
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("%w: line %d: negative id", ErrBadEdgeList, lineNo)
+		}
+		b.AddEdge(intern(u), intern(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("gen: reading edge list: %w", err)
+	}
+	return b.Build(), nil
+}
+
+// WriteEdgeList writes g as a SNAP-style edge list with a summary header.
+func WriteEdgeList(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# Undirected graph: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges()); err != nil {
+		return fmt.Errorf("gen: writing edge list: %w", err)
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d\t%d\n", e.U, e.V); err != nil {
+			return fmt.Errorf("gen: writing edge list: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("gen: writing edge list: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,248 @@
+package graph
+
+// BCC holds the biconnected components (blocks) of a graph and its cut
+// vertices, computed with an iterative Tarjan–Hopcroft DFS.
+type BCC struct {
+	// Blocks lists the vertex set of each block (2-connected component or
+	// bridge edge). Isolated vertices form no block.
+	Blocks [][]Node
+	// IsCut marks articulation points.
+	IsCut []bool
+}
+
+type bccFrame struct {
+	v, parent Node
+	idx       int32 // next neighbor index to process
+}
+
+// BiconnectedComponents computes the blocks and cut vertices of g.
+func (g *Graph) BiconnectedComponents() *BCC {
+	n := g.NumNodes()
+	disc := make([]int32, n)
+	low := make([]int32, n)
+	for i := range disc {
+		disc[i] = -1
+	}
+	isCut := make([]bool, n)
+	var blocks [][]Node
+	var timer int32
+	edgeStack := make([]Edge, 0, 64)
+	frames := make([]bccFrame, 0, 64)
+
+	popBlock := func(until Edge) {
+		var verts []Node
+		seen := make(map[Node]struct{}, 8)
+		for {
+			if len(edgeStack) == 0 {
+				break
+			}
+			e := edgeStack[len(edgeStack)-1]
+			edgeStack = edgeStack[:len(edgeStack)-1]
+			for _, w := range [2]Node{e.U, e.V} {
+				if _, ok := seen[w]; !ok {
+					seen[w] = struct{}{}
+					verts = append(verts, w)
+				}
+			}
+			if e == until {
+				break
+			}
+		}
+		if len(verts) > 0 {
+			blocks = append(blocks, verts)
+		}
+	}
+
+	for root := 0; root < n; root++ {
+		if disc[root] != -1 {
+			continue
+		}
+		disc[root] = timer
+		low[root] = timer
+		timer++
+		rootChildren := 0
+		frames = append(frames[:0], bccFrame{v: Node(root), parent: -1})
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			ns := g.Neighbors(f.v)
+			if int(f.idx) < len(ns) {
+				u := ns[f.idx]
+				f.idx++
+				switch {
+				case disc[u] == -1:
+					// Tree edge: descend.
+					if f.parent == -1 {
+						rootChildren++
+					}
+					edgeStack = append(edgeStack, Edge{U: f.v, V: u})
+					disc[u] = timer
+					low[u] = timer
+					timer++
+					frames = append(frames, bccFrame{v: u, parent: f.v})
+				case u != f.parent && disc[u] < disc[f.v]:
+					// Back edge (pushed once, from the deeper endpoint).
+					edgeStack = append(edgeStack, Edge{U: f.v, V: u})
+					if disc[u] < low[f.v] {
+						low[f.v] = disc[u]
+					}
+				}
+				continue
+			}
+			// All neighbors processed: return to parent.
+			frames = frames[:len(frames)-1]
+			if f.parent == -1 {
+				if rootChildren >= 2 {
+					isCut[f.v] = true
+				}
+				continue
+			}
+			p := &frames[len(frames)-1]
+			if low[f.v] < low[p.v] {
+				low[p.v] = low[f.v]
+			}
+			if low[f.v] >= disc[p.v] {
+				if p.parent != -1 {
+					isCut[p.v] = true
+				}
+				popBlock(Edge{U: p.v, V: f.v})
+			}
+		}
+	}
+	return &BCC{Blocks: blocks, IsCut: isCut}
+}
+
+// BlockCutTree is the bipartite tree whose nodes are blocks and cut
+// vertices; a block is adjacent to each cut vertex it contains.
+type BlockCutTree struct {
+	bcc *BCC
+	// treeNodeOf maps a graph vertex to its tree node: cut vertices get
+	// their own tree node; other vertices map to their unique block's tree
+	// node; isolated vertices map to -1.
+	treeNodeOf []int32
+	// adj is the tree adjacency. Tree nodes [0, numBlocks) are blocks;
+	// [numBlocks, numBlocks+numCuts) are cut vertices.
+	adj       [][]int32
+	numBlocks int
+}
+
+// NewBlockCutTree builds the block-cut tree of g.
+func NewBlockCutTree(g *Graph) *BlockCutTree {
+	bcc := g.BiconnectedComponents()
+	n := g.NumNodes()
+	numBlocks := len(bcc.Blocks)
+	cutIndex := make([]int32, n)
+	for i := range cutIndex {
+		cutIndex[i] = -1
+	}
+	var numCuts int32
+	for v := 0; v < n; v++ {
+		if bcc.IsCut[v] {
+			cutIndex[v] = numCuts
+			numCuts++
+		}
+	}
+	t := &BlockCutTree{
+		bcc:        bcc,
+		treeNodeOf: make([]int32, n),
+		adj:        make([][]int32, numBlocks+int(numCuts)),
+		numBlocks:  numBlocks,
+	}
+	for i := range t.treeNodeOf {
+		t.treeNodeOf[i] = -1
+	}
+	for b, verts := range bcc.Blocks {
+		for _, v := range verts {
+			if bcc.IsCut[v] {
+				cutNode := int32(numBlocks) + cutIndex[v]
+				t.adj[b] = append(t.adj[b], cutNode)
+				t.adj[cutNode] = append(t.adj[cutNode], int32(b))
+				t.treeNodeOf[v] = cutNode
+			} else {
+				t.treeNodeOf[v] = int32(b)
+			}
+		}
+	}
+	return t
+}
+
+// TreeNodeOf returns the tree node of graph vertex v, or -1 if v is
+// isolated (belongs to no block).
+func (t *BlockCutTree) TreeNodeOf(v Node) int32 { return t.treeNodeOf[v] }
+
+// NumBlocks returns the number of blocks.
+func (t *BlockCutTree) NumBlocks() int { return t.numBlocks }
+
+// BlockVertices returns the vertices of block b.
+func (t *BlockCutTree) BlockVertices(b int) []Node { return t.bcc.Blocks[b] }
+
+// IsCut reports whether graph vertex v is an articulation point.
+func (t *BlockCutTree) IsCut(v Node) bool { return t.bcc.IsCut[v] }
+
+// treePath returns the tree nodes on the unique path between tree nodes a
+// and b inclusive, or nil if they are disconnected (different components).
+func (t *BlockCutTree) treePath(a, b int32) []int32 {
+	if a < 0 || b < 0 {
+		return nil
+	}
+	if a == b {
+		return []int32{a}
+	}
+	parent := make([]int32, len(t.adj))
+	for i := range parent {
+		parent[i] = -2
+	}
+	parent[a] = -1
+	queue := []int32{a}
+	found := false
+	for head := 0; head < len(queue) && !found; head++ {
+		v := queue[head]
+		for _, u := range t.adj[v] {
+			if parent[u] == -2 {
+				parent[u] = v
+				if u == b {
+					found = true
+					break
+				}
+				queue = append(queue, u)
+			}
+		}
+	}
+	if !found {
+		return nil
+	}
+	var path []int32
+	for v := b; v != -1; v = parent[v] {
+		path = append(path, v)
+	}
+	return path
+}
+
+// VerticesOnSimplePaths returns the set (as a mask over g's vertices) of
+// vertices lying on at least one simple path between a and b in g,
+// including a and b themselves. Returns an all-false mask when a and b are
+// disconnected. This is exact: a vertex is on some simple a–b path iff it
+// belongs to a block on the a–b path in the block-cut tree.
+func (t *BlockCutTree) VerticesOnSimplePaths(n int, a, b Node) []bool {
+	out := make([]bool, n)
+	if a == b {
+		out[a] = true
+		return out
+	}
+	path := t.treePath(t.treeNodeOf[a], t.treeNodeOf[b])
+	if path == nil {
+		return out
+	}
+	for _, tn := range path {
+		if int(tn) < t.numBlocks {
+			for _, v := range t.bcc.Blocks[tn] {
+				out[v] = true
+			}
+		}
+	}
+	// Endpoints are always included (they may be cut vertices whose tree
+	// node is not a block, but each is contained in a path block anyway;
+	// set explicitly for robustness).
+	out[a] = true
+	out[b] = true
+	return out
+}

@@ -1,0 +1,265 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func sortedBlock(b []Node) []Node {
+	out := append([]Node(nil), b...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestBCCPath(t *testing.T) {
+	g := pathGraph(4)
+	bcc := g.BiconnectedComponents()
+	if len(bcc.Blocks) != 3 {
+		t.Fatalf("path P4 has %d blocks, want 3 (each edge)", len(bcc.Blocks))
+	}
+	wantCut := []bool{false, true, true, false}
+	for v, w := range wantCut {
+		if bcc.IsCut[v] != w {
+			t.Errorf("IsCut[%d] = %v, want %v", v, bcc.IsCut[v], w)
+		}
+	}
+}
+
+func TestBCCCycle(t *testing.T) {
+	g := cycleGraph(5)
+	bcc := g.BiconnectedComponents()
+	if len(bcc.Blocks) != 1 {
+		t.Fatalf("C5 has %d blocks, want 1", len(bcc.Blocks))
+	}
+	if len(bcc.Blocks[0]) != 5 {
+		t.Errorf("block size = %d, want 5", len(bcc.Blocks[0]))
+	}
+	for v := 0; v < 5; v++ {
+		if bcc.IsCut[v] {
+			t.Errorf("cycle has no cut vertices, but IsCut[%d]", v)
+		}
+	}
+}
+
+func TestBCCBowtie(t *testing.T) {
+	// Two triangles sharing vertex 2.
+	b := NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 2)
+	g := b.Build()
+	bcc := g.BiconnectedComponents()
+	if len(bcc.Blocks) != 2 {
+		t.Fatalf("bowtie has %d blocks, want 2", len(bcc.Blocks))
+	}
+	for v := 0; v < 5; v++ {
+		want := v == 2
+		if bcc.IsCut[v] != want {
+			t.Errorf("IsCut[%d] = %v, want %v", v, bcc.IsCut[v], want)
+		}
+	}
+	for _, blk := range bcc.Blocks {
+		if len(blk) != 3 {
+			t.Errorf("block %v size = %d, want 3", blk, len(blk))
+		}
+	}
+}
+
+func TestBCCDisconnected(t *testing.T) {
+	b := NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 4)
+	// 5 isolated.
+	g := b.Build()
+	bcc := g.BiconnectedComponents()
+	if len(bcc.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(bcc.Blocks))
+	}
+	if !bcc.IsCut[3] {
+		t.Error("3 should be a cut vertex")
+	}
+	if bcc.IsCut[5] {
+		t.Error("isolated node cannot be a cut vertex")
+	}
+}
+
+func TestBCCCutVerticesAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(14)
+		b := NewBuilder(n)
+		for i := 0; i < 2*n; i++ {
+			b.AddEdge(Node(rng.Intn(n)), Node(rng.Intn(n)))
+		}
+		g := b.Build()
+		bcc := g.BiconnectedComponents()
+		_, base := g.ConnectedComponents()
+		for v := 0; v < n; v++ {
+			keep := make([]bool, n)
+			for i := range keep {
+				keep[i] = i != v
+			}
+			sub, _ := g.Subgraph(keep)
+			_, after := sub.ConnectedComponents()
+			// Removing v splits its component into k parts, so
+			// after = base - 1 + k; v is a cut vertex iff k >= 2,
+			// i.e. after > base. Isolated vertices are never cut.
+			isCut := g.Degree(Node(v)) > 0 && after > base
+			if bcc.IsCut[v] != isCut {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockCutTreeBowtie(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 2)
+	g := b.Build()
+	bct := NewBlockCutTree(g)
+	if bct.NumBlocks() != 2 {
+		t.Fatalf("NumBlocks = %d, want 2", bct.NumBlocks())
+	}
+	if !bct.IsCut(2) {
+		t.Error("2 should be cut")
+	}
+	// 0 and 4 are in different blocks; the simple paths 0..4 cover all 5
+	// vertices.
+	mask := bct.VerticesOnSimplePaths(5, 0, 4)
+	for v := 0; v < 5; v++ {
+		if !mask[v] {
+			t.Errorf("vertex %d should be on a simple 0-4 path", v)
+		}
+	}
+}
+
+func TestVerticesOnSimplePathsPendant(t *testing.T) {
+	// 0-1-2 path with pendant 3 hanging off 1. Vertex 3 can reach both 0
+	// and 2, but lies on no simple 0-2 path.
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(1, 3)
+	g := b.Build()
+	bct := NewBlockCutTree(g)
+	mask := bct.VerticesOnSimplePaths(4, 0, 2)
+	want := []bool{true, true, true, false}
+	for v, w := range want {
+		if mask[v] != w {
+			t.Errorf("mask[%d] = %v, want %v", v, mask[v], w)
+		}
+	}
+}
+
+func TestVerticesOnSimplePathsDisconnected(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	bct := NewBlockCutTree(g)
+	mask := bct.VerticesOnSimplePaths(4, 0, 3)
+	for v, on := range mask {
+		if on {
+			t.Errorf("mask[%d] = true for disconnected pair", v)
+		}
+	}
+}
+
+func TestVerticesOnSimplePathsSameNode(t *testing.T) {
+	g := pathGraph(3)
+	bct := NewBlockCutTree(g)
+	mask := bct.VerticesOnSimplePaths(3, 1, 1)
+	if !mask[1] || mask[0] || mask[2] {
+		t.Errorf("mask = %v, want only node 1", mask)
+	}
+}
+
+// TestVerticesOnSimplePathsAgainstEnumeration enumerates all simple paths
+// on small random graphs and compares.
+func TestVerticesOnSimplePathsAgainstEnumeration(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(7) // keep tiny: path enumeration is exponential
+		b := NewBuilder(n)
+		for i := 0; i < 2*n; i++ {
+			b.AddEdge(Node(rng.Intn(n)), Node(rng.Intn(n)))
+		}
+		g := b.Build()
+		a := Node(rng.Intn(n))
+		z := Node(rng.Intn(n))
+		want := make([]bool, n)
+		var dfs func(v Node, visited []bool, path []Node)
+		dfs = func(v Node, visited []bool, path []Node) {
+			if v == z {
+				for _, p := range path {
+					want[p] = true
+				}
+				want[z] = true
+				return
+			}
+			for _, u := range g.Neighbors(v) {
+				if !visited[u] {
+					visited[u] = true
+					dfs(u, visited, append(path, u))
+					visited[u] = false
+				}
+			}
+		}
+		if a == z {
+			want[a] = true
+		} else {
+			visited := make([]bool, n)
+			visited[a] = true
+			dfs(a, visited, []Node{a})
+		}
+		bct := NewBlockCutTree(g)
+		got := bct.VerticesOnSimplePaths(n, a, z)
+		// When a and z are disconnected, got is all-false and want is too,
+		// except endpooints are never marked by enumeration either.
+		if a != z && !g.SameComponent(a, z) {
+			for _, v := range got {
+				if v {
+					return false
+				}
+			}
+			return true
+		}
+		for v := 0; v < n; v++ {
+			if got[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockCutTreeIsolatedVertex(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	bct := NewBlockCutTree(g)
+	if bct.TreeNodeOf(2) != -1 {
+		t.Errorf("isolated vertex should map to -1, got %d", bct.TreeNodeOf(2))
+	}
+	if got := bct.BlockVertices(0); len(sortedBlock(got)) != 2 {
+		t.Errorf("block = %v, want the 0-1 edge", got)
+	}
+}

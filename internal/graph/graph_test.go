@@ -1,0 +1,406 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func pathGraph(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(Node(i), Node(i+1))
+	}
+	return b.Build()
+}
+
+func cycleGraph(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(Node(i), Node((i+1)%n))
+	}
+	return b.Build()
+}
+
+func completeGraph(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(Node(i), Node(j))
+		}
+	}
+	return b.Build()
+}
+
+func TestEmptyGraph(t *testing.T) {
+	var g Graph
+	if g.NumNodes() != 0 {
+		t.Errorf("NumNodes() = %d, want 0", g.NumNodes())
+	}
+	if g.NumEdges() != 0 {
+		t.Errorf("NumEdges() = %d, want 0", g.NumEdges())
+	}
+	if g.AvgDegree() != 0 {
+		t.Errorf("AvgDegree() = %v, want 0", g.AvgDegree())
+	}
+	if g.MaxDegree() != 0 {
+		t.Errorf("MaxDegree() = %v, want 0", g.MaxDegree())
+	}
+}
+
+func TestBuilderDedup(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0) // duplicate in reverse orientation
+	b.AddEdge(0, 1) // exact duplicate
+	b.AddEdge(1, 1) // self loop: dropped
+	b.AddEdge(1, 2)
+	g := b.Build()
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges() = %d, want 2", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) || !g.HasEdge(1, 2) {
+		t.Error("expected edges missing")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("HasEdge(0,2) = true, want false")
+	}
+	if g.HasEdge(1, 1) {
+		t.Error("self loop should not exist")
+	}
+}
+
+func TestBuilderImplicitNodes(t *testing.T) {
+	b := NewBuilder(0)
+	b.AddEdge(5, 9)
+	g := b.Build()
+	if g.NumNodes() != 10 {
+		t.Fatalf("NumNodes() = %d, want 10", g.NumNodes())
+	}
+	if g.Degree(5) != 1 || g.Degree(9) != 1 || g.Degree(0) != 0 {
+		t.Error("degree mismatch for implicit nodes")
+	}
+}
+
+func TestBuilderNegativeEndpointsIgnored(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEdge(-1, 0)
+	b.AddEdge(0, -3)
+	g := b.Build()
+	if g.NumEdges() != 0 {
+		t.Fatalf("NumEdges() = %d, want 0", g.NumEdges())
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(2, 4)
+	b.AddEdge(2, 0)
+	b.AddEdge(2, 3)
+	b.AddEdge(2, 1)
+	g := b.Build()
+	want := []Node{0, 1, 3, 4}
+	if got := g.Neighbors(2); !reflect.DeepEqual(got, want) {
+		t.Errorf("Neighbors(2) = %v, want %v", got, want)
+	}
+}
+
+func TestDegreeAndAvg(t *testing.T) {
+	g := completeGraph(5)
+	if g.NumEdges() != 10 {
+		t.Fatalf("K5 edges = %d, want 10", g.NumEdges())
+	}
+	for v := Node(0); v < 5; v++ {
+		if g.Degree(v) != 4 {
+			t.Errorf("Degree(%d) = %d, want 4", v, g.Degree(v))
+		}
+	}
+	if g.AvgDegree() != 4 {
+		t.Errorf("AvgDegree() = %v, want 4", g.AvgDegree())
+	}
+	if g.MaxDegree() != 4 {
+		t.Errorf("MaxDegree() = %v, want 4", g.MaxDegree())
+	}
+}
+
+func TestCheckNode(t *testing.T) {
+	g := pathGraph(3)
+	if err := g.CheckNode(2); err != nil {
+		t.Errorf("CheckNode(2) = %v, want nil", err)
+	}
+	if err := g.CheckNode(3); err == nil {
+		t.Error("CheckNode(3) = nil, want error")
+	}
+	if err := g.CheckNode(-1); err == nil {
+		t.Error("CheckNode(-1) = nil, want error")
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(30)
+		var edges []Edge
+		for i := 0; i < n*2; i++ {
+			edges = append(edges, Edge{U: Node(rng.Intn(n)), V: Node(rng.Intn(n))})
+		}
+		g := FromEdges(n, edges)
+		g2 := FromEdges(n, g.Edges())
+		if g.NumEdges() != g2.NumEdges() {
+			t.Fatalf("round trip edge count %d != %d", g.NumEdges(), g2.NumEdges())
+		}
+		if !reflect.DeepEqual(g.Edges(), g2.Edges()) {
+			t.Fatal("round trip edge sets differ")
+		}
+	}
+}
+
+// TestCSRInvariants is a property test: for random graphs, the CSR
+// structure is consistent (degree sums, symmetry, sortedness).
+func TestCSRInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		b := NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			b.AddEdge(Node(rng.Intn(n)), Node(rng.Intn(n)))
+		}
+		g := b.Build()
+		degSum := 0
+		for v := 0; v < n; v++ {
+			ns := g.Neighbors(Node(v))
+			degSum += len(ns)
+			if !sort.SliceIsSorted(ns, func(i, j int) bool { return ns[i] < ns[j] }) {
+				return false
+			}
+			for _, u := range ns {
+				if u == Node(v) {
+					return false // self loop
+				}
+				if !g.HasEdge(u, Node(v)) {
+					return false // asymmetric adjacency
+				}
+			}
+			for i := 1; i < len(ns); i++ {
+				if ns[i] == ns[i-1] {
+					return false // parallel edge
+				}
+			}
+		}
+		return int64(degSum) == 2*g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBFSPathGraph(t *testing.T) {
+	g := pathGraph(6)
+	dist, parent := g.BFSFrom([]Node{0}, nil)
+	for v := 0; v < 6; v++ {
+		if dist[v] != int32(v) {
+			t.Errorf("dist[%d] = %d, want %d", v, dist[v], v)
+		}
+	}
+	if parent[0] != -1 {
+		t.Errorf("parent of source = %d, want -1", parent[0])
+	}
+	for v := 1; v < 6; v++ {
+		if parent[v] != Node(v-1) {
+			t.Errorf("parent[%d] = %d, want %d", v, parent[v], v-1)
+		}
+	}
+}
+
+func TestBFSMultiSource(t *testing.T) {
+	g := pathGraph(7)
+	dist, _ := g.BFSFrom([]Node{0, 6}, nil)
+	want := []int32{0, 1, 2, 3, 2, 1, 0}
+	for v, w := range want {
+		if dist[v] != w {
+			t.Errorf("dist[%d] = %d, want %d", v, dist[v], w)
+		}
+	}
+}
+
+func TestBFSBlocked(t *testing.T) {
+	g := pathGraph(5)
+	dist, _ := g.BFSFrom([]Node{0}, func(v Node) bool { return v == 2 })
+	if dist[1] != 1 {
+		t.Errorf("dist[1] = %d, want 1", dist[1])
+	}
+	for _, v := range []Node{2, 3, 4} {
+		if dist[v] != -1 {
+			t.Errorf("dist[%d] = %d, want -1 (blocked)", v, dist[v])
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	dist, _ := g.BFSFrom([]Node{0}, nil)
+	if dist[2] != -1 || dist[3] != -1 {
+		t.Error("nodes in other component should be unreachable")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	b := NewBuilder(7)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	// 5, 6 isolated
+	g := b.Build()
+	labels, count := g.ConnectedComponents()
+	if count != 4 {
+		t.Fatalf("component count = %d, want 4", count)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Error("0,1,2 should share a component")
+	}
+	if labels[3] != labels[4] {
+		t.Error("3,4 should share a component")
+	}
+	if labels[5] == labels[6] {
+		t.Error("isolated nodes should be in distinct components")
+	}
+	if labels[0] == labels[3] {
+		t.Error("0 and 3 should be in distinct components")
+	}
+}
+
+func TestSameComponent(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	g := b.Build()
+	if !g.SameComponent(0, 2) {
+		t.Error("SameComponent(0,2) = false, want true")
+	}
+	if g.SameComponent(0, 3) {
+		t.Error("SameComponent(0,3) = true, want false")
+	}
+	if !g.SameComponent(4, 4) {
+		t.Error("SameComponent(4,4) = false, want true")
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := completeGraph(5)
+	keep := []bool{true, false, true, true, false}
+	sub, orig := g.Subgraph(keep)
+	if sub.NumNodes() != 3 {
+		t.Fatalf("subgraph nodes = %d, want 3", sub.NumNodes())
+	}
+	if sub.NumEdges() != 3 {
+		t.Fatalf("subgraph edges = %d, want 3 (triangle)", sub.NumEdges())
+	}
+	want := []Node{0, 2, 3}
+	if !reflect.DeepEqual(orig, want) {
+		t.Errorf("orig map = %v, want %v", orig, want)
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := pathGraph(5)
+	p := g.ShortestPath(0, 4, nil)
+	want := []Node{0, 1, 2, 3, 4}
+	if !reflect.DeepEqual(p, want) {
+		t.Errorf("ShortestPath = %v, want %v", p, want)
+	}
+	if p := g.ShortestPath(3, 3, nil); !reflect.DeepEqual(p, []Node{3}) {
+		t.Errorf("trivial path = %v, want [3]", p)
+	}
+}
+
+func TestShortestPathBlockedAndMissing(t *testing.T) {
+	g := pathGraph(5)
+	if p := g.ShortestPath(0, 4, func(v Node) bool { return v == 2 }); p != nil {
+		t.Errorf("blocked path = %v, want nil", p)
+	}
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g2 := b.Build()
+	if p := g2.ShortestPath(0, 3, nil); p != nil {
+		t.Errorf("cross-component path = %v, want nil", p)
+	}
+}
+
+func TestShortestPathPrefersShort(t *testing.T) {
+	// Diamond: 0-1-3 (len 2) and 0-2a-2b-3 (len 3).
+	b := NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 3)
+	b.AddEdge(0, 2)
+	b.AddEdge(2, 4)
+	b.AddEdge(4, 3)
+	g := b.Build()
+	p := g.ShortestPath(0, 3, nil)
+	if len(p) != 3 {
+		t.Errorf("path length = %d, want 3 (nodes)", len(p))
+	}
+}
+
+func TestSuccessiveDisjointPaths(t *testing.T) {
+	// Two disjoint paths 0-1-5 and 0-2-3-5, plus an edge that creates a
+	// third non-disjoint route through 1.
+	b := NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 5)
+	b.AddEdge(0, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 5)
+	b.AddEdge(2, 1)
+	g := b.Build()
+	paths := g.SuccessiveDisjointPaths(0, 5, 10)
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths, want 2: %v", len(paths), paths)
+	}
+	if len(paths[0]) != 3 {
+		t.Errorf("first path %v should be the 2-hop route", paths[0])
+	}
+	// Interiors must be disjoint.
+	seen := map[Node]bool{}
+	for _, p := range paths {
+		for _, v := range p[1 : len(p)-1] {
+			if seen[v] {
+				t.Errorf("interior node %d reused", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSuccessiveDisjointPathsDirectEdge(t *testing.T) {
+	g := completeGraph(3)
+	paths := g.SuccessiveDisjointPaths(0, 1, 5)
+	if len(paths) != 1 {
+		t.Fatalf("got %d paths, want 1 (direct edge terminates)", len(paths))
+	}
+	if len(paths[0]) != 2 {
+		t.Errorf("path = %v, want the direct edge", paths[0])
+	}
+}
+
+func TestSuccessiveDisjointPathsLimit(t *testing.T) {
+	// Star of 4 disjoint 2-hop routes from 0 to 5.
+	b := NewBuilder(6)
+	for i := 1; i <= 4; i++ {
+		b.AddEdge(0, Node(i))
+		b.AddEdge(Node(i), 5)
+	}
+	g := b.Build()
+	if got := len(g.SuccessiveDisjointPaths(0, 5, 2)); got != 2 {
+		t.Errorf("maxPaths=2 produced %d paths", got)
+	}
+	if got := len(g.SuccessiveDisjointPaths(0, 5, 10)); got != 4 {
+		t.Errorf("expected all 4 disjoint paths, got %d", got)
+	}
+}

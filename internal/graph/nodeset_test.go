@@ -1,0 +1,102 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNodeSetBasics(t *testing.T) {
+	s := NewNodeSet(130)
+	if s.Len() != 0 {
+		t.Errorf("empty Len = %d", s.Len())
+	}
+	s.Add(0)
+	s.Add(64)
+	s.Add(129)
+	if s.Len() != 3 {
+		t.Errorf("Len = %d, want 3", s.Len())
+	}
+	for _, v := range []Node{0, 64, 129} {
+		if !s.Contains(v) {
+			t.Errorf("Contains(%d) = false", v)
+		}
+	}
+	if s.Contains(1) || s.Contains(63) || s.Contains(128) {
+		t.Error("false positives")
+	}
+	s.Remove(64)
+	if s.Contains(64) || s.Len() != 2 {
+		t.Error("Remove failed")
+	}
+	if got := s.Members(); !reflect.DeepEqual(got, []Node{0, 129}) {
+		t.Errorf("Members = %v", got)
+	}
+	if s.Universe() != 130 {
+		t.Errorf("Universe = %d", s.Universe())
+	}
+}
+
+func TestNodeSetOfAndClone(t *testing.T) {
+	s := NewNodeSetOf(10, 1, 3, 5)
+	c := s.Clone()
+	c.Add(7)
+	if s.Contains(7) {
+		t.Error("Clone is not independent")
+	}
+	if !c.ContainsAll(s) {
+		t.Error("superset check failed")
+	}
+	if s.ContainsAll(c) {
+		t.Error("subset reported as superset")
+	}
+}
+
+func TestNodeSetAddAllClearFill(t *testing.T) {
+	a := NewNodeSetOf(100, 5, 50)
+	b := NewNodeSetOf(100, 50, 99)
+	a.AddAll(b)
+	if a.Len() != 3 {
+		t.Errorf("after AddAll Len = %d, want 3", a.Len())
+	}
+	a.Clear()
+	if a.Len() != 0 {
+		t.Errorf("after Clear Len = %d", a.Len())
+	}
+	a.Fill()
+	if a.Len() != 100 {
+		t.Errorf("after Fill Len = %d", a.Len())
+	}
+}
+
+func TestNodeSetQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		s := NewNodeSet(n)
+		ref := map[Node]bool{}
+		for i := 0; i < 200; i++ {
+			v := Node(rng.Intn(n))
+			if rng.Intn(2) == 0 {
+				s.Add(v)
+				ref[v] = true
+			} else {
+				s.Remove(v)
+				delete(ref, v)
+			}
+		}
+		if s.Len() != len(ref) {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if s.Contains(Node(v)) != ref[Node(v)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

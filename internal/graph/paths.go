@@ -1,0 +1,62 @@
+package graph
+
+// ShortestPath returns a shortest (fewest-hops) path from s to t inclusive,
+// avoiding nodes for which blocked returns true (s and t are never treated
+// as blocked). It returns nil if no such path exists. blocked may be nil.
+func (g *Graph) ShortestPath(s, t Node, blocked func(Node) bool) []Node {
+	if s == t {
+		return []Node{s}
+	}
+	wrap := blocked
+	if wrap != nil {
+		inner := blocked
+		wrap = func(v Node) bool {
+			if v == s || v == t {
+				return false
+			}
+			return inner(v)
+		}
+	}
+	dist, parent := g.BFSFrom([]Node{s}, wrap)
+	if dist[t] < 0 {
+		return nil
+	}
+	path := make([]Node, 0, dist[t]+1)
+	for v := t; v != -1; v = parent[v] {
+		path = append(path, v)
+	}
+	// Reverse into s..t order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// SuccessiveDisjointPaths extracts up to maxPaths shortest s–t paths whose
+// interior vertices are pairwise disjoint: after each path is found, its
+// interior vertices are removed before searching for the next. This is the
+// path-selection rule of the Shortest-Path (SP) baseline in the paper
+// ("SP will select the next shortest path disjoint from those [that] have
+// been selected"). Returns the paths in discovery order; fewer than
+// maxPaths are returned when s and t become disconnected.
+func (g *Graph) SuccessiveDisjointPaths(s, t Node, maxPaths int) [][]Node {
+	used := make(map[Node]bool)
+	blocked := func(v Node) bool { return used[v] }
+	var out [][]Node
+	for len(out) < maxPaths {
+		p := g.ShortestPath(s, t, blocked)
+		if p == nil {
+			break
+		}
+		out = append(out, p)
+		for _, v := range p[1 : len(p)-1] {
+			used[v] = true
+		}
+		if len(p) <= 2 {
+			// Direct edge s–t: no interior to remove, every further
+			// "path" would be identical.
+			break
+		}
+	}
+	return out
+}

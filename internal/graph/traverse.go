@@ -1,0 +1,105 @@
+package graph
+
+// BFSFrom runs a breadth-first search from the given sources, skipping any
+// node for which blocked returns true (sources themselves are not skipped).
+// It returns dist with dist[v] = hop distance from the nearest source, or -1
+// if unreachable, and parent with the BFS tree parent (-1 for sources and
+// unreachable nodes).
+//
+// blocked may be nil, meaning no node is blocked.
+func (g *Graph) BFSFrom(sources []Node, blocked func(Node) bool) (dist []int32, parent []Node) {
+	n := g.NumNodes()
+	dist = make([]int32, n)
+	parent = make([]Node, n)
+	for i := range dist {
+		dist[i] = -1
+		parent[i] = -1
+	}
+	queue := make([]Node, 0, len(sources))
+	for _, s := range sources {
+		if dist[s] == -1 {
+			dist[s] = 0
+			queue = append(queue, s)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, u := range g.Neighbors(v) {
+			if dist[u] != -1 {
+				continue
+			}
+			if blocked != nil && blocked(u) {
+				continue
+			}
+			dist[u] = dist[v] + 1
+			parent[u] = v
+			queue = append(queue, u)
+		}
+	}
+	return dist, parent
+}
+
+// Reachable returns a boolean mask of nodes reachable from sources without
+// entering blocked nodes (sources are reachable by definition unless they
+// are out of range). blocked may be nil.
+func (g *Graph) Reachable(sources []Node, blocked func(Node) bool) []bool {
+	dist, _ := g.BFSFrom(sources, blocked)
+	out := make([]bool, len(dist))
+	for v, d := range dist {
+		out[v] = d >= 0
+	}
+	return out
+}
+
+// ConnectedComponents labels each node with a component id in [0, count)
+// and returns the labels and the component count.
+func (g *Graph) ConnectedComponents() (labels []int32, count int) {
+	n := g.NumNodes()
+	labels = make([]int32, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	queue := make([]Node, 0, 64)
+	var next int32
+	for start := 0; start < n; start++ {
+		if labels[start] != -1 {
+			continue
+		}
+		labels[start] = next
+		queue = append(queue[:0], Node(start))
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			for _, u := range g.Neighbors(v) {
+				if labels[u] == -1 {
+					labels[u] = next
+					queue = append(queue, u)
+				}
+			}
+		}
+		next++
+	}
+	return labels, int(next)
+}
+
+// SameComponent reports whether u and v lie in the same connected component.
+func (g *Graph) SameComponent(u, v Node) bool {
+	if u == v {
+		return true
+	}
+	seen := make(map[Node]bool, 64)
+	seen[u] = true
+	queue := []Node{u}
+	for head := 0; head < len(queue); head++ {
+		w := queue[head]
+		for _, x := range g.Neighbors(w) {
+			if x == v {
+				return true
+			}
+			if !seen[x] {
+				seen[x] = true
+				queue = append(queue, x)
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,180 @@
+// Package ltm implements the paper's threshold-based friending process
+// (Process 1) as a forward Monte-Carlo simulator.
+//
+// Given the initiator s's current friends C₀ = N_s and an invitation set I,
+// a round adds every invited non-friend u whose accumulated familiarity
+// from current friends, Σ_{v∈C} w(v,u), reaches u's uniformly random
+// threshold θ_u. The process stops when no invited user activates or the
+// target t becomes a friend. f(I) is the probability of the latter.
+//
+// The forward simulator is the ground truth of the model; the realization
+// package provides the equivalent (Lemma 1) and much faster reverse
+// estimator. Their agreement is enforced by cross-validation tests.
+package ltm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/parallel"
+	"repro/internal/rng"
+	"repro/internal/weights"
+)
+
+// ErrBadInstance reports an invalid (graph, s, t) combination.
+var ErrBadInstance = errors.New("ltm: invalid instance")
+
+// Instance is an active-friending instance: the network, the weight
+// scheme, the initiator and the target. Immutable and safe for concurrent
+// use.
+type Instance struct {
+	g *graph.Graph
+	w weights.Scheme
+	s graph.Node
+	t graph.Node
+	// ns is N_s, cached as both slice and set.
+	ns    []graph.Node
+	nsSet *graph.NodeSet
+}
+
+// NewInstance validates and builds an instance. The target must differ
+// from the initiator and must not already be a friend (otherwise the
+// problem is trivial), matching the paper's problem setting.
+func NewInstance(g *graph.Graph, w weights.Scheme, s, t graph.Node) (*Instance, error) {
+	if err := g.CheckNode(s); err != nil {
+		return nil, fmt.Errorf("%w: initiator: %v", ErrBadInstance, err)
+	}
+	if err := g.CheckNode(t); err != nil {
+		return nil, fmt.Errorf("%w: target: %v", ErrBadInstance, err)
+	}
+	if s == t {
+		return nil, fmt.Errorf("%w: initiator equals target (%d)", ErrBadInstance, s)
+	}
+	if g.HasEdge(s, t) {
+		return nil, fmt.Errorf("%w: %d and %d are already friends", ErrBadInstance, s, t)
+	}
+	if w == nil {
+		return nil, fmt.Errorf("%w: nil weight scheme", ErrBadInstance)
+	}
+	in := &Instance{g: g, w: w, s: s, t: t}
+	in.ns = g.Neighbors(s)
+	in.nsSet = graph.NewNodeSet(g.NumNodes())
+	for _, v := range in.ns {
+		in.nsSet.Add(v)
+	}
+	return in, nil
+}
+
+// Graph returns the underlying graph.
+func (in *Instance) Graph() *graph.Graph { return in.g }
+
+// Weights returns the weight scheme.
+func (in *Instance) Weights() weights.Scheme { return in.w }
+
+// S returns the initiator.
+func (in *Instance) S() graph.Node { return in.s }
+
+// T returns the target.
+func (in *Instance) T() graph.Node { return in.t }
+
+// InitialFriends returns N_s. The slice aliases graph storage.
+func (in *Instance) InitialFriends() []graph.Node { return in.ns }
+
+// InitialFriendSet returns N_s as a set. Callers must not modify it.
+func (in *Instance) InitialFriendSet() *graph.NodeSet { return in.nsSet }
+
+// SimulateOnce runs one draw of Process 1 under invitation set invited and
+// reports whether t became a friend of s. Thresholds are sampled lazily
+// from rng, one per touched node.
+//
+// The returned friends set (C∞ minus the initial N_s) is written into
+// scratch if non-nil (for callers that need the final friend set);
+// pass nil when only the outcome matters.
+func (in *Instance) SimulateOnce(invited *graph.NodeSet, rand *rand.Rand, scratch *graph.NodeSet) bool {
+	n := in.g.NumNodes()
+	// accum[u] tracks Σ_{v∈C} w(v,u); thr[u] is θ_u, drawn on first touch;
+	// state[u]: 0 untouched, 1 touched, 2 in C.
+	accum := make([]float64, n)
+	thr := make([]float64, n)
+	state := make([]uint8, n)
+
+	frontier := make([]graph.Node, 0, len(in.ns))
+	// C0 = Ns.
+	for _, v := range in.ns {
+		state[v] = 2
+		frontier = append(frontier, v)
+	}
+	state[in.s] = 2 // s itself never activates or contributes
+
+	var next []graph.Node
+	for len(frontier) > 0 {
+		next = next[:0]
+		for _, v := range frontier {
+			for _, u := range in.g.Neighbors(v) {
+				if state[u] == 2 {
+					continue
+				}
+				if !invited.Contains(u) {
+					// Uninvited users never join C, but their thresholds
+					// are irrelevant; skip entirely.
+					continue
+				}
+				if state[u] == 0 {
+					state[u] = 1
+					thr[u] = rand.Float64()
+				}
+				accum[u] += in.w.W(v, u)
+				if accum[u] >= thr[u] {
+					state[u] = 2
+					next = append(next, u)
+					if u == in.t {
+						in.finish(scratch, state)
+						return true
+					}
+				}
+			}
+		}
+		frontier, next = next, frontier
+	}
+	in.finish(scratch, state)
+	return false
+}
+
+func (in *Instance) finish(scratch *graph.NodeSet, state []uint8) {
+	if scratch == nil {
+		return
+	}
+	scratch.Clear()
+	for v, st := range state {
+		if st == 2 && graph.Node(v) != in.s && !in.nsSet.Contains(graph.Node(v)) {
+			scratch.Add(graph.Node(v))
+		}
+	}
+}
+
+// EstimateF estimates f(invited) with trials independent forward
+// simulations spread across workers (0 = all CPUs). Deterministic for a
+// fixed (seed, trials): each trial uses a stream derived from its index
+// block, independent of scheduling.
+func (in *Instance) EstimateF(ctx context.Context, invited *graph.NodeSet, trials int64, workers int, seed int64) (float64, error) {
+	if trials <= 0 {
+		return 0, fmt.Errorf("%w: trials=%d", ErrBadInstance, trials)
+	}
+	successes, err := parallel.SumUint64(ctx, trials, workers, func(worker int, n int64) uint64 {
+		r := rng.DeriveRand(seed, uint64(worker))
+		var hits uint64
+		for i := int64(0); i < n; i++ {
+			if in.SimulateOnce(invited, r, nil) {
+				hits++
+			}
+		}
+		return hits
+	})
+	if err != nil {
+		return 0, err
+	}
+	return float64(successes) / float64(trials), nil
+}

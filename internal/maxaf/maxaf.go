@@ -1,0 +1,82 @@
+// Package maxaf implements the *maximum* active friending variant the
+// paper positions itself against (Sec. I–II; Yang et al. KDD'13, Yuan et
+// al.): given an invitation budget b, maximize the acceptance probability
+// f(I) subject to |I| ≤ b.
+//
+// It reuses the RAF machinery: sample a pool of realizations (Def. 1),
+// then greedily commit whole backward paths t(g) — cheapest marginal
+// union first — while the budget lasts (setcover.GreedyBudget). Under the
+// linear threshold model the objective is supermodular in I (Yuan et
+// al.), so node-wise greedy has no guarantee; covering realizations
+// whole sidesteps that, exactly as RAF's minimization does.
+package maxaf
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/ltm"
+	"repro/internal/realization"
+	"repro/internal/setcover"
+)
+
+// Config parameterizes a Solve call.
+type Config struct {
+	// Budget is the maximum invitation-set size; must fit the target
+	// (budget ≥ 1).
+	Budget int
+	// Realizations is the pool size l (default 50000).
+	Realizations int64
+	// Seed and Workers control sampling.
+	Seed    int64
+	Workers int
+}
+
+// Result is the budgeted solution.
+type Result struct {
+	// Invited is the chosen invitation set (|Invited| ≤ Budget).
+	Invited *graph.NodeSet
+	// CoveredFraction is the fraction of the sampled pool covered — the
+	// pool's estimate of f(Invited).
+	CoveredFraction float64
+	// PoolType1 is the number of type-1 realizations sampled.
+	PoolType1 int
+}
+
+// Solve maximizes estimated acceptance probability under the budget.
+func Solve(ctx context.Context, in *ltm.Instance, cfg Config) (*Result, error) {
+	if cfg.Budget <= 0 {
+		return nil, fmt.Errorf("maxaf: budget %d must be positive", cfg.Budget)
+	}
+	l := cfg.Realizations
+	if l <= 0 {
+		l = 50000
+	}
+	pool, err := realization.SamplePool(ctx, in, l, cfg.Workers, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if pool.NumType1() == 0 {
+		return nil, fmt.Errorf("%w: no type-1 realization in %d draws", core.ErrTargetUnreachable, l)
+	}
+	inst := &setcover.Instance{UniverseSize: in.Graph().NumNodes()}
+	inst.Sets = make([][]int32, 0, pool.NumType1())
+	for _, p := range pool.Type1 {
+		inst.Sets = append(inst.Sets, p)
+	}
+	sol, err := setcover.GreedyBudget(inst, cfg.Budget)
+	if err != nil {
+		return nil, fmt.Errorf("maxaf: budgeted cover: %w", err)
+	}
+	invited := graph.NewNodeSet(in.Graph().NumNodes())
+	for _, v := range sol.Union {
+		invited.Add(v)
+	}
+	return &Result{
+		Invited:         invited,
+		CoveredFraction: float64(sol.Covered) / float64(pool.Total),
+		PoolType1:       pool.NumType1(),
+	}, nil
+}

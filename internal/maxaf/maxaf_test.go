@@ -1,0 +1,164 @@
+package maxaf
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/ltm"
+	"repro/internal/realization"
+	"repro/internal/weights"
+)
+
+func line(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(graph.Node(i), graph.Node(i+1))
+	}
+	return b.Build()
+}
+
+func randomConnected(seed int64, n, extra int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(graph.Node(i), graph.Node(rng.Intn(i)))
+	}
+	for i := 0; i < extra; i++ {
+		b.AddEdge(graph.Node(rng.Intn(n)), graph.Node(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+func mustInstance(t *testing.T, g *graph.Graph, s, tt graph.Node) *ltm.Instance {
+	t.Helper()
+	in, err := ltm.NewInstance(g, weights.NewDegree(g), s, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestSolveLine(t *testing.T) {
+	// Line 0-1-2-3: the only useful invitation set is {2,3}; budget 2
+	// must find it and budget 1 must cover nothing.
+	g := line(4)
+	in := mustInstance(t, g, 0, 3)
+	ctx := context.Background()
+	res, err := Solve(ctx, in, Config{Budget: 2, Realizations: 5000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Invited.Members()
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("Invited = %v, want [2 3]", got)
+	}
+	if res.CoveredFraction < 0.4 || res.CoveredFraction > 0.6 {
+		t.Errorf("CoveredFraction = %v, want ~0.5", res.CoveredFraction)
+	}
+	res1, err := Solve(ctx, in, Config{Budget: 1, Realizations: 5000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.CoveredFraction != 0 {
+		t.Errorf("budget 1 covered %v, want 0 (path needs 2 nodes)", res1.CoveredFraction)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	g := line(4)
+	in := mustInstance(t, g, 0, 3)
+	if _, err := Solve(context.Background(), in, Config{Budget: 0}); err == nil {
+		t.Error("budget 0 accepted")
+	}
+}
+
+func TestSolveUnreachable(t *testing.T) {
+	b := graph.NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(3, 4)
+	g := b.Build()
+	in := mustInstance(t, g, 0, 4)
+	_, err := Solve(context.Background(), in, Config{Budget: 3, Realizations: 500})
+	if !errors.Is(err, core.ErrTargetUnreachable) {
+		t.Errorf("err = %v, want ErrTargetUnreachable", err)
+	}
+}
+
+// TestSolveBeatsBaselinesAtBudget: on random graphs, the realization-based
+// budgeted solution should (weakly) beat HD at the same budget, measured
+// by an independent estimator.
+func TestSolveBeatsBaselinesAtBudget(t *testing.T) {
+	ctx := context.Background()
+	checked := 0
+	for seed := int64(1); seed <= 10 && checked < 3; seed++ {
+		g := randomConnected(seed*31, 40, 50)
+		s, tt := graph.Node(0), graph.Node(39)
+		if g.HasEdge(s, tt) {
+			continue
+		}
+		in := mustInstance(t, g, s, tt)
+		all := graph.NewNodeSet(g.NumNodes())
+		all.Fill()
+		pmax, err := realization.EstimateFReverse(ctx, in, all, 60000, 2, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pmax < 0.05 {
+			continue
+		}
+		checked++
+		budget := 8
+		res, err := Solve(ctx, in, Config{Budget: budget, Realizations: 30000, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Invited.Len() > budget {
+			t.Fatalf("budget violated: %d > %d", res.Invited.Len(), budget)
+		}
+		fMax, err := realization.EstimateFReverse(ctx, in, res.Invited, 60000, 2, seed+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hdOrder := baselines.HighDegree{}.Rank(in)
+		hdSet := baselines.PrefixSet(g.NumNodes(), hdOrder, budget)
+		fHD, err := realization.EstimateFReverse(ctx, in, hdSet, 60000, 2, seed+2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fMax+0.02 < fHD {
+			t.Errorf("seed %d: budgeted maxaf %v below HD %v", seed, fMax, fHD)
+		}
+	}
+	if checked == 0 {
+		t.Skip("no usable pair")
+	}
+}
+
+func TestSolveMonotoneInBudget(t *testing.T) {
+	g := randomConnected(77, 30, 40)
+	s, tt := graph.Node(0), graph.Node(29)
+	if g.HasEdge(s, tt) {
+		t.Skip("adjacent pair")
+	}
+	in := mustInstance(t, g, s, tt)
+	ctx := context.Background()
+	prev := -1.0
+	for _, budget := range []int{2, 6, 12, 24} {
+		res, err := Solve(ctx, in, Config{Budget: budget, Realizations: 20000, Seed: 5})
+		if err != nil {
+			if errors.Is(err, core.ErrTargetUnreachable) {
+				t.Skip("unreachable pair")
+			}
+			t.Fatal(err)
+		}
+		if res.CoveredFraction < prev {
+			t.Errorf("coverage decreased at budget %d: %v < %v", budget, res.CoveredFraction, prev)
+		}
+		prev = res.CoveredFraction
+	}
+}

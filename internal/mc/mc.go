@@ -1,0 +1,112 @@
+// Package mc implements the optimal Monte-Carlo estimation machinery the
+// paper relies on: the Dagum–Karp–Luby–Ross stopping-rule estimator
+// (Algorithm 2 / Lemma 3), used to estimate p_max with relative error ε
+// and failure probability 1/N, and the Chernoff-bound arithmetic behind
+// the realization-count threshold l* (Eq. 16).
+package mc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadParam reports invalid estimation parameters.
+var ErrBadParam = errors.New("mc: invalid parameter")
+
+// ErrZeroEstimate is returned when sampling exhausts the configured budget
+// without observing a single success — the estimated quantity is
+// indistinguishable from zero at the allowed cost.
+var ErrZeroEstimate = errors.New("mc: no successes within sample budget")
+
+// e2 is (e − 2), the constant of the stopping-rule threshold.
+var e2 = math.E - 2
+
+// StoppingRuleThreshold returns Υ = 1 + 4(e−2)(1+ε)·ln(2N)/ε², the success
+// mass the stopping rule must accumulate for relative error ε and failure
+// probability 1/N. (The paper's Alg. 2 prints ln(2/N), a sign typo: the
+// Dagum et al. threshold uses the log of 2/δ with δ = 1/N.)
+func StoppingRuleThreshold(eps float64, n float64) float64 {
+	return 1 + 4*e2*(1+eps)*math.Log(2*n)/(eps*eps)
+}
+
+// ExpectedSimulations returns l₀ of Eq. 6: the asymptotic number of
+// simulations the stopping rule uses when the estimated mean is p.
+func ExpectedSimulations(eps, n, p float64) float64 {
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	return (eps*eps + 4*e2*(1+eps)*math.Log(n/2)) / (eps * eps * p)
+}
+
+// StoppingRule runs the Dagum–Karp–Luby–Ross first-stage stopping rule on
+// a Bernoulli sampler: draw until the accumulated successes reach Υ and
+// return Υ divided by the number of draws. With probability ≥ 1 − 1/N the
+// result is within relative error ε of the true mean.
+//
+// sample reports one Bernoulli draw. maxDraws bounds the worst case (the
+// rule needs ~Υ/p draws; p ≈ 0 would never terminate): when positive and
+// exhausted, ErrZeroEstimate is returned if nothing succeeded, otherwise
+// the plain Monte-Carlo mean over the budget is returned with a wrapped
+// ErrBudgetExceeded-style diagnostic set to nil (the estimate is still
+// usable, only the stopping-rule guarantee is weakened; callers that need
+// the guarantee should pass maxDraws = 0 for unbounded sampling).
+func StoppingRule(ctx context.Context, eps float64, n float64, maxDraws int64, sample func() bool) (estimate float64, draws int64, err error) {
+	if eps <= 0 || eps >= 1 {
+		return 0, 0, fmt.Errorf("%w: eps=%v not in (0,1)", ErrBadParam, eps)
+	}
+	if n <= 1 {
+		return 0, 0, fmt.Errorf("%w: N=%v must exceed 1", ErrBadParam, n)
+	}
+	upsilon := StoppingRuleThreshold(eps, n)
+	var successes float64
+	for draws = 0; successes < upsilon; {
+		if draws%4096 == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, draws, err
+			}
+		}
+		if maxDraws > 0 && draws >= maxDraws {
+			if successes == 0 {
+				return 0, draws, fmt.Errorf("%w (budget %d)", ErrZeroEstimate, maxDraws)
+			}
+			return successes / float64(draws), draws, nil
+		}
+		if sample() {
+			successes++
+		}
+		draws++
+	}
+	return upsilon / float64(draws), draws, nil
+}
+
+// ChernoffDeviationBound returns the two-sided Chernoff bound (Eq. 9):
+// Pr[|ΣXᵢ − lµ| ≥ δlµ] ≤ 2·exp(−lµδ²/(2+δ)) for i.i.d. Xᵢ ∈ [0,1].
+func ChernoffDeviationBound(l, mu, delta float64) float64 {
+	if l <= 0 || mu <= 0 || delta <= 0 {
+		return 1
+	}
+	return 2 * math.Exp(-l*mu*delta*delta/(2+delta))
+}
+
+// RealizationThreshold returns l* of Eq. 16: the number of realizations
+// that makes |F(B_l, I)/l − f(I)| ≤ ε₁·p*max hold simultaneously for all
+// 2ⁿ invitation sets with probability ≥ 1 − 1/N, given the p_max estimate
+// pStar with relative error ε₀. The union-bound dimension n may be
+// replaced by |V_max| (Sec. III-C) since every candidate invitation set is
+// a subset of V_max.
+func RealizationThreshold(eps0, eps1, pStar float64, n int, bigN float64) (float64, error) {
+	if eps0 <= 0 || eps0 >= 1 || eps1 <= 0 || eps1 >= 1 {
+		return 0, fmt.Errorf("%w: eps0=%v eps1=%v must lie in (0,1)", ErrBadParam, eps0, eps1)
+	}
+	if pStar <= 0 {
+		return 0, fmt.Errorf("%w: pStar=%v must be positive", ErrBadParam, pStar)
+	}
+	if n < 1 || bigN <= 1 {
+		return 0, fmt.Errorf("%w: n=%d N=%v", ErrBadParam, n, bigN)
+	}
+	num := (math.Ln2 + math.Log(bigN) + float64(n)*math.Ln2) * (2 + eps1*(1-eps0))
+	den := eps1 * eps1 * (1 - eps0) * (1 - eps0) * pStar
+	return num / den, nil
+}

@@ -1,0 +1,203 @@
+package mc
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestStoppingRuleThresholdPositive(t *testing.T) {
+	// The paper's printed ln(2/N) would be negative for N > 2; ours must
+	// grow with N.
+	small := StoppingRuleThreshold(0.1, 10)
+	big := StoppingRuleThreshold(0.1, 100000)
+	if small <= 1 || big <= small {
+		t.Errorf("thresholds: N=10 → %v, N=1e5 → %v; want increasing and > 1", small, big)
+	}
+	// Tighter eps needs more mass.
+	if StoppingRuleThreshold(0.01, 100) <= StoppingRuleThreshold(0.1, 100) {
+		t.Error("smaller eps should raise the threshold")
+	}
+}
+
+func TestStoppingRuleAccuracy(t *testing.T) {
+	for _, p := range []float64{0.5, 0.1, 0.03} {
+		rng := rand.New(rand.NewSource(int64(p * 1000)))
+		est, draws, err := StoppingRule(context.Background(), 0.05, 1000, 0, func() bool {
+			return rng.Float64() < p
+		})
+		if err != nil {
+			t.Fatalf("p=%v: %v", p, err)
+		}
+		if rel := math.Abs(est-p) / p; rel > 0.05 {
+			t.Errorf("p=%v: estimate %v, relative error %v > eps", p, est, rel)
+		}
+		if draws <= 0 {
+			t.Errorf("p=%v: nonpositive draw count %d", p, draws)
+		}
+	}
+}
+
+func TestStoppingRuleDrawCountNearOptimal(t *testing.T) {
+	p := 0.2
+	rng := rand.New(rand.NewSource(8))
+	_, draws, err := StoppingRule(context.Background(), 0.1, 100, 0, func() bool {
+		return rng.Float64() < p
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rule stops after ~Υ/p draws.
+	want := StoppingRuleThreshold(0.1, 100) / p
+	if float64(draws) < want*0.5 || float64(draws) > want*2 {
+		t.Errorf("draws = %d, want within 2x of %v", draws, want)
+	}
+}
+
+func TestStoppingRuleValidation(t *testing.T) {
+	ctx := context.Background()
+	always := func() bool { return true }
+	if _, _, err := StoppingRule(ctx, 0, 10, 0, always); !errors.Is(err, ErrBadParam) {
+		t.Errorf("eps=0: err = %v", err)
+	}
+	if _, _, err := StoppingRule(ctx, 1, 10, 0, always); !errors.Is(err, ErrBadParam) {
+		t.Errorf("eps=1: err = %v", err)
+	}
+	if _, _, err := StoppingRule(ctx, 0.1, 1, 0, always); !errors.Is(err, ErrBadParam) {
+		t.Errorf("N=1: err = %v", err)
+	}
+}
+
+func TestStoppingRuleZeroMean(t *testing.T) {
+	_, draws, err := StoppingRule(context.Background(), 0.1, 10, 5000, func() bool { return false })
+	if !errors.Is(err, ErrZeroEstimate) {
+		t.Fatalf("err = %v, want ErrZeroEstimate", err)
+	}
+	if draws != 5000 {
+		t.Errorf("draws = %d, want the full budget", draws)
+	}
+}
+
+func TestStoppingRuleBudgetFallback(t *testing.T) {
+	// Tiny p with small budget: should return the plain MC mean.
+	rng := rand.New(rand.NewSource(4))
+	p := 0.5
+	est, draws, err := StoppingRule(context.Background(), 0.001, 1e6, 2000, func() bool {
+		return rng.Float64() < p
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if draws != 2000 {
+		t.Errorf("draws = %d, want budget 2000", draws)
+	}
+	if math.Abs(est-p) > 0.05 {
+		t.Errorf("fallback estimate %v too far from %v", est, p)
+	}
+}
+
+func TestStoppingRuleCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := StoppingRule(ctx, 0.1, 10, 0, func() bool { return false })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestExpectedSimulations(t *testing.T) {
+	if !math.IsInf(ExpectedSimulations(0.1, 100, 0), 1) {
+		t.Error("p=0 should be infinite")
+	}
+	// Halving p doubles the cost.
+	a := ExpectedSimulations(0.1, 100, 0.2)
+	b := ExpectedSimulations(0.1, 100, 0.1)
+	if math.Abs(b/a-2) > 1e-9 {
+		t.Errorf("cost ratio = %v, want 2", b/a)
+	}
+}
+
+func TestChernoffDeviationBound(t *testing.T) {
+	// Degenerate inputs give the trivial bound 1.
+	if ChernoffDeviationBound(0, 0.5, 0.1) != 1 {
+		t.Error("l=0 should give 1")
+	}
+	// More samples → smaller bound.
+	b1 := ChernoffDeviationBound(100, 0.5, 0.1)
+	b2 := ChernoffDeviationBound(10000, 0.5, 0.1)
+	if b2 >= b1 || b1 >= 2 {
+		t.Errorf("bounds b1=%v b2=%v", b1, b2)
+	}
+	// Exact value check: 2·exp(−lµδ²/(2+δ)).
+	want := 2 * math.Exp(-100*0.5*0.01/2.1)
+	if got := ChernoffDeviationBound(100, 0.5, 0.1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("bound = %v, want %v", got, want)
+	}
+}
+
+func TestRealizationThreshold(t *testing.T) {
+	l, err := RealizationThreshold(0.1, 0.01, 0.05, 100, 1e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l <= 0 {
+		t.Fatalf("l* = %v", l)
+	}
+	// Using |Vmax| < n must reduce the threshold (Sec. III-C).
+	l2, err := RealizationThreshold(0.1, 0.01, 0.05, 20, 1e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2 >= l {
+		t.Errorf("smaller union-bound dimension should shrink l*: %v vs %v", l2, l)
+	}
+	// Larger pStar reduces it too.
+	l3, err := RealizationThreshold(0.1, 0.01, 0.5, 100, 1e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l3 >= l {
+		t.Errorf("larger pStar should shrink l*: %v vs %v", l3, l)
+	}
+}
+
+func TestRealizationThresholdValidation(t *testing.T) {
+	cases := []struct {
+		e0, e1, p float64
+		n         int
+		bigN      float64
+	}{
+		{0, 0.1, 0.1, 10, 100},
+		{0.1, 1, 0.1, 10, 100},
+		{0.1, 0.1, 0, 10, 100},
+		{0.1, 0.1, 0.1, 0, 100},
+		{0.1, 0.1, 0.1, 10, 1},
+	}
+	for _, c := range cases {
+		if _, err := RealizationThreshold(c.e0, c.e1, c.p, c.n, c.bigN); !errors.Is(err, ErrBadParam) {
+			t.Errorf("RealizationThreshold(%+v): err = %v, want ErrBadParam", c, err)
+		}
+	}
+}
+
+// TestRealizationThresholdMeetsChernoff sanity-checks the derivation: with
+// l = l*, the per-set Chernoff bound times 2ⁿ·... stays below 1/N.
+func TestRealizationThresholdMeetsChernoff(t *testing.T) {
+	eps0, eps1, pStar := 0.05, 0.02, 0.1
+	n, bigN := 30, 1000.0
+	lStar, err := RealizationThreshold(eps0, eps1, pStar, n, bigN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worst case is f(I) as large as possible; the proof uses
+	// delta = eps1·pStar/f(I) with f(I) ≤ pmax ≤ pStar/(1−eps0).
+	fI := pStar / (1 - eps0)
+	delta := eps1 * pStar / fI
+	perSet := ChernoffDeviationBound(lStar, fI, delta)
+	union := perSet * math.Pow(2, float64(n))
+	if union > 1/bigN*1.0001 {
+		t.Errorf("union bound = %v, want ≤ 1/N = %v", union, 1/bigN)
+	}
+}

@@ -1,0 +1,109 @@
+// Package parallel provides small worker-pool helpers (stdlib only) used to
+// parallelize Monte-Carlo sampling and per-pair experiment work while
+// keeping results deterministic: work items are indexed and each worker
+// receives an independently derived random stream, so the output is a pure
+// function of (seed, item index) regardless of scheduling.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the worker count used when a Config asks for 0:
+// the number of usable CPUs.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// For runs fn(i) for every i in [0, n) across the given number of workers
+// (0 means DefaultWorkers). It blocks until all items complete or ctx is
+// cancelled, returning ctx.Err() in the latter case. fn must be safe for
+// concurrent invocation on distinct indices.
+func For(ctx context.Context, n, workers int, fn func(i int)) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return nil
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// SumUint64 runs trials of fn across workers and sums the uint64 results.
+// fn receives the worker id (for RNG stream derivation) and the number of
+// trials that worker must run; the split is deterministic. It is intended
+// for Monte-Carlo counting loops where per-trial closure dispatch would
+// dominate.
+func SumUint64(ctx context.Context, trials int64, workers int, fn func(worker int, n int64) uint64) (uint64, error) {
+	if trials <= 0 {
+		return 0, nil
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if int64(workers) > trials {
+		workers = int(trials)
+	}
+	if workers == 1 {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		return fn(0, trials), nil
+	}
+	per := trials / int64(workers)
+	rem := trials % int64(workers)
+	results := make([]uint64, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		n := per
+		if int64(w) < rem {
+			n++
+		}
+		go func(w int, n int64) {
+			defer wg.Done()
+			if ctx.Err() != nil {
+				return
+			}
+			results[w] = fn(w, n)
+		}(w, n)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	var total uint64
+	for _, r := range results {
+		total += r
+	}
+	return total, nil
+}

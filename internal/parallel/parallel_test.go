@@ -1,0 +1,95 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForVisitsAll(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		const n = 1000
+		var mask [n]int32
+		err := For(context.Background(), n, workers, func(i int) {
+			atomic.AddInt32(&mask[i], 1)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range mask {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEmpty(t *testing.T) {
+	called := false
+	if err := For(context.Background(), 0, 4, func(int) { called = true }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("fn called for n=0")
+	}
+}
+
+func TestForCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := For(ctx, 100, 1, func(int) { t.Error("fn ran after cancel") })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSumUint64(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7} {
+		got, err := SumUint64(context.Background(), 1000, workers, func(worker int, n int64) uint64 {
+			return uint64(n) // each trial contributes 1
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 1000 {
+			t.Errorf("workers=%d: sum = %d, want 1000", workers, got)
+		}
+	}
+}
+
+func TestSumUint64SplitsExactly(t *testing.T) {
+	var total int64
+	_, err := SumUint64(context.Background(), 1003, 4, func(worker int, n int64) uint64 {
+		atomic.AddInt64(&total, n)
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 1003 {
+		t.Errorf("trial split sums to %d, want 1003", total)
+	}
+}
+
+func TestSumUint64Empty(t *testing.T) {
+	got, err := SumUint64(context.Background(), 0, 4, func(int, int64) uint64 { return 99 })
+	if err != nil || got != 0 {
+		t.Errorf("got %d, err %v", got, err)
+	}
+}
+
+func TestSumUint64Cancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SumUint64(ctx, 100, 2, func(int, int64) uint64 { return 1 })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Errorf("DefaultWorkers = %d", DefaultWorkers())
+	}
+}

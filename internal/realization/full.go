@@ -1,0 +1,96 @@
+package realization
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/ltm"
+)
+
+// NoSelection is the encoding of the artificial user ℵ₀ in a full
+// realization: g(v) = NoSelection means v selected no influencer.
+const NoSelection graph.Node = -1
+
+// Full is an explicit realization per Definition 1: the complete mapping
+// g: V → V ∪ {ℵ₀}. It exists for validation — the lazy Sampler must agree
+// with running Process 2 on a Full realization — and for small-graph
+// exhaustive analyses.
+type Full struct {
+	// Sel[v] is g(v): the influencer v selected, or NoSelection.
+	Sel []graph.Node
+}
+
+// SampleFull draws a complete realization: every node independently
+// selects per Definition 1.
+func SampleFull(in *ltm.Instance, rand *rand.Rand) *Full {
+	g := in.Graph()
+	w := in.Weights()
+	sel := make([]graph.Node, g.NumNodes())
+	for v := range sel {
+		if u, ok := w.SampleInfluencer(graph.Node(v), rand); ok {
+			sel[v] = u
+		} else {
+			sel[v] = NoSelection
+		}
+	}
+	return &Full{Sel: sel}
+}
+
+// TGOf runs Algorithm 1 on the full realization: walk backward from t
+// following g until ℵ₀, a cycle, the initiator, or N_s is reached.
+func (f *Full) TGOf(in *ltm.Instance) TG {
+	nsSet := in.InitialFriendSet()
+	s := in.S()
+	visited := graph.NewNodeSet(in.Graph().NumNodes())
+	var path []graph.Node
+	cur := in.T()
+	path = append(path, cur)
+	visited.Add(cur)
+	for {
+		u := f.Sel[cur]
+		switch {
+		case u == NoSelection:
+			return TG{Outcome: Type0}
+		case u == s:
+			return TG{Outcome: Type0}
+		case nsSet.Contains(u):
+			return TG{Path: path, Outcome: Type1}
+		case visited.Contains(u):
+			return TG{Outcome: Type0}
+		}
+		path = append(path, u)
+		visited.Add(u)
+		cur = u
+	}
+}
+
+// Succeeds runs Process 2 forward on the full realization under
+// invitation set invited and reports whether t ∈ H∞(g, I). It is the
+// reference semantics that Lemma 2 relates to TGOf.
+func (f *Full) Succeeds(in *ltm.Instance, invited *graph.NodeSet) bool {
+	g := in.Graph()
+	t := in.T()
+	inH := in.InitialFriendSet().Clone()
+	// Repeatedly add invited nodes whose selection is already in H.
+	// A node activates at most once; iterate to fixpoint.
+	frontier := in.InitialFriends()
+	queue := make([]graph.Node, 0, len(frontier))
+	queue = append(queue, frontier...)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		// Any neighbor u with g(u) = v activates if invited.
+		for _, u := range g.Neighbors(v) {
+			if inH.Contains(u) || !invited.Contains(u) {
+				continue
+			}
+			if f.Sel[u] == v {
+				inH.Add(u)
+				if u == t {
+					return true
+				}
+				queue = append(queue, u)
+			}
+		}
+	}
+	return inH.Contains(t)
+}

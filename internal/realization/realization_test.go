@@ -1,0 +1,426 @@
+package realization
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/ltm"
+	"repro/internal/weights"
+)
+
+func line(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(graph.Node(i), graph.Node(i+1))
+	}
+	return b.Build()
+}
+
+func randomConnected(seed int64, n, extra int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(graph.Node(i), graph.Node(rng.Intn(i)))
+	}
+	for i := 0; i < extra; i++ {
+		b.AddEdge(graph.Node(rng.Intn(n)), graph.Node(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+func mustInstance(t *testing.T, g *graph.Graph, s, tt graph.Node) *ltm.Instance {
+	t.Helper()
+	in, err := ltm.NewInstance(g, weights.NewDegree(g), s, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// On the line 0-1-2-3 with degree weights every node selects exactly one
+// neighbor. t=3 selects 2 surely (degree 1); 2 selects 1 or 3 with prob
+// 1/2 each. Selecting 3 is a cycle (type-0); selecting 1 reaches N_s.
+// Hence p_max = 1/2 and t(g) = [3 2] for every type-1 draw.
+func TestSampleTGLine(t *testing.T) {
+	g := line(4)
+	in := mustInstance(t, g, 0, 3)
+	sp := NewSampler(in)
+	rng := rand.New(rand.NewSource(5))
+	type1 := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		tg := sp.SampleTG(rng)
+		switch tg.Outcome {
+		case Type1:
+			type1++
+			if len(tg.Path) != 2 || tg.Path[0] != 3 || tg.Path[1] != 2 {
+				t.Fatalf("t(g) = %v, want [3 2]", tg.Path)
+			}
+		case Type0:
+			if tg.Path != nil {
+				t.Fatal("type-0 should carry no path")
+			}
+		default:
+			t.Fatalf("invalid outcome %v", tg.Outcome)
+		}
+	}
+	frac := float64(type1) / trials
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("type-1 fraction = %v, want ~0.5", frac)
+	}
+}
+
+// Star with hub h adjacent to s, t and leaves: t (degree 1) must select h;
+// h selects uniformly among its deg(h) neighbors and only selecting s... —
+// in this topology h IS a friend of s, so the walk always ends at N_s
+// immediately: p_max = 1.
+func TestSampleTGStarAlwaysType1(t *testing.T) {
+	// s=0 - 1(hub) - t=2, hub also adjacent to 3,4.
+	b := graph.NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(1, 3)
+	b.AddEdge(1, 4)
+	g := b.Build()
+	in := mustInstance(t, g, 0, 2)
+	sp := NewSampler(in)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		tg := sp.SampleTG(rng)
+		if tg.Outcome != Type1 {
+			t.Fatal("walk must terminate at the hub ∈ N_s immediately")
+		}
+		if len(tg.Path) != 1 || tg.Path[0] != 2 {
+			t.Fatalf("t(g) = %v, want [2]", tg.Path)
+		}
+	}
+}
+
+// TestSampleTGPathInvariants checks the structural invariants of every
+// sampled t(g): the path starts at t, consecutive nodes are adjacent,
+// nodes are distinct, and — the subtle one — no path node is s or a member
+// of N_s. (Reaching s is in fact impossible: every path node lies outside
+// N_s, and only N_s members are adjacent to s; see the package doc.)
+func TestSampleTGPathInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomConnected(seed, 18, 24)
+		s, tt := graph.Node(0), graph.Node(17)
+		if g.HasEdge(s, tt) {
+			return true
+		}
+		in, err := ltm.NewInstance(g, weights.NewDegree(g), s, tt)
+		if err != nil {
+			return true
+		}
+		sp := NewSampler(in)
+		rng := rand.New(rand.NewSource(seed))
+		nsSet := in.InitialFriendSet()
+		for i := 0; i < 300; i++ {
+			tg := sp.SampleTG(rng)
+			if tg.Outcome != Type1 {
+				continue
+			}
+			if len(tg.Path) == 0 || tg.Path[0] != tt {
+				return false
+			}
+			seen := map[graph.Node]bool{}
+			for j, v := range tg.Path {
+				if v == s || nsSet.Contains(v) || seen[v] {
+					return false
+				}
+				seen[v] = true
+				if j > 0 && !g.HasEdge(tg.Path[j-1], v) {
+					return false
+				}
+			}
+			// The walk's final hop must connect to N_s.
+			last := tg.Path[len(tg.Path)-1]
+			hasNsNeighbor := false
+			for _, u := range g.Neighbors(last) {
+				if nsSet.Contains(u) {
+					hasNsNeighbor = true
+					break
+				}
+			}
+			if !hasNsNeighbor {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCovered(t *testing.T) {
+	tg := TG{Path: []graph.Node{3, 2}, Outcome: Type1}
+	if !tg.Covered(graph.NewNodeSetOf(4, 2, 3)) {
+		t.Error("exact cover rejected")
+	}
+	if tg.Covered(graph.NewNodeSetOf(4, 3)) {
+		t.Error("partial cover accepted")
+	}
+	t0 := TG{Outcome: Type0}
+	full := graph.NewNodeSet(4)
+	full.Fill()
+	if t0.Covered(full) {
+		t.Error("type-0 covered by full set")
+	}
+}
+
+func TestSamplePool(t *testing.T) {
+	g := line(4)
+	in := mustInstance(t, g, 0, 3)
+	pool, err := SamplePool(context.Background(), in, 20000, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Total != 20000 {
+		t.Errorf("Total = %d", pool.Total)
+	}
+	if frac := pool.FractionType1(); math.Abs(frac-0.5) > 0.02 {
+		t.Errorf("FractionType1 = %v, want ~0.5", frac)
+	}
+	invited := graph.NewNodeSetOf(4, 2, 3)
+	if got, want := pool.EstimateF(invited), pool.FractionType1(); got != want {
+		t.Errorf("EstimateF(full path) = %v, want %v (all type-1 covered)", got, want)
+	}
+	if got := pool.EstimateF(graph.NewNodeSetOf(4, 3)); got != 0 {
+		t.Errorf("EstimateF(partial) = %v, want 0", got)
+	}
+	if got := pool.CoverageCount(invited); got != int64(pool.NumType1()) {
+		t.Errorf("CoverageCount = %d, want %d", got, pool.NumType1())
+	}
+}
+
+func TestSamplePoolValidation(t *testing.T) {
+	g := line(4)
+	in := mustInstance(t, g, 0, 3)
+	if _, err := SamplePool(context.Background(), in, 0, 1, 1); err == nil {
+		t.Error("zero pool size accepted")
+	}
+}
+
+func TestSamplePoolDeterministic(t *testing.T) {
+	g := randomConnected(3, 30, 40)
+	if g.HasEdge(0, 29) {
+		t.Skip("adjacent s,t")
+	}
+	in := mustInstance(t, g, 0, 29)
+	p1, err := SamplePool(context.Background(), in, 5000, 3, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := SamplePool(context.Background(), in, 5000, 3, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.NumType1() != p2.NumType1() {
+		t.Fatalf("type-1 counts differ: %d vs %d", p1.NumType1(), p2.NumType1())
+	}
+	for i := range p1.Type1 {
+		if len(p1.Type1[i]) != len(p2.Type1[i]) {
+			t.Fatal("paths differ between identical seeds")
+		}
+		for j := range p1.Type1[i] {
+			if p1.Type1[i][j] != p2.Type1[i][j] {
+				t.Fatal("paths differ between identical seeds")
+			}
+		}
+	}
+}
+
+// TestLazyMatchesFullSampler validates Remark 3: the lazy walk has the
+// same distribution as running Alg. 1 on a fully sampled realization.
+func TestLazyMatchesFullSampler(t *testing.T) {
+	g := randomConnected(13, 16, 20)
+	if g.HasEdge(0, 15) {
+		t.Skip("adjacent s,t")
+	}
+	in := mustInstance(t, g, 0, 15)
+	const trials = 60000
+	rng1 := rand.New(rand.NewSource(101))
+	rng2 := rand.New(rand.NewSource(202))
+	sp := NewSampler(in)
+	lazy1 := 0
+	for i := 0; i < trials; i++ {
+		if sp.SampleTG(rng1).Outcome == Type1 {
+			lazy1++
+		}
+	}
+	full1 := 0
+	for i := 0; i < trials; i++ {
+		f := SampleFull(in, rng2)
+		if f.TGOf(in).Outcome == Type1 {
+			full1++
+		}
+	}
+	a, b := float64(lazy1)/trials, float64(full1)/trials
+	if math.Abs(a-b) > 0.01 {
+		t.Errorf("lazy type-1 rate %v vs full %v", a, b)
+	}
+}
+
+// TestLemma2 validates the key combinatorial lemma: for a fully sampled
+// realization g and any invitation set I, Process 2 succeeds iff t(g) ⊆ I.
+func TestLemma2(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(12)
+		g := randomConnected(seed, n, n)
+		s := graph.Node(0)
+		tt := graph.Node(n - 1)
+		if g.HasEdge(s, tt) {
+			return true // skip invalid instances
+		}
+		in, err := ltm.NewInstance(g, weights.NewDegree(g), s, tt)
+		if err != nil {
+			return true
+		}
+		for trial := 0; trial < 20; trial++ {
+			full := SampleFull(in, rng)
+			tg := full.TGOf(in)
+			// Random invitation set, biased to include the path when one
+			// exists so both outcomes are exercised.
+			invited := graph.NewNodeSet(n)
+			for v := 0; v < n; v++ {
+				if rng.Intn(2) == 0 {
+					invited.Add(graph.Node(v))
+				}
+			}
+			if tg.Outcome == Type1 && rng.Intn(2) == 0 {
+				for _, v := range tg.Path {
+					invited.Add(v)
+				}
+			}
+			want := tg.Covered(invited)
+			got := full.Succeeds(in, invited)
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLemma1ForwardReverseAgreement is the central model-equivalence test:
+// the forward Process 1 estimator and the reverse realization estimator
+// must agree on f(I) within Monte-Carlo noise.
+func TestLemma1ForwardReverseAgreement(t *testing.T) {
+	seeds := []int64{21, 22, 23}
+	for _, seed := range seeds {
+		g := randomConnected(seed, 14, 16)
+		s, tt := graph.Node(0), graph.Node(13)
+		if g.HasEdge(s, tt) {
+			continue
+		}
+		in := mustInstance(t, g, s, tt)
+		rng := rand.New(rand.NewSource(seed * 7))
+		invited := graph.NewNodeSet(14)
+		invited.Add(tt)
+		for v := 0; v < 14; v++ {
+			if rng.Intn(3) > 0 {
+				invited.Add(graph.Node(v))
+			}
+		}
+		ctx := context.Background()
+		const trials = 150000
+		fwd, err := in.EstimateF(ctx, invited, trials, 4, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rev, err := EstimateFReverse(ctx, in, invited, trials, 4, seed+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fwd-rev) > 0.008 {
+			t.Errorf("seed %d: forward %v vs reverse %v", seed, fwd, rev)
+		}
+	}
+}
+
+func TestEstimateFReverseValidation(t *testing.T) {
+	g := line(4)
+	in := mustInstance(t, g, 0, 3)
+	if _, err := EstimateFReverse(context.Background(), in, graph.NewNodeSet(4), 0, 1, 1); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestEpochWraparound(t *testing.T) {
+	// Force the epoch counter near wraparound and confirm sampling still
+	// detects cycles correctly.
+	g := line(4)
+	in := mustInstance(t, g, 0, 3)
+	sp := NewSampler(in)
+	sp.epoch = ^uint32(0) - 3
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10; i++ {
+		tg := sp.SampleTG(rng)
+		if tg.Outcome != Type0 && tg.Outcome != Type1 {
+			t.Fatal("invalid outcome after wraparound")
+		}
+	}
+}
+
+// TestLemma1UnderSubStochasticWeights repeats the forward/reverse
+// agreement check with a weight scheme whose incoming weights sum to less
+// than 1, so realizations exercise the ℵ₀ (no selection) branch that the
+// degree convention never hits.
+func TestLemma1UnderSubStochasticWeights(t *testing.T) {
+	g := randomConnected(33, 12, 14)
+	s, tt := graph.Node(0), graph.Node(11)
+	if g.HasEdge(s, tt) {
+		t.Skip("adjacent pair")
+	}
+	sch, err := weights.NewExplicit(g, func(u, v graph.Node) float64 {
+		d := g.Degree(v)
+		if d == 0 {
+			return 0
+		}
+		return 0.7 / float64(d) // InSum = 0.7 < 1 everywhere
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := ltm.NewInstance(g, sch, s, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	invited := graph.NewNodeSet(12)
+	invited.Fill()
+	ctx := context.Background()
+	const trials = 200000
+	fwd, err := in.EstimateF(ctx, invited, trials, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev, err := EstimateFReverse(ctx, in, invited, trials, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fwd-rev) > 0.008 {
+		t.Errorf("forward %v vs reverse %v under sub-stochastic weights", fwd, rev)
+	}
+	// The ℵ₀ branch must actually fire: a backward walk selects no one
+	// with probability 0.3 at the first step alone.
+	sp := NewSampler(in)
+	rng := rand.New(rand.NewSource(7))
+	type0 := 0
+	for i := 0; i < 2000; i++ {
+		if sp.SampleTG(rng).Outcome == Type0 {
+			type0++
+		}
+	}
+	if type0 < 400 {
+		t.Errorf("only %d/2000 type-0 draws; ℵ₀ branch not exercised", type0)
+	}
+}

@@ -1,0 +1,57 @@
+// Package rng provides deterministic, splittable pseudo-random sources so
+// that every stochastic component of the library (realization sampling,
+// threshold draws, generators, experiment pair selection) is reproducible
+// for a fixed seed, independent of goroutine scheduling.
+package rng
+
+import (
+	"math/rand"
+)
+
+// splitmix64 advances and mixes a 64-bit state; used to derive independent
+// stream seeds from a root seed. This is the standard SplitMix64 finalizer.
+func splitmix64(state uint64) uint64 {
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Seeder deterministically derives child seeds from a root seed. The
+// zero value is a valid seeder rooted at 0.
+type Seeder struct {
+	root uint64
+	ctr  uint64
+}
+
+// NewSeeder returns a Seeder rooted at seed.
+func NewSeeder(seed int64) *Seeder {
+	return &Seeder{root: uint64(seed)}
+}
+
+// Next returns the next derived child seed. Successive calls yield
+// well-decorrelated values even for adjacent roots.
+func (s *Seeder) Next() int64 {
+	s.ctr++
+	return int64(splitmix64(s.root ^ splitmix64(s.ctr)))
+}
+
+// NextRand returns a *rand.Rand seeded with the next derived seed.
+// The returned Rand is NOT safe for concurrent use; derive one per
+// goroutine.
+func (s *Seeder) NextRand() *rand.Rand {
+	return rand.New(rand.NewSource(s.Next()))
+}
+
+// Derive returns a deterministic child seed for (seed, stream) without
+// mutating any state; use it when streams are indexed rather than
+// sequential (e.g. one stream per worker id).
+func Derive(seed int64, stream uint64) int64 {
+	return int64(splitmix64(uint64(seed) ^ splitmix64(stream+0x51ed2701)))
+}
+
+// DeriveRand returns a *rand.Rand for (seed, stream); see Derive.
+func DeriveRand(seed int64, stream uint64) *rand.Rand {
+	return rand.New(rand.NewSource(Derive(seed, stream)))
+}

@@ -1,0 +1,114 @@
+package setcover
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// GreedyBudget solves the budgeted dual of MSC: choose a union of at most
+// budget elements maximizing the number of covered members of U
+// (multiplicities counted). It powers the *maximum* active friending
+// variant (maximize f(I) subject to |I| ≤ b): realizations are the family
+// and invited users are the union.
+//
+// The greedy repeatedly commits the folded set with the best density —
+// covered multiplicity per newly added element — among those fitting the
+// remaining budget (the classic budgeted-max-coverage rule). Marginals
+// only shrink as the union grows, so densities only improve; every
+// decrement re-files the set in a lazy max-heap and stale entries are
+// skipped on pop.
+func GreedyBudget(inst *Instance, budget int) (*Solution, error) {
+	if budget <= 0 {
+		return nil, fmt.Errorf("%w: budget %d must be positive", ErrBadInstance, budget)
+	}
+	folded, err := fold(inst)
+	if err != nil {
+		return nil, err
+	}
+	elemToSets := make(map[int32][]int32)
+	for j, fs := range folded {
+		for _, e := range fs.elems {
+			elemToSets[e] = append(elemToSets[e], int32(j))
+		}
+	}
+	marg := make([]int, len(folded))
+	done := make([]bool, len(folded))
+	sol := &Solution{}
+	h := &densityHeap{}
+	for j, fs := range folded {
+		marg[j] = len(fs.elems)
+		if marg[j] == 0 {
+			done[j] = true
+			sol.Covered += fs.mult
+			continue
+		}
+		heap.Push(h, densityEntry{id: int32(j), marg: marg[j], density: float64(fs.mult) / float64(marg[j])})
+	}
+	inUnion := make(map[int32]bool)
+	remaining := budget
+	for h.Len() > 0 && remaining > 0 {
+		entry := heap.Pop(h).(densityEntry)
+		j := entry.id
+		if done[j] || marg[j] != entry.marg {
+			continue // stale: a fresher entry exists (or the set is covered)
+		}
+		if marg[j] > remaining {
+			// Doesn't fit now; future decrements re-push it.
+			continue
+		}
+		sol.Picked++
+		for _, e := range folded[j].elems {
+			if inUnion[e] {
+				continue
+			}
+			inUnion[e] = true
+			sol.Union = append(sol.Union, e)
+			remaining--
+			for _, k := range elemToSets[e] {
+				if done[k] {
+					continue
+				}
+				marg[k]--
+				if marg[k] == 0 {
+					done[k] = true
+					sol.Covered += folded[k].mult
+				} else {
+					heap.Push(h, densityEntry{id: k, marg: marg[k], density: float64(folded[k].mult) / float64(marg[k])})
+				}
+			}
+		}
+	}
+	sort.Slice(sol.Union, func(i, k int) bool { return sol.Union[i] < sol.Union[k] })
+	return sol, nil
+}
+
+type densityEntry struct {
+	id      int32
+	marg    int
+	density float64
+}
+
+// densityHeap is a max-heap on density (ties: smaller marginal first,
+// then smaller id for determinism).
+type densityHeap []densityEntry
+
+func (h densityHeap) Len() int { return len(h) }
+func (h densityHeap) Less(i, j int) bool {
+	if h[i].density != h[j].density {
+		return h[i].density > h[j].density
+	}
+	if h[i].marg != h[j].marg {
+		return h[i].marg < h[j].marg
+	}
+	return h[i].id < h[j].id
+}
+func (h densityHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *densityHeap) Push(x any)   { *h = append(*h, x.(densityEntry)) }
+func (h *densityHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,120 @@
+package setcover
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestGreedyBudgetBasic(t *testing.T) {
+	inst := &Instance{
+		UniverseSize: 10,
+		Sets: [][]int32{
+			{0, 1},
+			{1, 2},
+			{5, 6, 7, 8},
+		},
+	}
+	sol, err := GreedyBudget(inst, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget 3 fits the two overlapping pairs ({0,1,2}) but not the quad.
+	if !reflect.DeepEqual(sol.Union, []int32{0, 1, 2}) {
+		t.Errorf("Union = %v, want [0 1 2]", sol.Union)
+	}
+	if sol.Covered != 2 {
+		t.Errorf("Covered = %d, want 2", sol.Covered)
+	}
+}
+
+func TestGreedyBudgetRespectsBudget(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := randomInstance(rng)
+		budget := 1 + rng.Intn(6)
+		sol, err := GreedyBudget(inst, budget)
+		if err != nil {
+			return false
+		}
+		if len(sol.Union) > budget {
+			return false
+		}
+		// Verify the claimed coverage.
+		inUnion := map[int32]bool{}
+		for _, x := range sol.Union {
+			inUnion[x] = true
+		}
+		covered := 0
+		for _, s := range inst.Sets {
+			ok := true
+			for _, x := range s {
+				if !inUnion[x] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				covered++
+			}
+		}
+		return covered == sol.Covered
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyBudgetMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	inst := randomInstance(rng)
+	prev := -1
+	for budget := 1; budget <= inst.UniverseSize; budget++ {
+		sol, err := GreedyBudget(inst, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Covered < prev {
+			t.Fatalf("coverage decreased at budget %d: %d < %d", budget, sol.Covered, prev)
+		}
+		prev = sol.Covered
+	}
+}
+
+func TestGreedyBudgetTooSmall(t *testing.T) {
+	inst := &Instance{UniverseSize: 10, Sets: [][]int32{{0, 1, 2, 3, 4}}}
+	sol, err := GreedyBudget(inst, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Covered != 0 || len(sol.Union) != 0 {
+		t.Errorf("nothing fits budget 2, got %+v", sol)
+	}
+}
+
+func TestGreedyBudgetValidation(t *testing.T) {
+	inst := &Instance{UniverseSize: 5, Sets: [][]int32{{0}}}
+	if _, err := GreedyBudget(inst, 0); !errors.Is(err, ErrBadInstance) {
+		t.Errorf("budget 0: err = %v", err)
+	}
+	bad := &Instance{UniverseSize: 5, Sets: [][]int32{{9}}}
+	if _, err := GreedyBudget(bad, 1); !errors.Is(err, ErrBadInstance) {
+		t.Errorf("bad element: err = %v", err)
+	}
+}
+
+func TestGreedyBudgetMultiplicity(t *testing.T) {
+	inst := &Instance{
+		UniverseSize: 10,
+		Sets:         [][]int32{{1, 2, 3}, {5}, {5}, {5}},
+	}
+	sol, err := GreedyBudget(inst, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sol.Union, []int32{5}) || sol.Covered != 3 {
+		t.Errorf("budget 1 should take the triple-multiplicity singleton: %+v", sol)
+	}
+}

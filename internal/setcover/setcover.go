@@ -1,0 +1,259 @@
+// Package setcover solves the Minimum Subset Cover (MSC) problem the RAF
+// framework reduces to (paper, Problems 2–4): given a family U of subsets
+// of a universe V and a demand p, find a small V* ⊆ V such that at least p
+// members of U are entirely contained in V*.
+//
+// By Remark 2 of the paper, MSC reduces to Minimum p-Union (MpU), for
+// which Chlamtáč et al. give a 2√|U|-approximation. This package
+// implements the combinatorial minimum-marginal-union greedy — the
+// practical surrogate with the same O(√|U|) behaviour — plus an exact
+// exponential solver used as a test oracle. The greedy folds duplicate
+// subsets with multiplicities (in RAF many sampled t(g) paths coincide)
+// and maintains marginals incrementally with an element→sets index and a
+// bucket queue, so a solve costs O(Σ|U_i|) after folding.
+//
+// Coverage is counted semantically: a subset counts as covered the moment
+// all its elements are in the union, whether or not it was explicitly
+// picked (incidental coverage is legitimate for MSC and strictly helps).
+package setcover
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrInfeasible reports a demand p exceeding the family size.
+var ErrInfeasible = errors.New("setcover: demand exceeds family size")
+
+// ErrBadInstance reports malformed input.
+var ErrBadInstance = errors.New("setcover: invalid instance")
+
+// Instance is an MSC instance over universe {0, …, UniverseSize−1}.
+type Instance struct {
+	// UniverseSize bounds element ids.
+	UniverseSize int
+	// Sets is the family U. Sets may repeat (multiplicity matters for the
+	// demand count) and elements within a set may repeat harmlessly.
+	Sets [][]int32
+}
+
+// Solution is the result of an MSC solve.
+type Solution struct {
+	// Union is the chosen V*, ascending.
+	Union []int32
+	// Covered is the number of members of U contained in Union; always
+	// ≥ the demand p on success.
+	Covered int
+	// Picked is the number of greedy pick operations performed (folded
+	// sets explicitly chosen; incidental covers are not counted here).
+	Picked int
+}
+
+type foldedSet struct {
+	elems []int32 // sorted distinct elements
+	mult  int     // how many original sets folded here
+}
+
+// fold canonicalizes and deduplicates the family.
+func fold(inst *Instance) ([]foldedSet, error) {
+	index := make(map[string]int, len(inst.Sets))
+	var folded []foldedSet
+	var keyBuf []byte
+	for _, s := range inst.Sets {
+		elems := append([]int32(nil), s...)
+		sort.Slice(elems, func(i, j int) bool { return elems[i] < elems[j] })
+		// Drop intra-set duplicates and validate range.
+		out := elems[:0]
+		var prev int32 = -1
+		for _, e := range elems {
+			if e < 0 || int(e) >= inst.UniverseSize {
+				return nil, fmt.Errorf("%w: element %d outside universe [0,%d)", ErrBadInstance, e, inst.UniverseSize)
+			}
+			if e != prev {
+				out = append(out, e)
+				prev = e
+			}
+		}
+		elems = out
+		keyBuf = keyBuf[:0]
+		for _, e := range elems {
+			keyBuf = binary.AppendUvarint(keyBuf, uint64(e))
+		}
+		key := string(keyBuf)
+		if j, ok := index[key]; ok {
+			folded[j].mult++
+			continue
+		}
+		index[key] = len(folded)
+		folded = append(folded, foldedSet{elems: elems, mult: 1})
+	}
+	return folded, nil
+}
+
+// Greedy solves the MSC instance for demand p with the minimum-marginal
+// greedy. It returns ErrInfeasible when p exceeds |U| and ErrBadInstance
+// for malformed input.
+func Greedy(inst *Instance, p int) (*Solution, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("%w: demand p=%d must be positive", ErrBadInstance, p)
+	}
+	if p > len(inst.Sets) {
+		return nil, fmt.Errorf("%w: p=%d > |U|=%d", ErrInfeasible, p, len(inst.Sets))
+	}
+	folded, err := fold(inst)
+	if err != nil {
+		return nil, err
+	}
+
+	// Element → folded-set ids index (only for elements that occur).
+	elemToSets := make(map[int32][]int32)
+	maxSize := 0
+	for j, fs := range folded {
+		if len(fs.elems) > maxSize {
+			maxSize = len(fs.elems)
+		}
+		for _, e := range fs.elems {
+			elemToSets[e] = append(elemToSets[e], int32(j))
+		}
+	}
+
+	marg := make([]int, len(folded)) // uncovered-element count per folded set
+	done := make([]bool, len(folded))
+	buckets := make([][]int32, maxSize+1)
+	for j, fs := range folded {
+		marg[j] = len(fs.elems)
+		buckets[marg[j]] = append(buckets[marg[j]], int32(j))
+	}
+
+	inUnion := make(map[int32]bool)
+	sol := &Solution{}
+
+	// Empty sets (possible in principle) are covered from the start.
+	for j, fs := range folded {
+		if marg[j] == 0 && !done[j] {
+			done[j] = true
+			sol.Covered += fs.mult
+		}
+	}
+
+	cur := 0
+	for sol.Covered < p {
+		// Find the lowest non-empty bucket with a live entry.
+		for cur <= maxSize && len(buckets[cur]) == 0 {
+			cur++
+		}
+		if cur > maxSize {
+			// Cannot happen while sol.Covered < p ≤ total multiplicity,
+			// but guard against inconsistency rather than spin.
+			return nil, fmt.Errorf("%w: internal exhaustion at covered=%d, p=%d", ErrInfeasible, sol.Covered, p)
+		}
+		j := buckets[cur][len(buckets[cur])-1]
+		buckets[cur] = buckets[cur][:len(buckets[cur])-1]
+		if done[j] || marg[j] != cur {
+			// Stale entry: either already covered (skip) or its marginal
+			// shrank and a fresher entry exists in a lower bucket.
+			if !done[j] && marg[j] < cur {
+				// Re-file defensively (normally the decrement path already
+				// filed it).
+				buckets[marg[j]] = append(buckets[marg[j]], j)
+				if marg[j] < cur {
+					cur = marg[j]
+				}
+			}
+			continue
+		}
+		// Pick folded set j: add its uncovered elements to the union.
+		sol.Picked++
+		for _, e := range folded[j].elems {
+			if inUnion[e] {
+				continue
+			}
+			inUnion[e] = true
+			sol.Union = append(sol.Union, e)
+			for _, k := range elemToSets[e] {
+				if done[k] {
+					continue
+				}
+				marg[k]--
+				if marg[k] == 0 {
+					done[k] = true
+					sol.Covered += folded[k].mult
+				} else {
+					buckets[marg[k]] = append(buckets[marg[k]], k)
+					if marg[k] < cur {
+						cur = marg[k]
+					}
+				}
+			}
+		}
+		// j itself reached marginal 0 via the loop above.
+	}
+	sort.Slice(sol.Union, func(i, k int) bool { return sol.Union[i] < sol.Union[k] })
+	return sol, nil
+}
+
+// Exact solves the MSC instance optimally by enumerating subfamilies of
+// the folded family. Exponential in the number of distinct sets; intended
+// as a test oracle for instances with ≤ ~20 distinct sets.
+func Exact(inst *Instance, p int) (*Solution, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("%w: demand p=%d must be positive", ErrBadInstance, p)
+	}
+	if p > len(inst.Sets) {
+		return nil, fmt.Errorf("%w: p=%d > |U|=%d", ErrInfeasible, p, len(inst.Sets))
+	}
+	folded, err := fold(inst)
+	if err != nil {
+		return nil, err
+	}
+	k := len(folded)
+	if k > 24 {
+		return nil, fmt.Errorf("%w: %d distinct sets too many for exact enumeration", ErrBadInstance, k)
+	}
+	bestSize := -1
+	var best *Solution
+	for mask := uint32(0); mask < 1<<k; mask++ {
+		union := map[int32]bool{}
+		for j := 0; j < k; j++ {
+			if mask&(1<<j) == 0 {
+				continue
+			}
+			for _, e := range folded[j].elems {
+				union[e] = true
+			}
+		}
+		if bestSize >= 0 && len(union) >= bestSize {
+			continue
+		}
+		// Count covered multiplicity (incidental covers included).
+		covered := 0
+		for _, fs := range folded {
+			ok := true
+			for _, e := range fs.elems {
+				if !union[e] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				covered += fs.mult
+			}
+		}
+		if covered < p {
+			continue
+		}
+		elems := make([]int32, 0, len(union))
+		for e := range union {
+			elems = append(elems, e)
+		}
+		sort.Slice(elems, func(i, j int) bool { return elems[i] < elems[j] })
+		bestSize = len(elems)
+		best = &Solution{Union: elems, Covered: covered}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("%w: no subfamily covers p=%d", ErrInfeasible, p)
+	}
+	return best, nil
+}

@@ -1,0 +1,283 @@
+package setcover
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestGreedySimple(t *testing.T) {
+	inst := &Instance{
+		UniverseSize: 10,
+		Sets: [][]int32{
+			{0, 1},
+			{1, 2},
+			{7, 8, 9},
+		},
+	}
+	sol, err := Greedy(inst, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best pair is {0,1} ∪ {1,2} = {0,1,2} (size 3) versus anything with
+	// the triple (size ≥ 5).
+	if !reflect.DeepEqual(sol.Union, []int32{0, 1, 2}) {
+		t.Errorf("Union = %v, want [0 1 2]", sol.Union)
+	}
+	if sol.Covered != 2 {
+		t.Errorf("Covered = %d, want 2", sol.Covered)
+	}
+}
+
+func TestGreedyMultiplicity(t *testing.T) {
+	// Three identical copies of {5}: covering one covers all three.
+	inst := &Instance{
+		UniverseSize: 10,
+		Sets: [][]int32{
+			{5}, {5}, {5}, {0, 1, 2, 3},
+		},
+	}
+	sol, err := Greedy(inst, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sol.Union, []int32{5}) {
+		t.Errorf("Union = %v, want [5]", sol.Union)
+	}
+	if sol.Covered != 3 {
+		t.Errorf("Covered = %d", sol.Covered)
+	}
+	if sol.Picked != 1 {
+		t.Errorf("Picked = %d, want 1 (folded)", sol.Picked)
+	}
+}
+
+func TestGreedyIncidentalCoverage(t *testing.T) {
+	// Picking {0,1,2} incidentally covers {0,1} and {2}.
+	inst := &Instance{
+		UniverseSize: 5,
+		Sets: [][]int32{
+			{0, 1, 2},
+			{0, 1},
+			{2},
+			{3, 4},
+		},
+	}
+	sol, err := Greedy(inst, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Union) != 3 {
+		t.Errorf("Union = %v, want size 3 ({0,1,2})", sol.Union)
+	}
+	if sol.Covered < 3 {
+		t.Errorf("Covered = %d, want ≥ 3", sol.Covered)
+	}
+}
+
+func TestGreedyIntraSetDuplicates(t *testing.T) {
+	inst := &Instance{
+		UniverseSize: 5,
+		Sets:         [][]int32{{1, 1, 2, 2}, {3}},
+	}
+	sol, err := Greedy(inst, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sol.Union, []int32{3}) {
+		t.Errorf("Union = %v, want [3] (smallest set)", sol.Union)
+	}
+}
+
+func TestGreedyEmptySetCoveredFree(t *testing.T) {
+	inst := &Instance{
+		UniverseSize: 5,
+		Sets:         [][]int32{{}, {0, 1}},
+	}
+	sol, err := Greedy(inst, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Union) != 0 {
+		t.Errorf("Union = %v, want empty (empty set is pre-covered)", sol.Union)
+	}
+}
+
+func TestGreedyErrors(t *testing.T) {
+	inst := &Instance{UniverseSize: 5, Sets: [][]int32{{0}}}
+	if _, err := Greedy(inst, 0); !errors.Is(err, ErrBadInstance) {
+		t.Errorf("p=0: err = %v", err)
+	}
+	if _, err := Greedy(inst, 2); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("p>|U|: err = %v", err)
+	}
+	bad := &Instance{UniverseSize: 5, Sets: [][]int32{{99}}}
+	if _, err := Greedy(bad, 1); !errors.Is(err, ErrBadInstance) {
+		t.Errorf("element out of range: err = %v", err)
+	}
+	neg := &Instance{UniverseSize: 5, Sets: [][]int32{{-1}}}
+	if _, err := Greedy(neg, 1); !errors.Is(err, ErrBadInstance) {
+		t.Errorf("negative element: err = %v", err)
+	}
+}
+
+func TestExactErrors(t *testing.T) {
+	inst := &Instance{UniverseSize: 5, Sets: [][]int32{{0}}}
+	if _, err := Exact(inst, 0); !errors.Is(err, ErrBadInstance) {
+		t.Errorf("p=0: err = %v", err)
+	}
+	if _, err := Exact(inst, 2); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("p>|U|: err = %v", err)
+	}
+	big := &Instance{UniverseSize: 100, Sets: make([][]int32, 30)}
+	for i := range big.Sets {
+		big.Sets[i] = []int32{int32(i)}
+	}
+	if _, err := Exact(big, 1); !errors.Is(err, ErrBadInstance) {
+		t.Errorf("too many sets: err = %v", err)
+	}
+}
+
+func TestExactSimple(t *testing.T) {
+	inst := &Instance{
+		UniverseSize: 10,
+		Sets: [][]int32{
+			{0, 1, 2},
+			{2, 3},
+			{3, 4},
+			{0, 4},
+		},
+	}
+	sol, err := Exact(inst, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal pairs: {2,3} ∪ {3,4} = {2,3,4} or {3,4} ∪ {0,4} = {0,3,4}:
+	// size 3.
+	if len(sol.Union) != 3 {
+		t.Errorf("exact union = %v, want size 3", sol.Union)
+	}
+	if sol.Covered < 2 {
+		t.Errorf("Covered = %d", sol.Covered)
+	}
+}
+
+// randomInstance builds a small random MSC instance.
+func randomInstance(rng *rand.Rand) *Instance {
+	universe := 4 + rng.Intn(10)
+	numSets := 2 + rng.Intn(8)
+	inst := &Instance{UniverseSize: universe}
+	for i := 0; i < numSets; i++ {
+		size := 1 + rng.Intn(4)
+		s := make([]int32, size)
+		for j := range s {
+			s[j] = int32(rng.Intn(universe))
+		}
+		inst.Sets = append(inst.Sets, s)
+	}
+	return inst
+}
+
+// TestGreedyFeasibleAndBounded: the greedy solution must cover the demand
+// and stay within the 2√|U| factor of the exact optimum.
+func TestGreedyFeasibleAndBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inst := randomInstance(rng)
+		p := 1 + rng.Intn(len(inst.Sets))
+		g, gErr := Greedy(inst, p)
+		e, eErr := Exact(inst, p)
+		if (gErr == nil) != (eErr == nil) {
+			return false
+		}
+		if gErr != nil {
+			return true
+		}
+		if g.Covered < p || e.Covered < p {
+			return false
+		}
+		// Union must actually cover what it claims.
+		inUnion := map[int32]bool{}
+		for _, x := range g.Union {
+			inUnion[x] = true
+		}
+		covered := 0
+		for _, s := range inst.Sets {
+			ok := true
+			for _, x := range s {
+				if !inUnion[x] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				covered++
+			}
+		}
+		if covered != g.Covered {
+			return false
+		}
+		// Approximation factor.
+		bound := 2 * math.Sqrt(float64(len(inst.Sets)))
+		if len(e.Union) > 0 && float64(len(g.Union)) > bound*float64(len(e.Union)) {
+			return false
+		}
+		if len(e.Union) == 0 && len(g.Union) != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	inst := randomInstance(rng)
+	p := 1 + len(inst.Sets)/2
+	a, err := Greedy(inst, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Greedy(inst, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Union, b.Union) || a.Covered != b.Covered {
+		t.Error("greedy is not deterministic")
+	}
+}
+
+func TestGreedyLargeFoldedInstance(t *testing.T) {
+	// 100k copies of 50 distinct short paths: folding must make this
+	// instant and the cover must satisfy the demand.
+	rng := rand.New(rand.NewSource(5))
+	distinct := make([][]int32, 50)
+	for i := range distinct {
+		size := 1 + rng.Intn(5)
+		s := make([]int32, size)
+		for j := range s {
+			s[j] = int32(rng.Intn(200))
+		}
+		distinct[i] = s
+	}
+	inst := &Instance{UniverseSize: 200}
+	for i := 0; i < 100000; i++ {
+		inst.Sets = append(inst.Sets, distinct[rng.Intn(50)])
+	}
+	p := 60000
+	sol, err := Greedy(inst, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Covered < p {
+		t.Errorf("Covered = %d < p = %d", sol.Covered, p)
+	}
+	if len(sol.Union) > 200 {
+		t.Errorf("union exceeds universe")
+	}
+}

@@ -1,0 +1,57 @@
+package tablewriter
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteText(t *testing.T) {
+	tb := New("Demo", "name", "value")
+	tb.AddRow("alpha", 0.123456)
+	tb.AddRow("a-very-long-name", 1234.5)
+	var sb strings.Builder
+	if err := tb.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "Demo\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "a-very-long-name") || !strings.Contains(out, "0.12346") {
+		t.Errorf("content missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestWriteCSVQuoting(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.AddRow(`x,y`, `say "hi"`)
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		0.03:    "0.03000",
+		2.5:     "2.500",
+		12345.6: "12345.6",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

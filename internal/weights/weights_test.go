@@ -1,0 +1,252 @@
+package weights
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func star(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, graph.Node(i))
+	}
+	return b.Build()
+}
+
+func randomGraph(seed int64, n, m int) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(graph.Node(rng.Intn(n)), graph.Node(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+func TestDegreeWeights(t *testing.T) {
+	g := star(5)
+	d := NewDegree(g)
+	if got := d.W(1, 0); got != 0.25 {
+		t.Errorf("W(1,0) = %v, want 0.25 (hub degree 4)", got)
+	}
+	if got := d.W(0, 3); got != 1 {
+		t.Errorf("W(0,3) = %v, want 1 (leaf degree 1)", got)
+	}
+	if got := d.InSum(0); got != 1 {
+		t.Errorf("InSum(0) = %v, want 1", got)
+	}
+}
+
+func TestDegreeIsolated(t *testing.T) {
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1)
+	b.EnsureNode(1)
+	g := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}})
+	d := NewDegree(g)
+	if d.InSum(2) != 0 {
+		t.Errorf("isolated InSum = %v, want 0", d.InSum(2))
+	}
+	if d.W(0, 2) != 0 {
+		t.Errorf("isolated W = %v, want 0", d.W(0, 2))
+	}
+	if _, ok := d.SampleInfluencer(2, rand.New(rand.NewSource(1))); ok {
+		t.Error("isolated node sampled an influencer")
+	}
+	_ = b
+}
+
+func TestDegreeSampleUniform(t *testing.T) {
+	g := star(4) // hub 0, leaves 1..3
+	d := NewDegree(g)
+	rng := rand.New(rand.NewSource(42))
+	counts := map[graph.Node]int{}
+	const trials = 30000
+	for i := 0; i < trials; i++ {
+		u, ok := d.SampleInfluencer(0, rng)
+		if !ok {
+			t.Fatal("hub must always select (InSum=1)")
+		}
+		counts[u]++
+	}
+	for v := graph.Node(1); v <= 3; v++ {
+		frac := float64(counts[v]) / trials
+		if math.Abs(frac-1.0/3) > 0.02 {
+			t.Errorf("neighbor %d sampled with frequency %v, want ~1/3", v, frac)
+		}
+	}
+}
+
+func TestUniformValidation(t *testing.T) {
+	g := star(3)
+	if _, err := NewUniform(g, 0); !errors.Is(err, ErrInvalidWeight) {
+		t.Errorf("NewUniform(0) error = %v, want ErrInvalidWeight", err)
+	}
+	if _, err := NewUniform(g, 1.5); !errors.Is(err, ErrInvalidWeight) {
+		t.Errorf("NewUniform(1.5) error = %v, want ErrInvalidWeight", err)
+	}
+	if _, err := NewUniform(g, 0.3); err != nil {
+		t.Errorf("NewUniform(0.3) error = %v, want nil", err)
+	}
+}
+
+func TestUniformCapping(t *testing.T) {
+	g := star(6) // hub degree 5
+	u, err := NewUniform(g, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := u.W(1, 0); got != 0.2 {
+		t.Errorf("capped W = %v, want 1/5", got)
+	}
+	if got := u.W(0, 1); got != 0.5 {
+		t.Errorf("leaf W = %v, want 0.5", got)
+	}
+	if got := u.InSum(1); got != 0.5 {
+		t.Errorf("leaf InSum = %v, want 0.5", got)
+	}
+	if got := u.InSum(0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("hub InSum = %v, want 1", got)
+	}
+}
+
+func TestUniformSampleResidual(t *testing.T) {
+	g := star(2) // single edge; leaf InSum = c
+	u, err := NewUniform(g, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	selected := 0
+	const trials = 50000
+	for i := 0; i < trials; i++ {
+		if _, ok := u.SampleInfluencer(1, rng); ok {
+			selected++
+		}
+	}
+	frac := float64(selected) / trials
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("selection rate = %v, want ~0.3", frac)
+	}
+}
+
+func TestExplicitValidation(t *testing.T) {
+	g := star(3)
+	if _, err := NewExplicit(g, func(u, v graph.Node) float64 { return 2 }); !errors.Is(err, ErrInvalidWeight) {
+		t.Errorf("weight 2 accepted: %v", err)
+	}
+	// Two incoming edges of 0.7 each exceed the sum cap at the hub.
+	if _, err := NewExplicit(g, func(u, v graph.Node) float64 { return 0.7 }); !errors.Is(err, ErrInvalidWeight) {
+		t.Errorf("overspent in-sum accepted: %v", err)
+	}
+	if _, err := NewExplicit(g, func(u, v graph.Node) float64 { return -0.1 }); !errors.Is(err, ErrInvalidWeight) {
+		t.Errorf("negative weight accepted: %v", err)
+	}
+}
+
+func TestExplicitLookup(t *testing.T) {
+	g := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	e, err := NewExplicit(g, func(u, v graph.Node) float64 {
+		return 0.1 * float64(u+1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.W(0, 1); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("W(0,1) = %v, want 0.1", got)
+	}
+	if got := e.W(2, 1); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("W(2,1) = %v, want 0.3", got)
+	}
+	if got := e.W(0, 2); got != 0 {
+		t.Errorf("non-adjacent W = %v, want 0", got)
+	}
+	if got := e.InSum(1); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("InSum(1) = %v, want 0.4", got)
+	}
+}
+
+func TestExplicitSampleDistribution(t *testing.T) {
+	// Node 2 has neighbors 0 (w=0.2) and 1 (w=0.5); residual 0.3.
+	g := graph.FromEdges(3, []graph.Edge{{U: 0, V: 2}, {U: 1, V: 2}})
+	e, err := NewExplicit(g, func(u, v graph.Node) float64 {
+		if v != 2 {
+			return 0.1
+		}
+		if u == 0 {
+			return 0.2
+		}
+		return 0.5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	counts := map[graph.Node]int{}
+	none := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		u, ok := e.SampleInfluencer(2, rng)
+		if !ok {
+			none++
+			continue
+		}
+		counts[u]++
+	}
+	check := func(name string, got, want float64) {
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("%s frequency = %v, want ~%v", name, got, want)
+		}
+	}
+	check("neighbor 0", float64(counts[0])/trials, 0.2)
+	check("neighbor 1", float64(counts[1])/trials, 0.5)
+	check("none", float64(none)/trials, 0.3)
+}
+
+// TestSchemesNormalized is a property test: all schemes keep InSum ≤ 1 and
+// agree with the sum of their per-edge weights.
+func TestSchemesNormalized(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed, 3+int(uint64(seed)%20), 30)
+		schemes := []Scheme{NewDegree(g)}
+		if u, err := NewUniform(g, 0.4); err == nil {
+			schemes = append(schemes, u)
+		}
+		if e, err := NewExplicit(g, func(u, v graph.Node) float64 {
+			d := g.Degree(v)
+			if d == 0 {
+				return 0
+			}
+			return 0.9 / float64(d)
+		}); err == nil {
+			schemes = append(schemes, e)
+		} else {
+			return false
+		}
+		for _, sc := range schemes {
+			for v := 0; v < g.NumNodes(); v++ {
+				sum := 0.0
+				for _, u := range g.Neighbors(graph.Node(v)) {
+					w := sc.W(u, graph.Node(v))
+					if w < 0 || w > 1 {
+						return false
+					}
+					sum += w
+				}
+				if sum > 1+1e-9 {
+					return false
+				}
+				if math.Abs(sum-sc.InSum(graph.Node(v))) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
