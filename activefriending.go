@@ -17,12 +17,29 @@
 // an experiment harness that regenerates every table and figure of the
 // paper's evaluation.
 //
-// Quick start:
+// Every algorithm draws reverse realizations through a shared engine
+// (internal/engine) that stores pools in a compact CSR arena, samples in
+// worker-count-independent chunks — all results are pure functions of the
+// seed — and serves coverage queries from an inverted index.
+//
+// Quick start, one-shot:
 //
 //	g, _ := activefriending.GenerateDataset("Wiki", 0.05, 1)
 //	p, _ := activefriending.NewProblem(g, s, t)
 //	sol, _ := p.Solve(ctx, activefriending.Options{Alpha: 0.3})
 //	fmt.Println(sol.Invited, sol.PStar)
+//
+// For repeated queries on one (s,t) instance — an α-sweep, solve-then-
+// measure loops, serving traffic — open a Session: it samples the
+// realization pool once, grows it on demand, and reuses it (plus the
+// cached V_max and p_max estimate) across Solve, SolveMax,
+// AcceptanceProbability and Pmax calls:
+//
+//	sess := p.NewSession(1, 0) // seed 1, all CPUs
+//	for _, alpha := range []float64{0.1, 0.2, 0.3} {
+//		sol, _ := sess.Solve(ctx, activefriending.Options{Alpha: alpha})
+//		fmt.Println(alpha, len(sol.Invited))
+//	}
 package activefriending
 
 import (
@@ -33,11 +50,11 @@ import (
 
 	"repro/internal/baselines"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/ltm"
 	"repro/internal/maxaf"
-	"repro/internal/realization"
 	"repro/internal/weights"
 )
 
@@ -83,7 +100,12 @@ func DatasetNames() []string {
 // degree-normalized familiarity weights (w(u,v) = 1/|N_v|), an initiator
 // and a target. Immutable and safe for concurrent use.
 type Problem struct {
-	in *ltm.Instance
+	in  *ltm.Instance
+	eng *engine.Engine
+}
+
+func newProblem(in *ltm.Instance) *Problem {
+	return &Problem{in: in, eng: engine.New(in)}
 }
 
 // NewProblem validates and builds a problem on g with the paper's weight
@@ -93,7 +115,7 @@ func NewProblem(g *Graph, s, t Node) (*Problem, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Problem{in: in}, nil
+	return newProblem(in), nil
 }
 
 // NewProblemWithWeights builds a problem with an explicit familiarity
@@ -108,7 +130,7 @@ func NewProblemWithWeights(g *Graph, s, t Node, weightOf func(u, v Node) float64
 	if err != nil {
 		return nil, err
 	}
-	return &Problem{in: in}, nil
+	return newProblem(in), nil
 }
 
 // Initiator returns s.
@@ -139,6 +161,11 @@ type Options struct {
 	MaxRealizations int64
 	// MaxPmaxDraws caps the p_max estimation (default 2000000).
 	MaxPmaxDraws int64
+	// Realizations, when positive, skips the theoretical pool sizing and
+	// uses exactly this many realizations (the practical regime of the
+	// paper's Sec. IV-E). With a Session, a fixed Realizations across an
+	// α-sweep means the pool is sampled exactly once.
+	Realizations int64
 	// Unbounded disables both caps: pool sizing follows Eq. 16 exactly.
 	// Feasible only on small instances.
 	Unbounded bool
@@ -187,10 +214,8 @@ type Solution struct {
 // ErrTargetUnreachable reports p_max ≈ 0: no invitation strategy works.
 var ErrTargetUnreachable = core.ErrTargetUnreachable
 
-// Solve runs the RAF algorithm (Algorithm 4 of the paper).
-func (p *Problem) Solve(ctx context.Context, opts Options) (*Solution, error) {
-	o := opts.normalized()
-	res, err := core.RAF(ctx, p.in, core.Config{
+func (o Options) coreConfig() core.Config {
+	return core.Config{
 		Alpha:           o.Alpha,
 		Eps:             o.Eps,
 		N:               o.N,
@@ -198,10 +223,11 @@ func (p *Problem) Solve(ctx context.Context, opts Options) (*Solution, error) {
 		Workers:         o.Workers,
 		MaxRealizations: o.MaxRealizations,
 		MaxPmaxDraws:    o.MaxPmaxDraws,
-	})
-	if err != nil {
-		return nil, err
+		OverrideL:       o.Realizations,
 	}
+}
+
+func solutionFromResult(res *core.Result) *Solution {
 	return &Solution{
 		Invited:      res.Invited.Members(),
 		PStar:        res.PStar,
@@ -209,7 +235,18 @@ func (p *Problem) Solve(ctx context.Context, opts Options) (*Solution, error) {
 		Realizations: res.LUsed,
 		PoolType1:    res.PoolType1,
 		Covered:      res.Covered,
-	}, nil
+	}
+}
+
+// Solve runs the RAF algorithm (Algorithm 4 of the paper). The result is
+// deterministic for a fixed Options.Seed regardless of Options.Workers.
+func (p *Problem) Solve(ctx context.Context, opts Options) (*Solution, error) {
+	o := opts.normalized()
+	res, err := core.RAF(ctx, p.in, o.coreConfig())
+	if err != nil {
+		return nil, err
+	}
+	return solutionFromResult(res), nil
 }
 
 // MaxSolution is the output of SolveMax.
@@ -251,13 +288,14 @@ func (p *Problem) Vmax() ([]Node, error) {
 }
 
 // AcceptanceProbability estimates f(invited) with trials reverse
-// Monte-Carlo samples (Corollary 1 of the paper). Deterministic per seed.
+// Monte-Carlo samples (Corollary 1 of the paper). Deterministic per seed,
+// independent of the worker count.
 func (p *Problem) AcceptanceProbability(ctx context.Context, invited []Node, trials int64, seed int64) (float64, error) {
 	set, err := p.toSet(invited)
 	if err != nil {
 		return 0, err
 	}
-	return realization.EstimateFReverse(ctx, p.in, set, trials, 0, seed)
+	return p.eng.EstimateF(ctx, set, trials, 0, seed)
 }
 
 // AcceptanceProbabilityForward estimates f(invited) by simulating the
@@ -275,7 +313,7 @@ func (p *Problem) AcceptanceProbabilityForward(ctx context.Context, invited []No
 func (p *Problem) Pmax(ctx context.Context, trials int64, seed int64) (float64, error) {
 	all := graph.NewNodeSet(p.in.Graph().NumNodes())
 	all.Fill()
-	return realization.EstimateFReverse(ctx, p.in, all, trials, 0, seed)
+	return p.eng.EstimateF(ctx, all, trials, 0, seed)
 }
 
 // HighDegreeSet returns the HD baseline's invitation set of size k.
@@ -304,3 +342,102 @@ func (p *Problem) toSet(invited []Node) (*graph.NodeSet, error) {
 
 // IsUnreachable reports whether err indicates a pair with p_max ≈ 0.
 func IsUnreachable(err error) bool { return errors.Is(err, core.ErrTargetUnreachable) }
+
+// Session serves repeated queries on one problem from shared state: the
+// realization pool (sampled once, grown incrementally, never resampled),
+// the exact V_max, the p_max estimate, and a separate evaluation pool
+// with an inverted coverage index for f measurements. An α-sweep of Solve
+// calls with a fixed Options.Realizations samples the pool exactly once;
+// SolveMax reuses the same pool the minimization solves use.
+//
+// The session's seed and worker count govern every call (Options.Seed and
+// Options.Workers are ignored), and all results are independent of the
+// worker count. Safe for concurrent use.
+type Session struct {
+	p    *Problem
+	core *core.Session
+	eval *engine.Session
+}
+
+// NewSession opens a session on the problem. seed fixes all randomness;
+// workers bounds sampling parallelism (0 = all CPUs) without affecting
+// any result.
+func (p *Problem) NewSession(seed int64, workers int) *Session {
+	cs := core.NewSession(p.in, seed, workers)
+	return &Session{p: p, core: cs, eval: cs.Engine().NewEvalSession(seed, workers)}
+}
+
+// Solve runs the RAF algorithm against the session's cached pool.
+func (s *Session) Solve(ctx context.Context, opts Options) (*Solution, error) {
+	o := opts.normalized()
+	res, err := s.core.RAF(ctx, o.coreConfig())
+	if err != nil {
+		return nil, err
+	}
+	return solutionFromResult(res), nil
+}
+
+// SolveMax solves the budgeted maximum variant against the session's
+// cached pool (shared with Solve). realizations ≤ 0 selects the default
+// pool size.
+func (s *Session) SolveMax(ctx context.Context, budget int, realizations int64) (*MaxSolution, error) {
+	l := realizations
+	if l <= 0 {
+		l = maxaf.DefaultRealizations
+	}
+	pool, err := s.core.Pool(ctx, l)
+	if err != nil {
+		return nil, err
+	}
+	res, err := maxaf.SolveFromPool(s.p.in, budget, pool)
+	if err != nil {
+		return nil, err
+	}
+	return &MaxSolution{
+		Invited:    res.Invited.Members(),
+		EstimatedF: res.CoveredFraction,
+	}, nil
+}
+
+// AcceptanceProbability estimates f(invited) as a coverage query against
+// the session's evaluation pool (grown to at least trials draws), so
+// repeated measurements share draws and the pool's coverage index.
+func (s *Session) AcceptanceProbability(ctx context.Context, invited []Node, trials int64) (float64, error) {
+	set, err := s.p.toSet(invited)
+	if err != nil {
+		return 0, err
+	}
+	return s.eval.EstimateF(ctx, set, trials)
+}
+
+// Pmax estimates p_max = f(V) from the session's evaluation pool: it is
+// the pool's type-1 fraction.
+func (s *Session) Pmax(ctx context.Context, trials int64) (float64, error) {
+	return s.eval.FractionType1(ctx, trials)
+}
+
+// SessionStats exposes the session's sampling ledger, making pool reuse
+// observable: after an α-sweep, PoolDraws equals the pool size rather
+// than sweeps × pool size.
+type SessionStats struct {
+	// PoolDraws is the number of realizations sampled into pools (solve
+	// and evaluation combined); TotalDraws additionally counts transient
+	// estimator draws (e.g. the p_max stopping rule runs outside the
+	// engine and is not included).
+	PoolDraws  int64
+	TotalDraws int64
+	// SolvePoolSize and EvalPoolSize are the cached pool sizes.
+	SolvePoolSize int64
+	EvalPoolSize  int64
+}
+
+// Stats returns the session's current sampling ledger.
+func (s *Session) Stats() SessionStats {
+	eng := s.core.Engine()
+	return SessionStats{
+		PoolDraws:     eng.PoolDraws(),
+		TotalDraws:    eng.Draws(),
+		SolvePoolSize: s.core.PoolSize(),
+		EvalPoolSize:  s.eval.Size(),
+	}
+}

@@ -225,3 +225,103 @@ func TestSolveMax(t *testing.T) {
 		t.Error("budget 0 accepted")
 	}
 }
+
+// TestSessionSharedPool exercises the session facade end to end: an
+// α-sweep plus SolveMax and estimator calls, all against shared pools.
+func TestSessionSharedPool(t *testing.T) {
+	g := lineGraph(4)
+	p, err := NewProblem(g, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	sess := p.NewSession(1, 0)
+	opts := Options{
+		Eps: 0.1, N: 50, Realizations: 10000, MaxPmaxDraws: 200000,
+	}
+	for _, alpha := range []float64{0.3, 0.5, 0.7} {
+		opts.Alpha = alpha
+		sol, err := sess.Solve(ctx, opts)
+		if err != nil {
+			t.Fatalf("alpha=%v: %v", alpha, err)
+		}
+		if len(sol.Invited) != 2 || sol.Invited[0] != 2 || sol.Invited[1] != 3 {
+			t.Errorf("alpha=%v: Invited = %v, want [2 3]", alpha, sol.Invited)
+		}
+	}
+	st := sess.Stats()
+	if st.SolvePoolSize != 10000 {
+		t.Errorf("SolvePoolSize = %d, want 10000", st.SolvePoolSize)
+	}
+	// The whole sweep sampled the solve pool exactly once.
+	if st.PoolDraws != 10000 {
+		t.Errorf("PoolDraws = %d, want 10000 (pool sampled more than once)", st.PoolDraws)
+	}
+
+	// SolveMax shares the same pool: only the growth from 10000 to 12000
+	// is sampled.
+	msol, err := sess.SolveMax(ctx, 2, 12000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msol.Invited) != 2 || msol.Invited[0] != 2 || msol.Invited[1] != 3 {
+		t.Errorf("SolveMax invited = %v, want [2 3]", msol.Invited)
+	}
+	st = sess.Stats()
+	if st.SolvePoolSize != 12000 {
+		t.Errorf("after SolveMax: SolvePoolSize = %d, want 12000", st.SolvePoolSize)
+	}
+	if st.PoolDraws > 12000+2048 {
+		t.Errorf("after SolveMax: PoolDraws = %d, want ≤ %d (pool resampled)", st.PoolDraws, 12000+2048)
+	}
+
+	// Estimators run against the separate evaluation pool.
+	f, err := sess.AcceptanceProbability(ctx, []Node{2, 3}, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pmax, err := sess.Pmax(ctx, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-0.5) > 0.02 || math.Abs(pmax-0.5) > 0.02 {
+		t.Errorf("f = %v, pmax = %v, want ~0.5 each", f, pmax)
+	}
+	if st := sess.Stats(); st.EvalPoolSize != 50000 {
+		t.Errorf("EvalPoolSize = %d, want 50000", st.EvalPoolSize)
+	}
+}
+
+// TestSessionMatchesOneShot: session results agree with one-shot Problem
+// calls at the same seed.
+func TestSessionMatchesOneShot(t *testing.T) {
+	g := lineGraph(4)
+	p, err := NewProblem(g, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	opts := Options{
+		Alpha: 0.5, Eps: 0.1, N: 50, Seed: 3, Realizations: 8000,
+		MaxPmaxDraws: 200000,
+	}
+	oneShot, err := p.Solve(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSess, err := p.NewSession(3, 0).Solve(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oneShot.Invited) != len(viaSess.Invited) {
+		t.Fatalf("invited sets differ: %v vs %v", oneShot.Invited, viaSess.Invited)
+	}
+	for i := range oneShot.Invited {
+		if oneShot.Invited[i] != viaSess.Invited[i] {
+			t.Fatalf("invited sets differ: %v vs %v", oneShot.Invited, viaSess.Invited)
+		}
+	}
+	if oneShot.PoolType1 != viaSess.PoolType1 || oneShot.Covered != viaSess.Covered {
+		t.Errorf("diagnostics differ: %+v vs %+v", oneShot, viaSess)
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/baselines"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/eval"
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -341,13 +342,125 @@ func BenchmarkRAFSolve(b *testing.B) {
 	}
 }
 
-// BenchmarkPoolSampling measures parallel pool generation (Alg. 3 line 2).
-func BenchmarkPoolSampling(b *testing.B) {
+// BenchmarkSamplePool measures parallel pool generation (Alg. 3 line 2)
+// through the engine: chunked, worker-count-independent, CSR-pooled.
+func BenchmarkSamplePool(b *testing.B) {
 	in := benchInstance(b)
+	eng := engine.New(in)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := realization.SamplePool(context.Background(), in, 20000, 0, int64(i)); err != nil {
+		if _, err := eng.SamplePool(context.Background(), 20000, 0, int64(i)); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// benchCoveragePool builds one pool and an invitation set unioning the
+// first nPaths paths — nPaths small mimics measuring a solver's output
+// set; nPaths = NumType1/2 is the postings-heavy adversarial case.
+func benchCoveragePool(b *testing.B, nPaths func(type1 int) int) (*engine.Pool, *graph.NodeSet) {
+	b.Helper()
+	in := benchInstance(b)
+	pool, err := engine.New(in).SamplePool(context.Background(), 20000, 0, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	invited := graph.NewNodeSet(in.Graph().NumNodes())
+	for i := 0; i < nPaths(pool.NumType1()); i++ {
+		for _, v := range pool.Path(i) {
+			invited.Add(v)
+		}
+	}
+	return pool, invited
+}
+
+func small(type1 int) int { return min(10, type1) }
+func half(type1 int) int  { return type1 / 2 }
+
+// BenchmarkCoverageScan* measure the O(|pool|·pathlen) linear coverage
+// scan — the pre-engine behaviour of every coverage query.
+func BenchmarkCoverageScanSmallSet(b *testing.B) {
+	pool, invited := benchCoveragePool(b, small)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool.CoverageCount(invited)
+	}
+}
+
+func BenchmarkCoverageScanHalfPool(b *testing.B) {
+	pool, invited := benchCoveragePool(b, half)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool.CoverageCount(invited)
+	}
+}
+
+// BenchmarkCoverageIndexed* measure the same queries through the
+// inverted node → realization index (amortizing its one-time build).
+func BenchmarkCoverageIndexedSmallSet(b *testing.B) {
+	pool, invited := benchCoveragePool(b, small)
+	pool.Index()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool.Index().CoverageCount(invited)
+	}
+}
+
+func BenchmarkCoverageIndexedHalfPool(b *testing.B) {
+	pool, invited := benchCoveragePool(b, half)
+	pool.Index()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool.Index().CoverageCount(invited)
+	}
+}
+
+// BenchmarkSessionAlphaSweep measures a 3-α sweep through one Session —
+// the pool is sampled once and reused (compare BenchmarkAlphaSweepCold).
+func BenchmarkSessionAlphaSweep(b *testing.B) {
+	s := setupDataset(b, "Wiki")
+	p := s.pairs[0]
+	in, err := ltm.NewInstance(s.g, s.w, p.S, p.T)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alphas := []float64{0.05, 0.15, 0.3}
+	cfg := core.Config{
+		Eps: 0.01, N: 100000, OverrideL: 20000, MaxPmaxDraws: 300000,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess := core.NewSession(in, int64(i+1), 0)
+		for _, alpha := range alphas {
+			cfg.Alpha = alpha
+			if _, err := sess.RAF(context.Background(), cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkAlphaSweepCold runs the same sweep with a fresh pool per α —
+// the pre-Session behaviour.
+func BenchmarkAlphaSweepCold(b *testing.B) {
+	s := setupDataset(b, "Wiki")
+	p := s.pairs[0]
+	in, err := ltm.NewInstance(s.g, s.w, p.S, p.T)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alphas := []float64{0.05, 0.15, 0.3}
+	cfg := core.Config{
+		Eps: 0.01, N: 100000, OverrideL: 20000, MaxPmaxDraws: 300000,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, alpha := range alphas {
+			cfg.Alpha = alpha
+			cfg.Seed = int64(i + 1)
+			if _, err := core.RAF(context.Background(), in, cfg); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }

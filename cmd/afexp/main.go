@@ -10,6 +10,12 @@
 // Scale, pair count and Monte-Carlo budgets default to laptop-friendly
 // values; raise them (e.g. -scale 1 -pairs 500) to match the paper's
 // setup exactly.
+//
+// Experiments run through per-pair realization-engine sessions: each
+// pair's pool is sampled once and reused across the α-sweep (fig3), the
+// growth curves (fig4/fig5) and the f measurements, which share one
+// evaluation pool per pair. All results are deterministic in -seed,
+// independent of -workers.
 package main
 
 import (

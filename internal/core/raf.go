@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/ltm"
 	"repro/internal/mc"
@@ -19,6 +20,11 @@ import (
 	"repro/internal/rng"
 	"repro/internal/setcover"
 )
+
+// nsPmax namespaces the p_max stopping-rule stream (Algorithm 2) so it
+// never collides with the engine's pool or estimation streams for a
+// shared root seed.
+const nsPmax uint64 = 0x506D6178 // "Pmax"
 
 // ErrTargetUnreachable reports an instance whose p_max is (statistically
 // indistinguishable from) zero: no invitation strategy can work.
@@ -86,10 +92,13 @@ type Result struct {
 	// PmaxDraws is the number of stopping-rule samples spent on PStar.
 	PmaxDraws int64
 	// LTheory is the Eq. 16 threshold l* (possibly +Inf-like huge);
-	// LUsed is the pool size actually sampled after caps/overrides.
+	// LUsed is the pool size actually used after caps/overrides (a cached
+	// Session pool may exceed the requested size; estimates normalize by
+	// the actual size).
 	LTheory float64
 	LUsed   int64
-	// PoolType1 is |B_l¹| and Demand is ⌈β·|B_l¹|⌉.
+	// PoolType1 is |B_l¹| and Demand is ⌈β·|B_l¹|⌉ (surfaced from the
+	// set-cover solution, which is the single place it is computed).
 	PoolType1 int
 	Demand    int
 	// Covered is the number of pooled realizations covered by Invited.
@@ -103,7 +112,7 @@ type Result struct {
 // draws used.
 func EstimatePmax(ctx context.Context, in *ltm.Instance, eps0, n float64, maxDraws int64, seed int64) (float64, int64, error) {
 	sp := realization.NewSampler(in)
-	r := rng.DeriveRand(seed, 0xA162)
+	r := rng.DeriveStreamRand(seed, nsPmax, 0)
 	est, draws, err := mc.StoppingRule(ctx, eps0, n, maxDraws, func() bool {
 		return sp.SampleTG(r).Outcome == realization.Type1
 	})
@@ -116,119 +125,56 @@ func EstimatePmax(ctx context.Context, in *ltm.Instance, eps0, n float64, maxDra
 	return est, draws, nil
 }
 
-// Framework runs Algorithm 3: sample l realizations, then solve the MSC
-// instance (V, {t(g₁), …}, ⌈β·|B_l¹|⌉) with the greedy Chlamtáč-style
-// solver. It returns the invitation set and the pool diagnostics.
-func Framework(ctx context.Context, in *ltm.Instance, beta float64, l int64, workers int, seed int64) (*graph.NodeSet, *realization.Pool, *setcover.Solution, error) {
+// FrameworkFromPool runs the solve half of Algorithm 3 on an existing
+// realization pool: build the MSC instance (V, {t(g₁), …}, ⌈β·|B_l¹|⌉)
+// zero-copy from the pool's CSR arena and solve it with the greedy
+// Chlamtáč-style solver. The demand is computed here once and surfaced as
+// Solution.Demand.
+func FrameworkFromPool(in *ltm.Instance, beta float64, pool *engine.Pool) (*graph.NodeSet, *setcover.Solution, error) {
 	if beta <= 0 || beta > 1 {
-		return nil, nil, nil, fmt.Errorf("%w: beta=%v not in (0,1]", ErrBadConfig, beta)
-	}
-	pool, err := realization.SamplePool(ctx, in, l, workers, seed)
-	if err != nil {
-		return nil, nil, nil, fmt.Errorf("core: sampling pool: %w", err)
+		return nil, nil, fmt.Errorf("%w: beta=%v not in (0,1]", ErrBadConfig, beta)
 	}
 	if pool.NumType1() == 0 {
-		return nil, nil, nil, fmt.Errorf("%w: no type-1 realization in %d draws", ErrTargetUnreachable, l)
+		return nil, nil, fmt.Errorf("%w: no type-1 realization in %d draws", ErrTargetUnreachable, pool.Total())
 	}
 	demand := int(math.Ceil(beta * float64(pool.NumType1())))
 	if demand < 1 {
 		demand = 1
 	}
-	inst := &setcover.Instance{UniverseSize: in.Graph().NumNodes()}
-	inst.Sets = make([][]int32, 0, pool.NumType1())
-	for _, path := range pool.Type1 {
-		inst.Sets = append(inst.Sets, path)
-	}
-	sol, err := setcover.Greedy(inst, demand)
+	sol, err := setcover.Greedy(pool.SetcoverInstance(), demand)
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("core: MSC solve: %w", err)
+		return nil, nil, fmt.Errorf("core: MSC solve: %w", err)
 	}
 	invited := graph.NewNodeSet(in.Graph().NumNodes())
 	for _, v := range sol.Union {
 		invited.Add(v)
+	}
+	return invited, sol, nil
+}
+
+// Framework runs Algorithm 3: sample l realizations through the engine,
+// then solve the MSC instance. It returns the invitation set and the pool
+// diagnostics. One-shot; use Session.Framework to reuse pools.
+func Framework(ctx context.Context, in *ltm.Instance, beta float64, l int64, workers int, seed int64) (*graph.NodeSet, *engine.Pool, *setcover.Solution, error) {
+	if beta <= 0 || beta > 1 {
+		return nil, nil, nil, fmt.Errorf("%w: beta=%v not in (0,1]", ErrBadConfig, beta)
+	}
+	pool, err := engine.New(in).SamplePool(ctx, l, workers, seed)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("core: sampling pool: %w", err)
+	}
+	invited, sol, err := FrameworkFromPool(in, beta, pool)
+	if err != nil {
+		return nil, nil, nil, err
 	}
 	return invited, pool, sol, nil
 }
 
 // RAF runs Algorithm 4 end to end. With probability ≥ 1 − 2/N (for
 // uncapped sampling), f(I*) ≥ (Alpha−Eps)·p_max and |I*|/|I_α| = O(√n)
-// (Theorem 1).
+// (Theorem 1). Results are deterministic for a fixed cfg.Seed regardless
+// of cfg.Workers. For repeated solves on one instance (an α-sweep, say),
+// a Session reuses the realization pool across calls.
 func RAF(ctx context.Context, in *ltm.Instance, cfg Config) (*Result, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	res := &Result{}
-
-	// Special case α = 1 (Sec. III-C): V_max is the unique minimum
-	// invitation set achieving p_max and is computable in polynomial time.
-	if cfg.Alpha == 1 {
-		vm, err := Vmax(in)
-		if err != nil {
-			return nil, err
-		}
-		if vm.Len() == 0 {
-			return nil, fmt.Errorf("%w: V_max is empty", ErrTargetUnreachable)
-		}
-		res.Invited = vm
-		res.VmaxSize = vm.Len()
-		return res, nil
-	}
-
-	// Union-bound dimension: |V_max| by default (Sec. III-C), n when the
-	// reduction is disabled.
-	dim := in.Graph().NumNodes()
-	if !cfg.DisableVmaxReduction {
-		vm, err := Vmax(in)
-		if err != nil {
-			return nil, err
-		}
-		res.VmaxSize = vm.Len()
-		if res.VmaxSize == 0 {
-			return nil, fmt.Errorf("%w: V_max is empty", ErrTargetUnreachable)
-		}
-		dim = res.VmaxSize
-	}
-
-	// Step 1: solve the equation system with coupling c = dim.
-	params, err := SolveEquationSystem(cfg.Alpha, cfg.Eps, float64(dim))
-	if err != nil {
-		return nil, err
-	}
-	res.Params = params
-
-	// Step 2: estimate p_max (Algorithm 2).
-	pStar, draws, err := EstimatePmax(ctx, in, params.Eps0, cfg.N, cfg.MaxPmaxDraws, cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
-	res.PStar = pStar
-	res.PmaxDraws = draws
-
-	// Step 3: size the pool (Eq. 16 with the |V_max| refinement), apply
-	// practical caps, and run the framework (Algorithm 3).
-	lTheory, err := mc.RealizationThreshold(params.Eps0, params.Eps1, pStar, dim, cfg.N)
-	if err != nil {
-		return nil, err
-	}
-	res.LTheory = lTheory
-	l := int64(math.Ceil(lTheory))
-	if lTheory > math.MaxInt64/2 {
-		l = math.MaxInt64 / 2
-	}
-	if cfg.OverrideL > 0 {
-		l = cfg.OverrideL
-	} else if cfg.MaxRealizations > 0 && l > cfg.MaxRealizations {
-		l = cfg.MaxRealizations
-	}
-	res.LUsed = l
-
-	invited, pool, sol, err := Framework(ctx, in, params.Beta, l, cfg.Workers, rng.Derive(cfg.Seed, 0xF4A3))
-	if err != nil {
-		return nil, err
-	}
-	res.Invited = invited
-	res.PoolType1 = pool.NumType1()
-	res.Demand = int(math.Ceil(params.Beta * float64(pool.NumType1())))
-	res.Covered = sol.Covered
-	return res, nil
+	return NewSession(in, cfg.Seed, cfg.Workers).RAF(ctx, cfg)
 }

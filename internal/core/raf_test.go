@@ -6,8 +6,8 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/graph"
-	"repro/internal/realization"
 )
 
 func TestSolveEquationSystem(t *testing.T) {
@@ -212,7 +212,7 @@ func TestRAFMeetsGuarantee(t *testing.T) {
 		// Measure p_max independently.
 		all := graph.NewNodeSet(g.NumNodes())
 		all.Fill()
-		pmax, err := realization.EstimateFReverse(ctx, in, all, 200000, 4, seed)
+		pmax, err := engine.New(in).EstimateF(ctx, all, 200000, 4, seed)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -228,7 +228,7 @@ func TestRAFMeetsGuarantee(t *testing.T) {
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
-		fRAF, err := realization.EstimateFReverse(ctx, in, res.Invited, 200000, 4, seed+999)
+		fRAF, err := engine.New(in).EstimateF(ctx, res.Invited, 200000, 4, seed+999)
 		if err != nil {
 			t.Fatal(err)
 		}

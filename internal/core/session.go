@@ -1,0 +1,204 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/ltm"
+	"repro/internal/mc"
+	"repro/internal/setcover"
+)
+
+// Session runs repeated RAF solves on one instance while reusing the
+// expensive cross-solve state: the realization pool (grown incrementally,
+// never resampled), the exact V_max computation, and the Algorithm 2
+// p_max estimate (reused whenever a later solve needs no more accuracy
+// than already bought). An α-sweep through a Session samples the pool
+// exactly once.
+//
+// The session's seed and worker count govern every solve; Config.Seed and
+// Config.Workers are ignored by Session.RAF. Safe for concurrent use.
+type Session struct {
+	in      *ltm.Instance
+	eng     *engine.Engine
+	pools   *engine.Session
+	seed    int64
+	workers int
+
+	mu        sync.Mutex
+	vmax      *graph.NodeSet // cached V_max; nil until first computed
+	pStar     float64
+	pStarEps0 float64 // accuracy of the cached estimate; 0 = no estimate
+	pStarN    float64
+	pmaxDraws int64
+	// pStarTruncated records that the cached estimate hit its draw cap
+	// (pStarCap) before the stopping rule converged, so its nominal eps0
+	// accuracy was not actually achieved.
+	pStarTruncated bool
+	pStarCap       int64
+}
+
+// NewSession returns a session for the instance. Seed fixes all
+// randomness; workers bounds sampling parallelism (0 = all CPUs) without
+// affecting any result.
+func NewSession(in *ltm.Instance, seed int64, workers int) *Session {
+	eng := engine.New(in)
+	return &Session{
+		in:      in,
+		eng:     eng,
+		pools:   eng.NewSession(seed, workers),
+		seed:    seed,
+		workers: workers,
+	}
+}
+
+// Engine returns the session's realization engine (for estimators and
+// sampling diagnostics).
+func (s *Session) Engine() *engine.Engine { return s.eng }
+
+// Pool returns the session's cached realization pool grown to at least l
+// draws.
+func (s *Session) Pool(ctx context.Context, l int64) (*engine.Pool, error) {
+	return s.pools.Pool(ctx, l)
+}
+
+// PoolSize returns the cached pool size (0 before the first solve).
+func (s *Session) PoolSize() int64 { return s.pools.Size() }
+
+// Vmax returns the cached exact V_max (Lemma 7) of the instance.
+func (s *Session) Vmax() (*graph.NodeSet, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.vmax == nil {
+		vm, err := Vmax(s.in)
+		if err != nil {
+			return nil, err
+		}
+		s.vmax = vm
+	}
+	return s.vmax, nil
+}
+
+// estimatePmax returns the Algorithm 2 estimate at accuracy eps0 and
+// confidence n, reusing the cached estimate when it is at least as
+// tight. A cached estimate whose stopping rule was cut short by its draw
+// cap never satisfies a request with a larger (or unbounded) budget —
+// its nominal accuracy was not achieved, so it is re-estimated.
+func (s *Session) estimatePmax(ctx context.Context, eps0, n float64, maxDraws int64) (float64, int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	budgetOK := !s.pStarTruncated ||
+		(maxDraws > 0 && s.pStarCap > 0 && s.pStarCap >= maxDraws)
+	if s.pStarEps0 > 0 && s.pStarEps0 <= eps0 && s.pStarN >= n && budgetOK {
+		return s.pStar, s.pmaxDraws, nil
+	}
+	pStar, draws, err := EstimatePmax(ctx, s.in, eps0, n, maxDraws, s.seed)
+	if err != nil {
+		return 0, draws, err
+	}
+	s.pStar, s.pStarEps0, s.pStarN, s.pmaxDraws = pStar, eps0, n, draws
+	s.pStarCap = maxDraws
+	s.pStarTruncated = maxDraws > 0 && draws >= maxDraws
+	return pStar, draws, nil
+}
+
+// Framework runs Algorithm 3 against the session's cached pool, growing
+// it to at least l realizations first.
+func (s *Session) Framework(ctx context.Context, beta float64, l int64) (*graph.NodeSet, *engine.Pool, *setcover.Solution, error) {
+	pool, err := s.pools.Pool(ctx, l)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("core: sampling pool: %w", err)
+	}
+	invited, sol, err := FrameworkFromPool(s.in, beta, pool)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return invited, pool, sol, nil
+}
+
+// RAF runs Algorithm 4 using the session's cached pool, V_max and p_max
+// state. cfg.Seed and cfg.Workers are ignored in favor of the session's.
+func (s *Session) RAF(ctx context.Context, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+
+	// Special case α = 1 (Sec. III-C): V_max is the unique minimum
+	// invitation set achieving p_max and is computable in polynomial time.
+	if cfg.Alpha == 1 {
+		vm, err := s.Vmax()
+		if err != nil {
+			return nil, err
+		}
+		if vm.Len() == 0 {
+			return nil, fmt.Errorf("%w: V_max is empty", ErrTargetUnreachable)
+		}
+		res.Invited = vm
+		res.VmaxSize = vm.Len()
+		return res, nil
+	}
+
+	// Union-bound dimension: |V_max| by default (Sec. III-C), n when the
+	// reduction is disabled.
+	dim := s.in.Graph().NumNodes()
+	if !cfg.DisableVmaxReduction {
+		vm, err := s.Vmax()
+		if err != nil {
+			return nil, err
+		}
+		res.VmaxSize = vm.Len()
+		if res.VmaxSize == 0 {
+			return nil, fmt.Errorf("%w: V_max is empty", ErrTargetUnreachable)
+		}
+		dim = res.VmaxSize
+	}
+
+	// Step 1: solve the equation system with coupling c = dim.
+	params, err := SolveEquationSystem(cfg.Alpha, cfg.Eps, float64(dim))
+	if err != nil {
+		return nil, err
+	}
+	res.Params = params
+
+	// Step 2: estimate p_max (Algorithm 2), reusing the session cache.
+	pStar, draws, err := s.estimatePmax(ctx, params.Eps0, cfg.N, cfg.MaxPmaxDraws)
+	if err != nil {
+		return nil, err
+	}
+	res.PStar = pStar
+	res.PmaxDraws = draws
+
+	// Step 3: size the pool (Eq. 16 with the |V_max| refinement), apply
+	// practical caps, and run the framework (Algorithm 3) on the shared
+	// pool.
+	lTheory, err := mc.RealizationThreshold(params.Eps0, params.Eps1, pStar, dim, cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	res.LTheory = lTheory
+	l := int64(math.Ceil(lTheory))
+	if lTheory > math.MaxInt64/2 {
+		l = math.MaxInt64 / 2
+	}
+	if cfg.OverrideL > 0 {
+		l = cfg.OverrideL
+	} else if cfg.MaxRealizations > 0 && l > cfg.MaxRealizations {
+		l = cfg.MaxRealizations
+	}
+
+	invited, pool, sol, err := s.Framework(ctx, params.Beta, l)
+	if err != nil {
+		return nil, err
+	}
+	res.LUsed = pool.Total()
+	res.Invited = invited
+	res.PoolType1 = pool.NumType1()
+	res.Demand = sol.Demand
+	res.Covered = sol.Covered
+	return res, nil
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/ltm"
+)
+
+// sessionTestInstance returns a random instance with a comfortably
+// positive p_max.
+func sessionTestInstance(t *testing.T) *ltm.Instance {
+	t.Helper()
+	g := randomConnected(13, 24, 30)
+	if g.HasEdge(0, 23) {
+		t.Skip("adjacent s,t")
+	}
+	return mustInstance(t, g, 0, 23)
+}
+
+// TestSessionAlphaSweepSamplesPoolOnce is the Session's headline
+// guarantee: an α-sweep at a fixed pool size draws the realization pool
+// exactly once, verified by counting sampler invocations on the engine.
+func TestSessionAlphaSweepSamplesPoolOnce(t *testing.T) {
+	in := sessionTestInstance(t)
+	ctx := context.Background()
+	sess := NewSession(in, 5, 4)
+	cfg := Config{
+		Eps: 0.01, N: 1000, OverrideL: 10000, MaxPmaxDraws: 500000,
+	}
+	var afterFirst int64
+	for i, alpha := range []float64{0.05, 0.1, 0.2, 0.35} {
+		cfg.Alpha = alpha
+		res, err := sess.RAF(ctx, cfg)
+		if err != nil {
+			t.Fatalf("alpha=%v: %v", alpha, err)
+		}
+		if res.LUsed != 10000 {
+			t.Errorf("alpha=%v: LUsed = %d, want 10000", alpha, res.LUsed)
+		}
+		if i == 0 {
+			afterFirst = sess.Engine().PoolDraws()
+			if afterFirst != 10000 {
+				t.Errorf("first solve drew %d pool samples, want 10000", afterFirst)
+			}
+		} else if got := sess.Engine().PoolDraws(); got != afterFirst {
+			t.Errorf("alpha=%v resampled the pool: draws %d → %d", alpha, afterFirst, got)
+		}
+	}
+}
+
+// TestSessionMatchesOneShotRAF: a session solve and a free RAF call with
+// the same seed produce identical results (the free path is the session
+// path).
+func TestSessionMatchesOneShotRAF(t *testing.T) {
+	in := sessionTestInstance(t)
+	ctx := context.Background()
+	cfg := Config{
+		Alpha: 0.3, Eps: 0.05, N: 100, Seed: 9,
+		MaxRealizations: 20000, MaxPmaxDraws: 500000,
+	}
+	free, err := RAF(ctx, in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(in, 9, 4).RAF(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !free.Invited.ContainsAll(sess.Invited) || !sess.Invited.ContainsAll(free.Invited) {
+		t.Errorf("invited sets differ: %v vs %v", free.Invited.Members(), sess.Invited.Members())
+	}
+	if free.PoolType1 != sess.PoolType1 || free.Covered != sess.Covered || free.Demand != sess.Demand {
+		t.Errorf("diagnostics differ: %+v vs %+v", free, sess)
+	}
+}
+
+// TestRAFWorkerCountIndependence: solve results are byte-identical across
+// worker counts for a fixed seed — the engine's chunked sampling makes
+// the pool, and hence the greedy solve, independent of parallelism.
+func TestRAFWorkerCountIndependence(t *testing.T) {
+	in := sessionTestInstance(t)
+	ctx := context.Background()
+	base := Config{
+		Alpha: 0.3, Eps: 0.05, N: 100, Seed: 21,
+		MaxRealizations: 20000, MaxPmaxDraws: 500000, Workers: 1,
+	}
+	ref, err := RAF(ctx, in, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		cfg := base
+		cfg.Workers = workers
+		res, err := RAF(ctx, in, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ref.Invited.ContainsAll(res.Invited) || !res.Invited.ContainsAll(ref.Invited) {
+			t.Errorf("workers=%d: invited %v, want %v", workers, res.Invited.Members(), ref.Invited.Members())
+		}
+		if res.PoolType1 != ref.PoolType1 || res.Covered != ref.Covered ||
+			res.Demand != ref.Demand || res.PStar != ref.PStar || res.LUsed != ref.LUsed {
+			t.Errorf("workers=%d: diagnostics differ: %+v vs %+v", workers, res, ref)
+		}
+	}
+}
+
+// TestDemandSurfacedFromSolution: Result.Demand equals ⌈β·|B_l¹|⌉ as
+// computed once inside the framework and carried via the set-cover
+// solution.
+func TestDemandSurfacedFromSolution(t *testing.T) {
+	in := sessionTestInstance(t)
+	res, err := RAF(context.Background(), in, Config{
+		Alpha: 0.3, Eps: 0.05, N: 100, Seed: 3,
+		MaxRealizations: 10000, MaxPmaxDraws: 500000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(math.Ceil(res.Params.Beta * float64(res.PoolType1)))
+	if want < 1 {
+		want = 1
+	}
+	if res.Demand != want {
+		t.Errorf("Demand = %d, want %d", res.Demand, want)
+	}
+	if res.Covered < res.Demand {
+		t.Errorf("Covered %d below demand %d", res.Covered, res.Demand)
+	}
+}
+
+// TestSessionPoolGrowthAcrossAlphas: with theoretical sizing capped at
+// different MaxRealizations, a later larger request grows the cached pool
+// rather than resampling it.
+func TestSessionPoolGrowthAcrossAlphas(t *testing.T) {
+	in := sessionTestInstance(t)
+	ctx := context.Background()
+	sess := NewSession(in, 7, 2)
+	cfg := Config{Alpha: 0.3, Eps: 0.05, N: 100, MaxPmaxDraws: 500000}
+
+	cfg.OverrideL = 5000
+	if _, err := sess.RAF(ctx, cfg); err != nil {
+		t.Fatal(err)
+	}
+	drawsSmall := sess.Engine().PoolDraws()
+	cfg.OverrideL = 15000
+	res, err := sess.RAF(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LUsed != 15000 {
+		t.Errorf("LUsed = %d, want 15000", res.LUsed)
+	}
+	grown := sess.Engine().PoolDraws() - drawsSmall
+	// Growth resamples at most the trailing partial chunk on top of the
+	// missing 10000 draws.
+	if grown > 10000+2048 {
+		t.Errorf("growth drew %d samples, want ≤ %d", grown, 10000+2048)
+	}
+}
+
+// TestSessionPmaxTruncatedNotReused: a p_max estimate cut short by its
+// draw cap must not satisfy a later solve with a larger budget — the
+// cached estimate never reached its nominal accuracy.
+func TestSessionPmaxTruncatedNotReused(t *testing.T) {
+	in := sessionTestInstance(t)
+	ctx := context.Background()
+	sess := NewSession(in, 5, 2)
+	cfg := Config{Alpha: 0.3, Eps: 0.05, N: 100, OverrideL: 2000}
+
+	cfg.MaxPmaxDraws = 50 // far below the stopping-rule threshold
+	first, err := sess.RAF(ctx, cfg)
+	if err != nil {
+		t.Skipf("tiny budget found no successes: %v", err)
+	}
+	if first.PmaxDraws != 50 {
+		t.Fatalf("PmaxDraws = %d, want truncation at 50", first.PmaxDraws)
+	}
+	cfg.MaxPmaxDraws = 500000
+	second, err := sess.RAF(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.PmaxDraws <= 50 {
+		t.Errorf("truncated estimate reused: PmaxDraws = %d", second.PmaxDraws)
+	}
+	// And now that the rule converged, an equal-budget solve does reuse it.
+	third, err := sess.RAF(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.PmaxDraws != second.PmaxDraws || third.PStar != second.PStar {
+		t.Errorf("converged estimate not reused: %v/%d vs %v/%d",
+			third.PStar, third.PmaxDraws, second.PStar, second.PmaxDraws)
+	}
+}

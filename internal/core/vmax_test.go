@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/ltm"
 	"repro/internal/realization"
@@ -206,11 +207,11 @@ func TestVmaxAchievesPmax(t *testing.T) {
 		all.Fill()
 		ctx := context.Background()
 		const trials = 120000
-		fAll, err := realization.EstimateFReverse(ctx, in, all, trials, 4, seed)
+		fAll, err := engine.New(in).EstimateF(ctx, all, trials, 4, seed)
 		if err != nil {
 			t.Fatal(err)
 		}
-		fVm, err := realization.EstimateFReverse(ctx, in, vm, trials, 4, seed+100)
+		fVm, err := engine.New(in).EstimateF(ctx, vm, trials, 4, seed+100)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,203 @@
+// Package engine is the shared realization engine behind every algorithm
+// in the library: RAF (Alg. 3–4), the budgeted maximum variant, the
+// reverse f-estimator (Corollary 1) and the experiment harness all draw
+// reverse realizations t(g) and answer coverage queries through it.
+//
+// Three properties distinguish it from naive per-consumer sampling:
+//
+//   - Pools are stored in a compact CSR layout (one flat path arena plus
+//     offsets) handed zero-copy to the set-cover solver, with an inverted
+//     node → realization index for repeated coverage queries.
+//   - Sampling is partitioned into fixed-size chunks whose random streams
+//     derive from the chunk index (namespaced per call site), so pool
+//     contents and estimates are pure functions of (seed, l) — identical
+//     for any worker count.
+//   - Per-worker Samplers are recycled through a sync.Pool, and a Session
+//     caches a growable pool so repeated solves (e.g. an α-sweep) sample
+//     each realization exactly once.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/ltm"
+	"repro/internal/parallel"
+	"repro/internal/realization"
+	"repro/internal/rng"
+	"sync"
+)
+
+// ChunkSize is the number of realization draws per sampling chunk. It is
+// part of the determinism contract: pool contents depend on how draws are
+// grouped into chunks, so changing it changes pools for a fixed seed.
+const ChunkSize = 2048
+
+// Stream namespaces (see rng.DeriveStream): every sampling call site gets
+// its own family of indexed streams so phases sharing one root seed never
+// consume identical randomness.
+const (
+	nsPool     uint64 = 0x506F6F4C // solve pools ("PooL")
+	nsEstimate uint64 = 0x45737446 // one-shot reverse f-estimation ("EstF")
+	nsEval     uint64 = 0x4576616C // evaluation-pool sessions ("Eval")
+)
+
+// Engine samples realizations for one instance. It is safe for concurrent
+// use; samplers are recycled across calls and goroutines.
+type Engine struct {
+	in        *ltm.Instance
+	samplers  sync.Pool
+	draws     atomic.Int64 // every draw made through the engine
+	poolDraws atomic.Int64 // draws spent filling pools (subset of draws)
+}
+
+// New returns an engine for the instance.
+func New(in *ltm.Instance) *Engine {
+	e := &Engine{in: in}
+	e.samplers.New = func() any { return realization.NewSampler(in) }
+	return e
+}
+
+// Instance returns the underlying instance.
+func (e *Engine) Instance() *ltm.Instance { return e.in }
+
+// Draws returns the total number of realization draws made through the
+// engine; PoolDraws counts only those spent filling pools. The pair makes
+// pool reuse observable: an α-sweep through one Session leaves PoolDraws
+// at exactly the pool size.
+func (e *Engine) Draws() int64     { return e.draws.Load() }
+func (e *Engine) PoolDraws() int64 { return e.poolDraws.Load() }
+
+// chunkPaths holds the type-1 paths of one sampled chunk in local CSR
+// form: path j is arena[offsets[j]:offsets[j+1]].
+type chunkPaths struct {
+	draws   int64
+	arena   []graph.Node
+	offsets []int32
+}
+
+// sampleChunk draws n realizations from the stream (seed, ns, chunk) and
+// accumulates the type-1 paths into a chunk-local arena — no per-path
+// allocation. A chunk's result depends only on (seed, ns, chunk, n), and
+// a shorter chunk's paths are a prefix of a longer one's, which is what
+// lets Session grow a partial trailing chunk consistently.
+func (e *Engine) sampleChunk(seed int64, ns uint64, chunk, n int64) chunkPaths {
+	r := rng.DeriveStreamRand(seed, ns, uint64(chunk))
+	sp := e.samplers.Get().(*realization.Sampler)
+	cp := chunkPaths{draws: n, offsets: make([]int32, 1, n/4+1)}
+	for i := int64(0); i < n; i++ {
+		tg := sp.SampleTGView(r)
+		if tg.Outcome == realization.Type1 {
+			cp.arena = append(cp.arena, tg.Path...)
+			cp.offsets = append(cp.offsets, int32(len(cp.arena)))
+		}
+	}
+	e.samplers.Put(sp)
+	e.draws.Add(n)
+	e.poolDraws.Add(n)
+	return cp
+}
+
+// assemblePool concatenates chunk results (in chunk order) into one pool.
+func assemblePool(chunks []chunkPaths, universe int) (*Pool, error) {
+	var total, arenaLen int64
+	var paths int
+	for _, c := range chunks {
+		total += c.draws
+		arenaLen += int64(len(c.arena))
+		paths += len(c.offsets) - 1
+	}
+	if arenaLen > math.MaxInt32 {
+		return nil, fmt.Errorf("engine: pool arena of %d nodes overflows int32 offsets", arenaLen)
+	}
+	p := &Pool{
+		arena:    make([]graph.Node, 0, arenaLen),
+		offsets:  make([]int32, 1, paths+1),
+		total:    total,
+		universe: universe,
+	}
+	for _, c := range chunks {
+		base := int32(len(p.arena))
+		p.arena = append(p.arena, c.arena...)
+		for _, end := range c.offsets[1:] {
+			p.offsets = append(p.offsets, base+end)
+		}
+	}
+	return p, nil
+}
+
+// maxPoolChunks bounds the per-chunk descriptor table one sampling run
+// may materialize (the cap allows ~8.6 billion draws, weeks of work; a
+// request beyond it — e.g. an Unbounded solve whose theoretical l* is
+// astronomical — is a configuration error and gets a clean error instead
+// of a fatal allocation).
+const maxPoolChunks = 1 << 22
+
+// checkDraws validates a requested draw count against the chunk-table cap.
+func checkDraws(l int64) error {
+	if l <= 0 {
+		return fmt.Errorf("engine: draw count %d must be positive", l)
+	}
+	if (l+ChunkSize-1)/ChunkSize > maxPoolChunks {
+		return fmt.Errorf("engine: draw count %d exceeds the %d maximum (cap the pool, e.g. MaxRealizations)",
+			l, int64(maxPoolChunks)*ChunkSize)
+	}
+	return nil
+}
+
+// SamplePool draws l realizations (workers 0 = all CPUs) and collects the
+// type-1 paths into a CSR pool. The result is a pure function of
+// (seed, l): draws are partitioned into fixed chunks assigned by index,
+// so the worker count affects only wall-clock time.
+func (e *Engine) SamplePool(ctx context.Context, l int64, workers int, seed int64) (*Pool, error) {
+	return e.samplePoolNS(ctx, l, workers, seed, nsPool)
+}
+
+func (e *Engine) samplePoolNS(ctx context.Context, l int64, workers int, seed int64, ns uint64) (*Pool, error) {
+	if err := checkDraws(l); err != nil {
+		return nil, err
+	}
+	chunks := make([]chunkPaths, (l+ChunkSize-1)/ChunkSize)
+	err := parallel.ForChunks(ctx, l, ChunkSize, workers, func(c int, _, n int64) {
+		chunks[c] = e.sampleChunk(seed, ns, int64(c), n)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return assemblePool(chunks, e.in.Graph().NumNodes())
+}
+
+// EstimateF estimates f(invited) with trials independent reverse samples
+// (Corollary 1): the fraction of draws whose t(g) is covered. Lemma 1
+// guarantees agreement with the forward simulator. Like SamplePool, the
+// estimate is a pure function of (seed, trials) regardless of workers.
+func (e *Engine) EstimateF(ctx context.Context, invited *graph.NodeSet, trials int64, workers int, seed int64) (float64, error) {
+	if err := checkDraws(trials); err != nil {
+		return 0, err
+	}
+	hits := make([]int64, (trials+ChunkSize-1)/ChunkSize)
+	err := parallel.ForChunks(ctx, trials, ChunkSize, workers, func(c int, _, n int64) {
+		r := rng.DeriveStreamRand(seed, nsEstimate, uint64(c))
+		sp := e.samplers.Get().(*realization.Sampler)
+		var h int64
+		for i := int64(0); i < n; i++ {
+			if sp.SampleTGView(r).Covered(invited) {
+				h++
+			}
+		}
+		e.samplers.Put(sp)
+		e.draws.Add(n)
+		hits[c] = h
+	})
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, h := range hits {
+		total += h
+	}
+	return float64(total) / float64(trials), nil
+}

@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Index is an inverted node → realization index over one pool: for every
+// node it lists the type-1 realizations whose path contains it. A coverage
+// query then touches only the realizations incident to the invited nodes
+// that actually occur in the pool, instead of rescanning every path —
+// the win grows with query volume (greedy growth curves, α-sweeps, and
+// baseline comparisons all interrogate one pool many times).
+//
+// Queries share epoch-reset scratch buffers and are serialized by an
+// internal mutex; the pool's plain CoverageCount scan remains available
+// for lock-free concurrent use.
+type Index struct {
+	pool  *Pool
+	nodes []graph.Node // distinct nodes occurring in any path, ascending
+	off   []int32      // CSR offsets over the universe; len universe+1
+	ids   []int32      // realization ids
+
+	mu       sync.Mutex
+	hits     []int32 // per-realization covered-node counts (epoch-valid)
+	hitEpoch []uint32
+	epoch    uint32
+}
+
+func newIndex(p *Pool) *Index {
+	t1 := p.NumType1()
+	off := make([]int32, p.universe+1)
+	for _, v := range p.arena {
+		off[v+1]++
+	}
+	var nodes []graph.Node
+	for v := 0; v < p.universe; v++ {
+		if off[v+1] > 0 {
+			nodes = append(nodes, graph.Node(v))
+		}
+		off[v+1] += off[v]
+	}
+	ids := make([]int32, len(p.arena))
+	next := make([]int32, p.universe)
+	for i := 0; i < t1; i++ {
+		for _, v := range p.Path(i) {
+			ids[off[v]+next[v]] = int32(i)
+			next[v]++
+		}
+	}
+	return &Index{
+		pool:     p,
+		nodes:    nodes,
+		off:      off,
+		ids:      ids,
+		hits:     make([]int32, t1),
+		hitEpoch: make([]uint32, t1),
+	}
+}
+
+// Realizations returns the ids of the pooled realizations whose path
+// contains v. The slice aliases index storage and must not be modified.
+func (ix *Index) Realizations(v graph.Node) []int32 {
+	return ix.ids[ix.off[v]:ix.off[v+1]]
+}
+
+// CoverageCount returns F(B_l, I) using the inverted index. It counts
+// from whichever side carries fewer postings: the invited pool nodes
+// (tally per-realization hits until they reach the path length — valid
+// because path nodes are distinct by construction) or their complement
+// (start from "all covered" and strike out every realization touching a
+// non-invited node). Solver outputs and measurement sets consist of
+// exactly the popular path nodes, so the complement side is usually tiny
+// and a query costs far less than rescanning the arena.
+func (ix *Index) CoverageCount(invited *graph.NodeSet) int64 {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.epoch++
+	if ix.epoch == 0 { // wrapped: clear and restart
+		for i := range ix.hitEpoch {
+			ix.hitEpoch[i] = 0
+		}
+		ix.epoch = 1
+	}
+	// forEachInvited visits invited ∩ pool-nodes via whichever side is
+	// smaller: the invited set's members (no allocation) or the pool's
+	// distinct-node list. Invited nodes absent from the pool have empty
+	// postings, so visiting them is harmless.
+	forEachInvited := func(fn func(v graph.Node)) {
+		if invited.Len() <= len(ix.nodes) {
+			invited.Range(func(v graph.Node) bool { fn(v); return true })
+			return
+		}
+		for _, v := range ix.nodes {
+			if invited.Contains(v) {
+				fn(v)
+			}
+		}
+	}
+	var invPostings int64
+	forEachInvited(func(v graph.Node) {
+		invPostings += int64(ix.off[v+1] - ix.off[v])
+	})
+	t1 := int64(ix.pool.NumType1())
+	if invPostings <= int64(len(ix.ids))-invPostings {
+		// Positive side: tally hits on realizations of invited nodes.
+		var covered int64
+		forEachInvited(func(v graph.Node) {
+			for _, r := range ix.Realizations(v) {
+				if ix.hitEpoch[r] != ix.epoch {
+					ix.hitEpoch[r] = ix.epoch
+					ix.hits[r] = 0
+				}
+				ix.hits[r]++
+				if ix.hits[r] == ix.pool.offsets[r+1]-ix.pool.offsets[r] {
+					covered++
+				}
+			}
+		})
+		return covered
+	}
+	// Complement side: strike out realizations touching non-invited nodes.
+	covered := t1
+	for _, v := range ix.nodes {
+		if invited.Contains(v) {
+			continue
+		}
+		for _, r := range ix.Realizations(v) {
+			if ix.hitEpoch[r] != ix.epoch {
+				ix.hitEpoch[r] = ix.epoch
+				covered--
+			}
+		}
+	}
+	return covered
+}

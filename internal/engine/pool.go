@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/setcover"
+)
+
+// Pool is a batch of sampled realizations B_l in compact CSR form: the
+// type-1 backward paths live in one flat arena, so a pool of hundreds of
+// thousands of realizations costs two allocations instead of one per
+// path. Path i is arena[offsets[i]:offsets[i+1]].
+//
+// Pool contents are a pure function of (seed, l) — chunked sampling makes
+// them independent of the worker count (see Engine.SamplePool). Pools are
+// immutable after construction and safe for concurrent use.
+type Pool struct {
+	arena    []graph.Node
+	offsets  []int32
+	total    int64
+	universe int
+
+	idxOnce sync.Once
+	idx     *Index
+}
+
+// Total returns l, the total number of realizations drawn (|B_l|).
+func (p *Pool) Total() int64 { return p.total }
+
+// NumType1 returns |B_l¹|, the number of type-1 realizations.
+func (p *Pool) NumType1() int { return len(p.offsets) - 1 }
+
+// Universe returns the node-id bound of the underlying graph.
+func (p *Pool) Universe() int { return p.universe }
+
+// Path returns the i-th type-1 backward path t(g). The slice aliases the
+// pool's arena and must not be modified.
+func (p *Pool) Path(i int) []graph.Node {
+	return p.arena[p.offsets[i]:p.offsets[i+1]]
+}
+
+// FractionType1 returns |B_l¹|/l, the pool's estimate of p_max.
+func (p *Pool) FractionType1() float64 {
+	if p.total == 0 {
+		return 0
+	}
+	return float64(p.NumType1()) / float64(p.total)
+}
+
+// CoverageCount returns F(B_l, I): the number of pooled realizations
+// covered by invited (t(g) ⊆ I). This is the allocation-free linear scan;
+// for repeated queries against one pool, Index().CoverageCount amortizes
+// an inverted node → realization index instead of rescanning every path.
+func (p *Pool) CoverageCount(invited *graph.NodeSet) int64 {
+	var covered int64
+	for i := 0; i < p.NumType1(); i++ {
+		ok := true
+		for _, v := range p.Path(i) {
+			if !invited.Contains(v) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			covered++
+		}
+	}
+	return covered
+}
+
+// EstimateF returns F(B_l, I)/l, the pool's estimate of f(I), via the
+// coverage index.
+func (p *Pool) EstimateF(invited *graph.NodeSet) float64 {
+	if p.total == 0 {
+		return 0
+	}
+	return float64(p.Index().CoverageCount(invited)) / float64(p.total)
+}
+
+// Index returns the pool's inverted node → realization index, built
+// lazily on first use and cached.
+func (p *Pool) Index() *Index {
+	p.idxOnce.Do(func() { p.idx = newIndex(p) })
+	return p.idx
+}
+
+// SetcoverInstance hands the pool to the MSC solver zero-copy: the arena
+// and offsets become the solver's CSR set family directly (graph.Node is
+// an alias of int32), with no per-path slice headers materialized.
+func (p *Pool) SetcoverInstance() *setcover.Instance {
+	return &setcover.Instance{
+		UniverseSize: p.universe,
+		SetArena:     p.arena,
+		SetOffsets:   p.offsets,
+	}
+}

@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// Session caches a growable realization pool across solves. Repeated
+// Pool(l) calls with l at or below the cached size are served without any
+// sampling; a larger l grows the pool incrementally, resampling only the
+// trailing partial chunk (whose existing draws are a prefix of the grown
+// chunk's stream) plus the new chunks. Because chunk streams are indexed,
+// a grown pool is byte-identical to one sampled at the final size in a
+// single shot — for any worker count.
+//
+// Session is safe for concurrent use; growth is serialized.
+type Session struct {
+	eng     *Engine
+	seed    int64
+	workers int
+	ns      uint64
+
+	mu     sync.Mutex
+	chunks []chunkPaths
+	draws  int64 // total draws across chunks = cached pool size
+	pool   *Pool // assembled view of chunks; nil until first Pool call
+}
+
+// NewSession returns a session whose pools draw from the engine's solve
+// namespace: Session.Pool(l) returns the same pool as Engine.SamplePool(l)
+// for the same seed.
+func (e *Engine) NewSession(seed int64, workers int) *Session {
+	return &Session{eng: e, seed: seed, workers: workers, ns: nsPool}
+}
+
+// NewEvalSession returns a session over an independent stream family,
+// meant for measuring f of candidate invitation sets against a pool that
+// is decorrelated from the one the sets were optimized on.
+func (e *Engine) NewEvalSession(seed int64, workers int) *Session {
+	return &Session{eng: e, seed: seed, workers: workers, ns: nsEval}
+}
+
+// Size returns the cached pool size (0 before the first Pool call).
+func (s *Session) Size() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draws
+}
+
+// Pool returns a pool of at least l realizations, sampling only what the
+// cache is missing. The returned pool's Total may exceed l when an
+// earlier call requested more — estimates normalize by Total, so a larger
+// pool only tightens accuracy.
+func (s *Session) Pool(ctx context.Context, l int64) (*Pool, error) {
+	if err := checkDraws(l); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if l <= s.draws && s.pool != nil {
+		return s.pool, nil
+	}
+
+	// Keep full chunks; the trailing partial chunk (if any) is resampled
+	// at its grown size — its stream restarts, so the draws it already
+	// contributed are reproduced as a prefix.
+	keep := len(s.chunks)
+	for keep > 0 && s.chunks[keep-1].draws < ChunkSize {
+		keep--
+	}
+	nchunks := int((l + ChunkSize - 1) / ChunkSize)
+	chunks := make([]chunkPaths, nchunks)
+	copy(chunks, s.chunks[:keep])
+	missing := nchunks - keep
+	err := parallel.For(ctx, missing, s.workers, func(i int) {
+		c := keep + i
+		n := int64(ChunkSize)
+		if start := int64(c) * ChunkSize; start+n > l {
+			n = l - start
+		}
+		chunks[c] = s.eng.sampleChunk(s.seed, s.ns, int64(c), n)
+	})
+	if err != nil {
+		return nil, err
+	}
+	pool, err := assemblePool(chunks, s.eng.in.Graph().NumNodes())
+	if err != nil {
+		return nil, err
+	}
+	// Re-alias each chunk's arena to its segment of the assembled pool
+	// arena: the cache then holds one copy of the path data (plus the
+	// small per-chunk offset tables needed to reassemble on growth).
+	var base int32
+	for c := range chunks {
+		n := int32(len(chunks[c].arena))
+		chunks[c].arena = pool.arena[base : base+n]
+		base += n
+	}
+	s.chunks = chunks
+	s.draws = pool.total
+	s.pool = pool
+	return pool, nil
+}
+
+// EstimateF estimates f(invited) from the session's cached pool, growing
+// it to at least trials draws first. Repeated estimates against the same
+// session share both the draws and the pool's coverage index.
+func (s *Session) EstimateF(ctx context.Context, invited *graph.NodeSet, trials int64) (float64, error) {
+	p, err := s.Pool(ctx, trials)
+	if err != nil {
+		return 0, err
+	}
+	return p.EstimateF(invited), nil
+}
+
+// FractionType1 returns the cached pool's estimate of p_max = f(V),
+// growing the pool to at least trials draws first.
+func (s *Session) FractionType1(ctx context.Context, trials int64) (float64, error) {
+	p, err := s.Pool(ctx, trials)
+	if err != nil {
+		return 0, err
+	}
+	return p.FractionType1(), nil
+}

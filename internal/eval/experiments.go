@@ -9,9 +9,9 @@ import (
 
 	"repro/internal/baselines"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/ltm"
-	"repro/internal/realization"
 	"repro/internal/rng"
 	"repro/internal/weights"
 )
@@ -66,21 +66,47 @@ func (c *Config) withDefaults() Config {
 	return out
 }
 
-func (c *Config) rafConfig(alpha float64, seed int64) core.Config {
+func (c *Config) rafConfig(alpha float64) core.Config {
 	return core.Config{
 		Alpha:           alpha,
 		Eps:             c.Eps,
 		N:               c.N,
-		Seed:            seed,
-		Workers:         c.Workers,
 		MaxRealizations: c.MaxRealizations,
 		MaxPmaxDraws:    c.MaxPmaxDraws,
 	}
 }
 
-// measureF estimates f(invited) with the reverse estimator.
-func (c *Config) measureF(ctx context.Context, in *ltm.Instance, invited *graph.NodeSet, seed int64) (float64, error) {
-	return realization.EstimateFReverse(ctx, in, invited, c.EvalTrials, c.Workers, seed)
+// pairSession bundles the per-pair solve and measurement state: a core
+// session (shared realization pool, cached V_max and p_max across solves)
+// plus an evaluation-pool session over an independent stream family, so
+// every f measurement for this pair — across α values, baselines and
+// growth steps — reuses one pool of EvalTrials draws and its coverage
+// index instead of resampling.
+type pairSession struct {
+	in     *ltm.Instance
+	sess   *core.Session
+	ev     *engine.Session
+	trials int64
+}
+
+func (c *Config) newPairSession(pi int, pair Pair) (*pairSession, error) {
+	in, err := ltm.NewInstance(c.Graph, c.Weights, pair.S, pair.T)
+	if err != nil {
+		return nil, err
+	}
+	seed := rng.Derive(c.Seed, uint64(pi))
+	sess := core.NewSession(in, seed, c.Workers)
+	return &pairSession{
+		in:     in,
+		sess:   sess,
+		ev:     sess.Engine().NewEvalSession(seed, c.Workers),
+		trials: c.EvalTrials,
+	}, nil
+}
+
+// measureF estimates f(invited) against the pair's cached evaluation pool.
+func (ps *pairSession) measureF(ctx context.Context, invited *graph.NodeSet) (float64, error) {
+	return ps.ev.EstimateF(ctx, invited, ps.trials)
 }
 
 // Fig3Row is one x-position of the basic experiment: average acceptance
@@ -99,68 +125,75 @@ type Fig3Row struct {
 	Skipped int
 }
 
-// BasicExperiment reproduces Fig. 3: for each α in alphas and each pair,
+// BasicExperiment reproduces Fig. 3: for each pair and each α in alphas,
 // run RAF, size HD and SP to |I_RAF|, and average the measured acceptance
-// probabilities.
+// probabilities per α. Pairs are the outer loop so that the whole α-sweep
+// for one pair runs through a single session: the realization pool is
+// sampled once and grown as needed, V_max and p_max are computed once,
+// baseline rankings are ranked once, and every f measurement shares one
+// evaluation pool.
 func BasicExperiment(ctx context.Context, cfg Config, alphas []float64) ([]Fig3Row, error) {
 	c := cfg.withDefaults()
 	if len(alphas) == 0 {
 		return nil, fmt.Errorf("eval: no alphas given")
 	}
 	hd, sp := baselines.HighDegree{}, baselines.ShortestPath{}
-	rows := make([]Fig3Row, 0, len(alphas))
+	rows := make([]Fig3Row, len(alphas))
+	sums := make([][5]float64, len(alphas)) // per α: pmax, raf, hd, sp, size
 	for ai, alpha := range alphas {
-		row := Fig3Row{Alpha: alpha}
-		var sumPmax, sumRAF, sumHD, sumSP, sumSize float64
-		for pi, pair := range c.Pairs {
-			if err := ctx.Err(); err != nil {
-				return nil, err
+		rows[ai].Alpha = alpha
+	}
+	for pi, pair := range c.Pairs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ps, err := c.newPairSession(pi, pair)
+		if err != nil {
+			for ai := range rows {
+				rows[ai].Skipped++
 			}
-			in, err := ltm.NewInstance(c.Graph, c.Weights, pair.S, pair.T)
-			if err != nil {
-				row.Skipped++
-				continue
-			}
-			seed := rng.Derive(c.Seed, uint64(ai*100003+pi))
-			res, err := core.RAF(ctx, in, c.rafConfig(alpha, seed))
+			continue
+		}
+		hdOrder, spOrder := hd.Rank(ps.in), sp.Rank(ps.in)
+		for ai, alpha := range alphas {
+			res, err := ps.sess.RAF(ctx, c.rafConfig(alpha))
 			if err != nil {
 				if errors.Is(err, core.ErrTargetUnreachable) {
-					row.Skipped++
+					rows[ai].Skipped++
 					continue
 				}
 				return nil, fmt.Errorf("eval: RAF on pair (%d,%d): %w", pair.S, pair.T, err)
 			}
 			k := res.Invited.Len()
-			fRAF, err := c.measureF(ctx, in, res.Invited, seed+1)
+			fRAF, err := ps.measureF(ctx, res.Invited)
 			if err != nil {
 				return nil, err
 			}
-			hdSet := baselines.PrefixSet(c.Graph.NumNodes(), hd.Rank(in), k)
-			fHD, err := c.measureF(ctx, in, hdSet, seed+2)
+			fHD, err := ps.measureF(ctx, baselines.PrefixSet(c.Graph.NumNodes(), hdOrder, k))
 			if err != nil {
 				return nil, err
 			}
-			spSet := baselines.PrefixSet(c.Graph.NumNodes(), sp.Rank(in), k)
-			fSP, err := c.measureF(ctx, in, spSet, seed+3)
+			fSP, err := ps.measureF(ctx, baselines.PrefixSet(c.Graph.NumNodes(), spOrder, k))
 			if err != nil {
 				return nil, err
 			}
-			row.Pairs++
-			sumPmax += pair.Pmax
-			sumRAF += fRAF
-			sumHD += fHD
-			sumSP += fSP
-			sumSize += float64(k)
+			rows[ai].Pairs++
+			sums[ai][0] += pair.Pmax
+			sums[ai][1] += fRAF
+			sums[ai][2] += fHD
+			sums[ai][3] += fSP
+			sums[ai][4] += float64(k)
 		}
-		if row.Pairs > 0 {
-			div := float64(row.Pairs)
-			row.Pmax = sumPmax / div
-			row.RAF = sumRAF / div
-			row.HD = sumHD / div
-			row.SP = sumSP / div
-			row.AvgSize = sumSize / div
+	}
+	for ai := range rows {
+		if rows[ai].Pairs > 0 {
+			div := float64(rows[ai].Pairs)
+			rows[ai].Pmax = sums[ai][0] / div
+			rows[ai].RAF = sums[ai][1] / div
+			rows[ai].HD = sums[ai][2] / div
+			rows[ai].SP = sums[ai][3] / div
+			rows[ai].AvgSize = sums[ai][4] / div
 		}
-		rows = append(rows, row)
 	}
 	return rows, nil
 }
@@ -199,13 +232,12 @@ func CompareGrowth(ctx context.Context, cfg Config, ranker baselines.Ranker) (*G
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		in, err := ltm.NewInstance(c.Graph, c.Weights, pair.S, pair.T)
+		ps, err := c.newPairSession(pi, pair)
 		if err != nil {
 			res.PairsSkipped++
 			continue
 		}
-		seed := rng.Derive(c.Seed, uint64(0xF16+pi))
-		raf, err := core.RAF(ctx, in, c.rafConfig(c.Alpha, seed))
+		raf, err := ps.sess.RAF(ctx, c.rafConfig(c.Alpha))
 		if err != nil {
 			if errors.Is(err, core.ErrTargetUnreachable) {
 				res.PairsSkipped++
@@ -213,7 +245,7 @@ func CompareGrowth(ctx context.Context, cfg Config, ranker baselines.Ranker) (*G
 			}
 			return nil, fmt.Errorf("eval: RAF on pair (%d,%d): %w", pair.S, pair.T, err)
 		}
-		fRAF, err := c.measureF(ctx, in, raf.Invited, seed+1)
+		fRAF, err := ps.measureF(ctx, raf.Invited)
 		if err != nil {
 			return nil, err
 		}
@@ -222,13 +254,14 @@ func CompareGrowth(ctx context.Context, cfg Config, ranker baselines.Ranker) (*G
 			continue
 		}
 		kRAF := raf.Invited.Len()
-		order := ranker.Rank(in)
+		order := ranker.Rank(ps.in)
 		// Geometric growth schedule: fine-grained near |I_RAF|, coarse
 		// beyond, so breakpoints (Sec. IV-B) remain visible at bounded
-		// cost.
-		for step, k := 0, maxInt(1, kRAF/4); k <= len(order); step++ {
+		// cost. Every step's measurement is a coverage query against the
+		// pair's one cached evaluation pool.
+		for k := maxInt(1, kRAF/4); k <= len(order); {
 			invited := baselines.PrefixSet(c.Graph.NumNodes(), order, k)
-			fB, err := c.measureF(ctx, in, invited, seed+10+int64(step))
+			fB, err := ps.measureF(ctx, invited)
 			if err != nil {
 				return nil, err
 			}
@@ -244,13 +277,11 @@ func CompareGrowth(ctx context.Context, cfg Config, ranker baselines.Ranker) (*G
 			if k > len(order) && len(order) > 0 && points[len(points)-1].x < 1 {
 				// Final point with the full candidate set.
 				k = len(order)
-				if invitedAll := baselines.PrefixSet(c.Graph.NumNodes(), order, k); true {
-					fAll, err := c.measureF(ctx, in, invitedAll, seed+999)
-					if err != nil {
-						return nil, err
-					}
-					points = append(points, point{x: fAll / fRAF, y: float64(k) / float64(kRAF)})
+				fAll, err := ps.measureF(ctx, baselines.PrefixSet(c.Graph.NumNodes(), order, k))
+				if err != nil {
+					return nil, err
 				}
+				points = append(points, point{x: fAll / fRAF, y: float64(k) / float64(kRAF)})
 				break
 			}
 		}
@@ -307,13 +338,12 @@ func VmaxExperiment(ctx context.Context, cfg Config) (*VmaxRow, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		in, err := ltm.NewInstance(c.Graph, c.Weights, pair.S, pair.T)
+		ps, err := c.newPairSession(pi, pair)
 		if err != nil {
 			row.PairsSkipped++
 			continue
 		}
-		seed := rng.Derive(c.Seed, uint64(0x7AB2+pi))
-		res, err := core.RAF(ctx, in, c.rafConfig(c.Alpha, seed))
+		res, err := ps.sess.RAF(ctx, c.rafConfig(c.Alpha))
 		if err != nil {
 			if errors.Is(err, core.ErrTargetUnreachable) {
 				row.PairsSkipped++
@@ -323,7 +353,7 @@ func VmaxExperiment(ctx context.Context, cfg Config) (*VmaxRow, error) {
 		}
 		vmSize := res.VmaxSize
 		if vmSize == 0 {
-			vm, err := core.Vmax(in)
+			vm, err := ps.sess.Vmax()
 			if err != nil {
 				return nil, err
 			}
@@ -361,7 +391,10 @@ type SweepPoint struct {
 // RealizationSweep reproduces Fig. 6: fix β (from the equation system at
 // cfg.Alpha) and sweep the number of realizations handed to Algorithm 3,
 // measuring the resulting acceptance probability. The paper runs this on
-// a single illustrative pair; the first pair of cfg.Pairs is used.
+// a single illustrative pair; the first pair of cfg.Pairs is used. The
+// sweep shares one session, so each grid point's pool is the previous
+// point's pool grown in place — every realization is sampled exactly once
+// across the whole sweep.
 func RealizationSweep(ctx context.Context, cfg Config, ls []int64) ([]SweepPoint, error) {
 	c := cfg.withDefaults()
 	if len(c.Pairs) == 0 {
@@ -370,18 +403,17 @@ func RealizationSweep(ctx context.Context, cfg Config, ls []int64) ([]SweepPoint
 	if len(ls) == 0 {
 		return nil, fmt.Errorf("eval: empty realization grid")
 	}
-	pair := c.Pairs[0]
-	in, err := ltm.NewInstance(c.Graph, c.Weights, pair.S, pair.T)
+	ps, err := c.newPairSession(0, c.Pairs[0])
 	if err != nil {
-		return nil, fmt.Errorf("eval: pair (%d,%d): %w", pair.S, pair.T, err)
+		return nil, fmt.Errorf("eval: pair (%d,%d): %w", c.Pairs[0].S, c.Pairs[0].T, err)
 	}
-	vm, err := core.Vmax(in)
+	vm, err := ps.sess.Vmax()
 	if err != nil {
 		return nil, err
 	}
 	dim := vm.Len()
 	if dim == 0 {
-		return nil, fmt.Errorf("%w: pair (%d,%d) unreachable", ErrNoPairs, pair.S, pair.T)
+		return nil, fmt.Errorf("%w: pair (%d,%d) unreachable", ErrNoPairs, c.Pairs[0].S, c.Pairs[0].T)
 	}
 	params, err := core.SolveEquationSystem(c.Alpha, c.Eps, float64(dim))
 	if err != nil {
@@ -390,11 +422,11 @@ func RealizationSweep(ctx context.Context, cfg Config, ls []int64) ([]SweepPoint
 	sorted := append([]int64(nil), ls...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	out := make([]SweepPoint, 0, len(sorted))
-	for i, l := range sorted {
+	for _, l := range sorted {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		invited, _, _, err := core.Framework(ctx, in, params.Beta, l, c.Workers, rng.Derive(c.Seed, uint64(i)))
+		invited, _, _, err := ps.sess.Framework(ctx, params.Beta, l)
 		if err != nil {
 			if errors.Is(err, core.ErrTargetUnreachable) {
 				out = append(out, SweepPoint{L: l, F: 0, Size: 0})
@@ -402,7 +434,7 @@ func RealizationSweep(ctx context.Context, cfg Config, ls []int64) ([]SweepPoint
 			}
 			return nil, err
 		}
-		f, err := c.measureF(ctx, in, invited, rng.Derive(c.Seed, uint64(1000+i)))
+		f, err := ps.measureF(ctx, invited)
 		if err != nil {
 			return nil, err
 		}

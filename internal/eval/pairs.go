@@ -11,9 +11,9 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/ltm"
-	"repro/internal/realization"
 	"repro/internal/rng"
 	"repro/internal/weights"
 )
@@ -110,7 +110,7 @@ func SamplePairs(ctx context.Context, g *graph.Graph, w weights.Scheme, cfg Pair
 		if err != nil {
 			continue
 		}
-		pmax, err := realization.EstimateFReverse(ctx, in, all, c.ScreenTrials, c.Workers, rng.Derive(c.Seed, uint64(attempt)))
+		pmax, err := engine.New(in).EstimateF(ctx, all, c.ScreenTrials, c.Workers, rng.Derive(c.Seed, uint64(attempt)))
 		if err != nil {
 			return nil, err
 		}

@@ -78,6 +78,20 @@ func (s *NodeSet) ContainsAll(other *NodeSet) bool {
 	return true
 }
 
+// Range calls fn for every member in ascending order without allocating,
+// stopping early if fn returns false.
+func (s *NodeSet) Range(fn func(Node) bool) {
+	for i, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(Node(i*64 + b)) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
 // Members returns the members in ascending order.
 func (s *NodeSet) Members() []Node {
 	out := make([]Node, 0, s.Len())

@@ -16,18 +16,22 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/ltm"
-	"repro/internal/realization"
 	"repro/internal/setcover"
 )
+
+// DefaultRealizations is the pool size used when a caller passes
+// Realizations ≤ 0.
+const DefaultRealizations = 50000
 
 // Config parameterizes a Solve call.
 type Config struct {
 	// Budget is the maximum invitation-set size; must fit the target
 	// (budget ≥ 1).
 	Budget int
-	// Realizations is the pool size l (default 50000).
+	// Realizations is the pool size l (default DefaultRealizations).
 	Realizations int64
 	// Seed and Workers control sampling.
 	Seed    int64
@@ -45,28 +49,35 @@ type Result struct {
 	PoolType1 int
 }
 
-// Solve maximizes estimated acceptance probability under the budget.
+// Solve maximizes estimated acceptance probability under the budget,
+// sampling a fresh pool through the engine. For repeated solves on one
+// instance, sample a pool once (e.g. via an engine Session) and call
+// SolveFromPool.
 func Solve(ctx context.Context, in *ltm.Instance, cfg Config) (*Result, error) {
 	if cfg.Budget <= 0 {
 		return nil, fmt.Errorf("maxaf: budget %d must be positive", cfg.Budget)
 	}
 	l := cfg.Realizations
 	if l <= 0 {
-		l = 50000
+		l = DefaultRealizations
 	}
-	pool, err := realization.SamplePool(ctx, in, l, cfg.Workers, cfg.Seed)
+	pool, err := engine.New(in).SamplePool(ctx, l, cfg.Workers, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
+	return SolveFromPool(in, cfg.Budget, pool)
+}
+
+// SolveFromPool runs the budgeted max-coverage greedy against an existing
+// realization pool, handed to the solver zero-copy.
+func SolveFromPool(in *ltm.Instance, budget int, pool *engine.Pool) (*Result, error) {
+	if budget <= 0 {
+		return nil, fmt.Errorf("maxaf: budget %d must be positive", budget)
+	}
 	if pool.NumType1() == 0 {
-		return nil, fmt.Errorf("%w: no type-1 realization in %d draws", core.ErrTargetUnreachable, l)
+		return nil, fmt.Errorf("%w: no type-1 realization in %d draws", core.ErrTargetUnreachable, pool.Total())
 	}
-	inst := &setcover.Instance{UniverseSize: in.Graph().NumNodes()}
-	inst.Sets = make([][]int32, 0, pool.NumType1())
-	for _, p := range pool.Type1 {
-		inst.Sets = append(inst.Sets, p)
-	}
-	sol, err := setcover.GreedyBudget(inst, cfg.Budget)
+	sol, err := setcover.GreedyBudget(pool.SetcoverInstance(), budget)
 	if err != nil {
 		return nil, fmt.Errorf("maxaf: budgeted cover: %w", err)
 	}
@@ -76,7 +87,7 @@ func Solve(ctx context.Context, in *ltm.Instance, cfg Config) (*Result, error) {
 	}
 	return &Result{
 		Invited:         invited,
-		CoveredFraction: float64(sol.Covered) / float64(pool.Total),
+		CoveredFraction: float64(sol.Covered) / float64(pool.Total()),
 		PoolType1:       pool.NumType1(),
 	}, nil
 }

@@ -8,9 +8,9 @@ import (
 
 	"repro/internal/baselines"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/ltm"
-	"repro/internal/realization"
 	"repro/internal/weights"
 )
 
@@ -104,7 +104,7 @@ func TestSolveBeatsBaselinesAtBudget(t *testing.T) {
 		in := mustInstance(t, g, s, tt)
 		all := graph.NewNodeSet(g.NumNodes())
 		all.Fill()
-		pmax, err := realization.EstimateFReverse(ctx, in, all, 60000, 2, seed)
+		pmax, err := engine.New(in).EstimateF(ctx, all, 60000, 2, seed)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -120,13 +120,13 @@ func TestSolveBeatsBaselinesAtBudget(t *testing.T) {
 		if res.Invited.Len() > budget {
 			t.Fatalf("budget violated: %d > %d", res.Invited.Len(), budget)
 		}
-		fMax, err := realization.EstimateFReverse(ctx, in, res.Invited, 60000, 2, seed+1)
+		fMax, err := engine.New(in).EstimateF(ctx, res.Invited, 60000, 2, seed+1)
 		if err != nil {
 			t.Fatal(err)
 		}
 		hdOrder := baselines.HighDegree{}.Rank(in)
 		hdSet := baselines.PrefixSet(g.NumNodes(), hdOrder, budget)
-		fHD, err := realization.EstimateFReverse(ctx, in, hdSet, 60000, 2, seed+2)
+		fHD, err := engine.New(in).EstimateF(ctx, hdSet, 60000, 2, seed+2)
 		if err != nil {
 			t.Fatal(err)
 		}

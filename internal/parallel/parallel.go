@@ -58,6 +58,30 @@ func For(ctx context.Context, n, workers int, fn func(i int)) error {
 	return ctx.Err()
 }
 
+// ForChunks splits total items into fixed-size chunks and runs
+// fn(chunk, start, n) for every chunk across the given workers. Because
+// work is partitioned by chunk index — not by worker id — any per-chunk
+// state (e.g. an RNG stream derived from the chunk index) makes the
+// overall result a pure function of total, independent of the worker
+// count. The final chunk may be short.
+func ForChunks(ctx context.Context, total, chunkSize int64, workers int, fn func(chunk int, start, n int64)) error {
+	if total <= 0 {
+		return nil
+	}
+	if chunkSize <= 0 {
+		panic("parallel: ForChunks chunk size must be positive")
+	}
+	chunks := int((total + chunkSize - 1) / chunkSize)
+	return For(ctx, chunks, workers, func(c int) {
+		start := int64(c) * chunkSize
+		n := chunkSize
+		if start+n > total {
+			n = total - start
+		}
+		fn(c, start, n)
+	})
+}
+
 // SumUint64 runs trials of fn across workers and sums the uint64 results.
 // fn receives the worker id (for RNG stream derivation) and the number of
 // trials that worker must run; the split is deterministic. It is intended

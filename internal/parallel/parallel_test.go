@@ -3,6 +3,7 @@ package parallel
 import (
 	"context"
 	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -91,5 +92,46 @@ func TestSumUint64Cancelled(t *testing.T) {
 func TestDefaultWorkersPositive(t *testing.T) {
 	if DefaultWorkers() < 1 {
 		t.Errorf("DefaultWorkers = %d", DefaultWorkers())
+	}
+}
+
+func TestForChunks(t *testing.T) {
+	for _, tc := range []struct {
+		total, chunkSize int64
+		workers          int
+	}{
+		{1, 4, 1}, {4, 4, 2}, {10, 4, 3}, {1000, 7, 8},
+	} {
+		var mu sync.Mutex
+		seen := map[int][2]int64{}
+		err := ForChunks(context.Background(), tc.total, tc.chunkSize, tc.workers, func(chunk int, start, n int64) {
+			mu.Lock()
+			seen[chunk] = [2]int64{start, n}
+			mu.Unlock()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantChunks := int((tc.total + tc.chunkSize - 1) / tc.chunkSize)
+		if len(seen) != wantChunks {
+			t.Fatalf("total=%d chunk=%d: %d chunks, want %d", tc.total, tc.chunkSize, len(seen), wantChunks)
+		}
+		var sum int64
+		for c := 0; c < wantChunks; c++ {
+			got, ok := seen[c]
+			if !ok {
+				t.Fatalf("chunk %d missing", c)
+			}
+			if got[0] != int64(c)*tc.chunkSize {
+				t.Errorf("chunk %d start = %d", c, got[0])
+			}
+			if got[1] <= 0 || got[1] > tc.chunkSize {
+				t.Errorf("chunk %d size = %d", c, got[1])
+			}
+			sum += got[1]
+		}
+		if sum != tc.total {
+			t.Errorf("chunk sizes sum to %d, want %d", sum, tc.total)
+		}
 	}
 }

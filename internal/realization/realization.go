@@ -1,10 +1,10 @@
 // Package realization implements the paper's realization machinery
 // (Definition 1, Algorithm 1, Process 2): the derandomization of the
 // friending process in which every node selects at most one influencer
-// among its friends, the backward path t(g) that characterizes success
-// (Lemma 2: t befriends s under g and invitation set I iff t(g) ⊆ I), and
-// the reverse-sampling estimator of f(I) (Corollary 1) in the style of
-// Borgs et al. (Remark 3).
+// among its friends, and the backward path t(g) that characterizes success
+// (Lemma 2: t befriends s under g and invitation set I iff t(g) ⊆ I), in
+// the reverse-sampling style of Borgs et al. (Remark 3). Batch sampling
+// and the estimators built on this primitive live in internal/engine.
 //
 // A subtle invariant: the backward walk can never reach the initiator s.
 // Every node appended to the path lies outside N_s (the walk stops the
@@ -16,14 +16,10 @@
 package realization
 
 import (
-	"context"
-	"fmt"
 	"math/rand"
 
 	"repro/internal/graph"
 	"repro/internal/ltm"
-	"repro/internal/parallel"
-	"repro/internal/rng"
 )
 
 // Outcome classifies a sampled realization.
@@ -71,6 +67,20 @@ func NewSampler(in *ltm.Instance) *Sampler {
 // select an influencer — Remark 3) and returns its t(g). The returned
 // Path is freshly allocated for Type1 outcomes.
 func (sp *Sampler) SampleTG(rand *rand.Rand) TG {
+	tg := sp.SampleTGView(rand)
+	if tg.Outcome == Type1 {
+		path := make([]graph.Node, len(tg.Path))
+		copy(path, tg.Path)
+		tg.Path = path
+	}
+	return tg
+}
+
+// SampleTGView is SampleTG without the defensive copy: the returned Path
+// aliases the sampler's internal buffer and is valid only until the next
+// draw. It consumes the random stream identically to SampleTG. Callers
+// that retain paths (the engine's arena writer) must copy the contents.
+func (sp *Sampler) SampleTGView(rand *rand.Rand) TG {
 	sp.epoch++
 	if sp.epoch == 0 { // wrapped: clear and restart
 		for i := range sp.visitedEpoch {
@@ -99,9 +109,7 @@ func (sp *Sampler) SampleTG(rand *rand.Rand) TG {
 			return TG{Outcome: Type0}
 		case nsSet.Contains(u):
 			// Reached N_s (line 7): success, u itself is not part of t(g).
-			path := make([]graph.Node, len(sp.buf))
-			copy(path, sp.buf)
-			return TG{Path: path, Outcome: Type1}
+			return TG{Path: sp.buf, Outcome: Type1}
 		case sp.visitedEpoch[u] == sp.epoch:
 			// Cycle (line 6).
 			return TG{Outcome: Type0}
@@ -126,115 +134,7 @@ func (tg TG) Covered(invited *graph.NodeSet) bool {
 	return true
 }
 
-// Pool is a batch of sampled realizations B_l: the type-1 paths plus the
-// count of type-0 draws. It is the input to the RAF framework (Alg. 3).
-type Pool struct {
-	// Type1 holds the t(g) paths of the type-1 realizations (B_l¹).
-	Type1 [][]graph.Node
-	// Total is l, the total number of realizations drawn (|B_l|).
-	Total int64
-}
-
-// NumType1 returns |B_l¹|.
-func (p *Pool) NumType1() int { return len(p.Type1) }
-
-// FractionType1 returns |B_l¹|/l, the pool's estimate of p_max.
-func (p *Pool) FractionType1() float64 {
-	if p.Total == 0 {
-		return 0
-	}
-	return float64(len(p.Type1)) / float64(p.Total)
-}
-
-// CoverageCount returns F(B_l, I): the number of pooled realizations
-// covered by invited.
-func (p *Pool) CoverageCount(invited *graph.NodeSet) int64 {
-	var covered int64
-	for _, path := range p.Type1 {
-		ok := true
-		for _, v := range path {
-			if !invited.Contains(v) {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			covered++
-		}
-	}
-	return covered
-}
-
-// EstimateF returns F(B_l, I)/l, the pool's estimate of f(I).
-func (p *Pool) EstimateF(invited *graph.NodeSet) float64 {
-	if p.Total == 0 {
-		return 0
-	}
-	return float64(p.CoverageCount(invited)) / float64(p.Total)
-}
-
-// SamplePool draws l realizations in parallel (workers 0 = all CPUs) and
-// collects the type-1 paths. Deterministic for fixed (seed, l, workers).
-func SamplePool(ctx context.Context, in *ltm.Instance, l int64, workers int, seed int64) (*Pool, error) {
-	if l <= 0 {
-		return nil, fmt.Errorf("realization: pool size %d must be positive", l)
-	}
-	if workers <= 0 {
-		workers = parallel.DefaultWorkers()
-	}
-	if int64(workers) > l {
-		workers = int(l)
-	}
-	per := l / int64(workers)
-	rem := l % int64(workers)
-	parts := make([][][]graph.Node, workers)
-	err := parallel.For(ctx, workers, workers, func(w int) {
-		n := per
-		if int64(w) < rem {
-			n++
-		}
-		r := rng.DeriveRand(seed, uint64(w))
-		sp := NewSampler(in)
-		var acc [][]graph.Node
-		for i := int64(0); i < n; i++ {
-			tg := sp.SampleTG(r)
-			if tg.Outcome == Type1 {
-				acc = append(acc, tg.Path)
-			}
-		}
-		parts[w] = acc
-	})
-	if err != nil {
-		return nil, err
-	}
-	pool := &Pool{Total: l}
-	for _, part := range parts {
-		pool.Type1 = append(pool.Type1, part...)
-	}
-	return pool, nil
-}
-
-// EstimateFReverse estimates f(invited) with trials independent reverse
-// samples (Corollary 1): the fraction of draws whose t(g) is covered.
-// It is the fast estimator used throughout the experiments; Lemma 1
-// guarantees it agrees with the forward simulator.
-func EstimateFReverse(ctx context.Context, in *ltm.Instance, invited *graph.NodeSet, trials int64, workers int, seed int64) (float64, error) {
-	if trials <= 0 {
-		return 0, fmt.Errorf("realization: trials %d must be positive", trials)
-	}
-	hits, err := parallel.SumUint64(ctx, trials, workers, func(worker int, n int64) uint64 {
-		r := rng.DeriveRand(seed, uint64(worker))
-		sp := NewSampler(in)
-		var h uint64
-		for i := int64(0); i < n; i++ {
-			if sp.SampleTG(r).Covered(invited) {
-				h++
-			}
-		}
-		return h
-	})
-	if err != nil {
-		return 0, err
-	}
-	return float64(hits) / float64(trials), nil
-}
+// Pool sampling, coverage counting and the reverse f-estimator live in
+// internal/engine, which stores pools in a compact CSR layout and samples
+// in worker-count-independent chunks; this package provides only the
+// single-draw primitive it is built on.

@@ -55,3 +55,18 @@ func Derive(seed int64, stream uint64) int64 {
 func DeriveRand(seed int64, stream uint64) *rand.Rand {
 	return rand.New(rand.NewSource(Derive(seed, stream)))
 }
+
+// DeriveStream returns a deterministic child seed for (seed, namespace,
+// index). The namespace keeps indexed stream families from distinct call
+// sites (pool sampling, estimation, p_max draws, …) decorrelated even when
+// they share a root seed and overlapping index ranges — deriving by index
+// alone would hand two phases of one run identical streams.
+func DeriveStream(seed int64, namespace, index uint64) int64 {
+	return Derive(Derive(seed, namespace), index)
+}
+
+// DeriveStreamRand returns a *rand.Rand for (seed, namespace, index); see
+// DeriveStream.
+func DeriveStreamRand(seed int64, namespace, index uint64) *rand.Rand {
+	return rand.New(rand.NewSource(DeriveStream(seed, namespace, index)))
+}

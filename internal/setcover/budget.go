@@ -26,12 +26,7 @@ func GreedyBudget(inst *Instance, budget int) (*Solution, error) {
 	if err != nil {
 		return nil, err
 	}
-	elemToSets := make(map[int32][]int32)
-	for j, fs := range folded {
-		for _, e := range fs.elems {
-			elemToSets[e] = append(elemToSets[e], int32(j))
-		}
-	}
+	elemToSets := buildElemIndex(folded, inst.UniverseSize)
 	marg := make([]int, len(folded))
 	done := make([]bool, len(folded))
 	sol := &Solution{}
@@ -65,7 +60,7 @@ func GreedyBudget(inst *Instance, budget int) (*Solution, error) {
 			inUnion[e] = true
 			sol.Union = append(sol.Union, e)
 			remaining--
-			for _, k := range elemToSets[e] {
+			for _, k := range elemToSets.sets(e) {
 				if done[k] {
 					continue
 				}

@@ -30,13 +30,55 @@ var ErrInfeasible = errors.New("setcover: demand exceeds family size")
 // ErrBadInstance reports malformed input.
 var ErrBadInstance = errors.New("setcover: invalid instance")
 
-// Instance is an MSC instance over universe {0, …, UniverseSize−1}.
+// Instance is an MSC instance over universe {0, …, UniverseSize−1}. The
+// family may be given either as explicit Sets or in CSR form
+// (SetArena/SetOffsets) — the latter is what the realization engine hands
+// over zero-copy; populating both is an error.
 type Instance struct {
 	// UniverseSize bounds element ids.
 	UniverseSize int
 	// Sets is the family U. Sets may repeat (multiplicity matters for the
 	// demand count) and elements within a set may repeat harmlessly.
 	Sets [][]int32
+	// SetArena/SetOffsets encode the family in CSR form: set i is
+	// SetArena[SetOffsets[i]:SetOffsets[i+1]]. SetOffsets has one entry
+	// per set plus a trailing end offset.
+	SetArena   []int32
+	SetOffsets []int32
+}
+
+// NumSets returns |U| under either encoding.
+func (inst *Instance) NumSets() int {
+	if inst.SetOffsets != nil {
+		return len(inst.SetOffsets) - 1
+	}
+	return len(inst.Sets)
+}
+
+func (inst *Instance) set(i int) []int32 {
+	if inst.SetOffsets != nil {
+		return inst.SetArena[inst.SetOffsets[i]:inst.SetOffsets[i+1]]
+	}
+	return inst.Sets[i]
+}
+
+func (inst *Instance) validate() error {
+	if inst.SetOffsets == nil {
+		return nil
+	}
+	if inst.Sets != nil {
+		return fmt.Errorf("%w: both Sets and SetOffsets populated", ErrBadInstance)
+	}
+	n := len(inst.SetOffsets)
+	if n == 0 || inst.SetOffsets[0] != 0 || int(inst.SetOffsets[n-1]) != len(inst.SetArena) {
+		return fmt.Errorf("%w: malformed CSR offsets", ErrBadInstance)
+	}
+	for i := 1; i < n; i++ {
+		if inst.SetOffsets[i] < inst.SetOffsets[i-1] {
+			return fmt.Errorf("%w: CSR offsets not monotone", ErrBadInstance)
+		}
+	}
+	return nil
 }
 
 // Solution is the result of an MSC solve.
@@ -46,6 +88,9 @@ type Solution struct {
 	// Covered is the number of members of U contained in Union; always
 	// ≥ the demand p on success.
 	Covered int
+	// Demand is the demand p the solve was asked to satisfy (0 for the
+	// budgeted variant, which has no demand).
+	Demand int
 	// Picked is the number of greedy pick operations performed (folded
 	// sets explicitly chosen; incidental covers are not counted here).
 	Picked int
@@ -56,18 +101,24 @@ type foldedSet struct {
 	mult  int     // how many original sets folded here
 }
 
-// fold canonicalizes and deduplicates the family.
+// fold canonicalizes and deduplicates the family. Scratch buffers are
+// reused across input sets, so only distinct folded sets allocate.
 func fold(inst *Instance) ([]foldedSet, error) {
-	index := make(map[string]int, len(inst.Sets))
+	if err := inst.validate(); err != nil {
+		return nil, err
+	}
+	nsets := inst.NumSets()
+	index := make(map[string]int, nsets)
 	var folded []foldedSet
 	var keyBuf []byte
-	for _, s := range inst.Sets {
-		elems := append([]int32(nil), s...)
-		sort.Slice(elems, func(i, j int) bool { return elems[i] < elems[j] })
+	var elemBuf []int32
+	for i := 0; i < nsets; i++ {
+		elemBuf = append(elemBuf[:0], inst.set(i)...)
+		sort.Slice(elemBuf, func(i, j int) bool { return elemBuf[i] < elemBuf[j] })
 		// Drop intra-set duplicates and validate range.
-		out := elems[:0]
+		out := elemBuf[:0]
 		var prev int32 = -1
-		for _, e := range elems {
+		for _, e := range elemBuf {
 			if e < 0 || int(e) >= inst.UniverseSize {
 				return nil, fmt.Errorf("%w: element %d outside universe [0,%d)", ErrBadInstance, e, inst.UniverseSize)
 			}
@@ -76,9 +127,9 @@ func fold(inst *Instance) ([]foldedSet, error) {
 				prev = e
 			}
 		}
-		elems = out
+		elemBuf = out
 		keyBuf = keyBuf[:0]
-		for _, e := range elems {
+		for _, e := range elemBuf {
 			keyBuf = binary.AppendUvarint(keyBuf, uint64(e))
 		}
 		key := string(keyBuf)
@@ -87,35 +138,68 @@ func fold(inst *Instance) ([]foldedSet, error) {
 			continue
 		}
 		index[key] = len(folded)
-		folded = append(folded, foldedSet{elems: elems, mult: 1})
+		folded = append(folded, foldedSet{elems: append([]int32(nil), elemBuf...), mult: 1})
 	}
 	return folded, nil
+}
+
+// elemIndex is the inverted element → folded-set-id index in CSR form:
+// the sets containing element e are ids[off[e]:off[e+1]].
+type elemIndex struct {
+	off []int32
+	ids []int32
+}
+
+func (ix *elemIndex) sets(e int32) []int32 { return ix.ids[ix.off[e]:ix.off[e+1]] }
+
+// buildElemIndex inverts the folded family over the universe.
+func buildElemIndex(folded []foldedSet, universe int) *elemIndex {
+	off := make([]int32, universe+1)
+	total := 0
+	for _, fs := range folded {
+		total += len(fs.elems)
+		for _, e := range fs.elems {
+			off[e+1]++
+		}
+	}
+	for e := 0; e < universe; e++ {
+		off[e+1] += off[e]
+	}
+	ids := make([]int32, total)
+	next := make([]int32, universe)
+	for j, fs := range folded {
+		for _, e := range fs.elems {
+			ids[off[e]+next[e]] = int32(j)
+			next[e]++
+		}
+	}
+	return &elemIndex{off: off, ids: ids}
 }
 
 // Greedy solves the MSC instance for demand p with the minimum-marginal
 // greedy. It returns ErrInfeasible when p exceeds |U| and ErrBadInstance
 // for malformed input.
 func Greedy(inst *Instance, p int) (*Solution, error) {
+	if err := inst.validate(); err != nil {
+		return nil, err
+	}
 	if p <= 0 {
 		return nil, fmt.Errorf("%w: demand p=%d must be positive", ErrBadInstance, p)
 	}
-	if p > len(inst.Sets) {
-		return nil, fmt.Errorf("%w: p=%d > |U|=%d", ErrInfeasible, p, len(inst.Sets))
+	if p > inst.NumSets() {
+		return nil, fmt.Errorf("%w: p=%d > |U|=%d", ErrInfeasible, p, inst.NumSets())
 	}
 	folded, err := fold(inst)
 	if err != nil {
 		return nil, err
 	}
 
-	// Element → folded-set ids index (only for elements that occur).
-	elemToSets := make(map[int32][]int32)
+	// Element → folded-set ids inverted index.
+	elemToSets := buildElemIndex(folded, inst.UniverseSize)
 	maxSize := 0
-	for j, fs := range folded {
+	for _, fs := range folded {
 		if len(fs.elems) > maxSize {
 			maxSize = len(fs.elems)
-		}
-		for _, e := range fs.elems {
-			elemToSets[e] = append(elemToSets[e], int32(j))
 		}
 	}
 
@@ -128,7 +212,7 @@ func Greedy(inst *Instance, p int) (*Solution, error) {
 	}
 
 	inUnion := make(map[int32]bool)
-	sol := &Solution{}
+	sol := &Solution{Demand: p}
 
 	// Empty sets (possible in principle) are covered from the start.
 	for j, fs := range folded {
@@ -172,7 +256,7 @@ func Greedy(inst *Instance, p int) (*Solution, error) {
 			}
 			inUnion[e] = true
 			sol.Union = append(sol.Union, e)
-			for _, k := range elemToSets[e] {
+			for _, k := range elemToSets.sets(e) {
 				if done[k] {
 					continue
 				}
@@ -198,11 +282,14 @@ func Greedy(inst *Instance, p int) (*Solution, error) {
 // the folded family. Exponential in the number of distinct sets; intended
 // as a test oracle for instances with ≤ ~20 distinct sets.
 func Exact(inst *Instance, p int) (*Solution, error) {
+	if err := inst.validate(); err != nil {
+		return nil, err
+	}
 	if p <= 0 {
 		return nil, fmt.Errorf("%w: demand p=%d must be positive", ErrBadInstance, p)
 	}
-	if p > len(inst.Sets) {
-		return nil, fmt.Errorf("%w: p=%d > |U|=%d", ErrInfeasible, p, len(inst.Sets))
+	if p > inst.NumSets() {
+		return nil, fmt.Errorf("%w: p=%d > |U|=%d", ErrInfeasible, p, inst.NumSets())
 	}
 	folded, err := fold(inst)
 	if err != nil {
@@ -250,7 +337,7 @@ func Exact(inst *Instance, p int) (*Solution, error) {
 		}
 		sort.Slice(elems, func(i, j int) bool { return elems[i] < elems[j] })
 		bestSize = len(elems)
-		best = &Solution{Union: elems, Covered: covered}
+		best = &Solution{Union: elems, Covered: covered, Demand: p}
 	}
 	if best == nil {
 		return nil, fmt.Errorf("%w: no subfamily covers p=%d", ErrInfeasible, p)

@@ -281,3 +281,69 @@ func TestGreedyLargeFoldedInstance(t *testing.T) {
 		t.Errorf("union exceeds universe")
 	}
 }
+
+// TestGreedyCSREncoding: the CSR family encoding must be interchangeable
+// with explicit Sets, and populating both must be rejected.
+func TestGreedyCSREncoding(t *testing.T) {
+	sets := [][]int32{{0, 1}, {1, 2}, {0, 1}, {3}, {2, 3, 4}}
+	explicit := &Instance{UniverseSize: 5, Sets: sets}
+	var arena []int32
+	offsets := []int32{0}
+	for _, s := range sets {
+		arena = append(arena, s...)
+		offsets = append(offsets, int32(len(arena)))
+	}
+	csr := &Instance{UniverseSize: 5, SetArena: arena, SetOffsets: offsets}
+	if got, want := csr.NumSets(), len(sets); got != want {
+		t.Fatalf("NumSets = %d, want %d", got, want)
+	}
+	for p := 1; p <= len(sets); p++ {
+		a, err := Greedy(explicit, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Greedy(csr, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Union) != len(b.Union) || a.Covered != b.Covered || a.Demand != p || b.Demand != p {
+			t.Errorf("p=%d: explicit %+v vs CSR %+v", p, a, b)
+		}
+		for i := range a.Union {
+			if a.Union[i] != b.Union[i] {
+				t.Errorf("p=%d: unions differ: %v vs %v", p, a.Union, b.Union)
+			}
+		}
+	}
+	ba, err := GreedyBudget(explicit, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := GreedyBudget(csr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ba.Covered != bb.Covered {
+		t.Errorf("budgeted: explicit covered %d vs CSR %d", ba.Covered, bb.Covered)
+	}
+	bad := &Instance{UniverseSize: 5, Sets: sets, SetArena: arena, SetOffsets: offsets}
+	if _, err := Greedy(bad, 1); !errors.Is(err, ErrBadInstance) {
+		t.Errorf("both encodings accepted: %v", err)
+	}
+	malformed := &Instance{UniverseSize: 5, SetArena: arena, SetOffsets: []int32{1, 2}}
+	if _, err := Greedy(malformed, 1); !errors.Is(err, ErrBadInstance) {
+		t.Errorf("malformed offsets accepted: %v", err)
+	}
+}
+
+// TestMalformedCSRBeforeFeasibility: a malformed CSR instance must be
+// classified ErrBadInstance even when the demand check would also fail.
+func TestMalformedCSRBeforeFeasibility(t *testing.T) {
+	bad := &Instance{UniverseSize: 5, SetOffsets: []int32{}}
+	if _, err := Greedy(bad, 1); !errors.Is(err, ErrBadInstance) {
+		t.Errorf("Greedy: err = %v, want ErrBadInstance", err)
+	}
+	if _, err := Exact(bad, 1); !errors.Is(err, ErrBadInstance) {
+		t.Errorf("Exact: err = %v, want ErrBadInstance", err)
+	}
+}
