@@ -40,6 +40,21 @@
 //		sol, _ := sess.Solve(ctx, activefriending.Options{Alpha: alpha})
 //		fmt.Println(alpha, len(sol.Invited))
 //	}
+//
+// To serve many (s,t) pairs on one graph — the paper's online social
+// network setting — open a Server instead: it creates pair sessions on
+// demand, shards them across locks, and evicts cold pools under a memory
+// budget. Every answer is a pure function of (seed, s, t), so eviction
+// and re-admission never change results:
+//
+//	sv := activefriending.NewServer(g, activefriending.ServerConfig{
+//		MaxPoolBytes: 256 << 20, Seed: 1,
+//	})
+//	sol, _ := sv.Solve(ctx, s, t, activefriending.Options{Alpha: 0.3})
+//	f, _ := sv.AcceptanceProbability(ctx, s, t, sol.Invited, 20000)
+//
+// cmd/afserve exposes the server over line-delimited JSON on
+// stdin/stdout.
 package activefriending
 
 import (
@@ -55,6 +70,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/ltm"
 	"repro/internal/maxaf"
+	"repro/internal/server"
 	"repro/internal/weights"
 )
 
@@ -253,8 +269,16 @@ func (p *Problem) Solve(ctx context.Context, opts Options) (*Solution, error) {
 type MaxSolution struct {
 	// Invited is the chosen invitation set (size ≤ the budget).
 	Invited []Node
-	// EstimatedF is the pool-based estimate of f(Invited).
+	// EstimatedF estimates f(Invited) on draws decorrelated from the pool
+	// the greedy optimized over (the same stream family
+	// AcceptanceProbability uses), so it is an unbiased measurement of the
+	// returned set.
 	EstimatedF float64
+	// TrainF is the covered fraction of the solve pool itself — the
+	// quantity the greedy maximized. It is optimistically biased (the set
+	// was chosen to cover exactly these draws); the TrainF−EstimatedF gap
+	// is the overfit margin.
+	TrainF float64
 }
 
 // SolveMax solves the *maximum* active friending variant (the problem of
@@ -271,9 +295,21 @@ func (p *Problem) SolveMax(ctx context.Context, budget int, realizations int64, 
 	if err != nil {
 		return nil, err
 	}
+	l := realizations
+	if l <= 0 {
+		l = maxaf.DefaultRealizations
+	}
+	// Measure the returned set on fresh draws (the estimator's stream
+	// family is decorrelated from the solve pool's): the in-pool fraction
+	// is what the greedy optimized and overstates f.
+	f, err := p.eng.EstimateF(ctx, res.Invited, l, 0, seed)
+	if err != nil {
+		return nil, err
+	}
 	return &MaxSolution{
 		Invited:    res.Invited.Members(),
-		EstimatedF: res.CoveredFraction,
+		EstimatedF: f,
+		TrainF:     res.CoveredFraction,
 	}, nil
 }
 
@@ -329,7 +365,10 @@ func (p *Problem) ShortestPathSet(k int) []Node {
 }
 
 func (p *Problem) toSet(invited []Node) (*graph.NodeSet, error) {
-	g := p.in.Graph()
+	return nodeSetOf(p.in.Graph(), invited)
+}
+
+func nodeSetOf(g *Graph, invited []Node) (*graph.NodeSet, error) {
 	set := graph.NewNodeSet(g.NumNodes())
 	for _, v := range invited {
 		if err := g.CheckNode(v); err != nil {
@@ -379,7 +418,8 @@ func (s *Session) Solve(ctx context.Context, opts Options) (*Solution, error) {
 
 // SolveMax solves the budgeted maximum variant against the session's
 // cached pool (shared with Solve). realizations ≤ 0 selects the default
-// pool size.
+// pool size. EstimatedF is measured against the session's decorrelated
+// evaluation pool; the in-pool fraction the greedy optimized is TrainF.
 func (s *Session) SolveMax(ctx context.Context, budget int, realizations int64) (*MaxSolution, error) {
 	l := realizations
 	if l <= 0 {
@@ -393,9 +433,14 @@ func (s *Session) SolveMax(ctx context.Context, budget int, realizations int64) 
 	if err != nil {
 		return nil, err
 	}
+	f, err := s.eval.EstimateF(ctx, res.Invited, l)
+	if err != nil {
+		return nil, err
+	}
 	return &MaxSolution{
 		Invited:    res.Invited.Members(),
-		EstimatedF: res.CoveredFraction,
+		EstimatedF: f,
+		TrainF:     res.CoveredFraction,
 	}, nil
 }
 
@@ -414,6 +459,140 @@ func (s *Session) AcceptanceProbability(ctx context.Context, invited []Node, tri
 // the pool's type-1 fraction.
 func (s *Session) Pmax(ctx context.Context, trials int64) (float64, error) {
 	return s.eval.FractionType1(ctx, trials)
+}
+
+// ServerConfig configures a Server.
+type ServerConfig struct {
+	// MaxPoolBytes bounds the total memory of cached per-pair state (pool
+	// arenas, offset tables, coverage indexes). When a query pushes the
+	// total over the budget, the least-recently-used pairs' pools are
+	// evicted until it fits; evicted pairs are re-derived on their next
+	// query with byte-identical pools, so eviction never changes an
+	// answer. 0 disables eviction.
+	MaxPoolBytes int64
+	// Shards is the number of locks the pair map is sharded across
+	// (default 16); queries for pairs on distinct shards never contend on
+	// session lookup.
+	Shards int
+	// Seed roots every pair's randomness: all results are pure functions
+	// of (Seed, s, t). Workers bounds sampling parallelism per query
+	// (0 = all CPUs) without affecting any result.
+	Seed    int64
+	Workers int
+}
+
+// Server serves active-friending queries for arbitrary (s,t) pairs on
+// one graph — the paper's online setting, where many friending requests
+// are in flight against one social network at once. Pair sessions are
+// created on demand, cached, and evicted least-recently-used under
+// ServerConfig.MaxPoolBytes. Safe for concurrent use.
+//
+//	sv := activefriending.NewServer(g, activefriending.ServerConfig{
+//		MaxPoolBytes: 256 << 20, Seed: 1,
+//	})
+//	sol, _ := sv.Solve(ctx, s, t, activefriending.Options{Alpha: 0.3})
+//	f, _ := sv.AcceptanceProbability(ctx, s, t, sol.Invited, 20000)
+//	fmt.Println(sv.Stats().BytesHeld)
+type Server struct {
+	g  *Graph
+	sv *server.Server
+}
+
+// NewServer returns a server for g with the paper's degree-normalized
+// weight convention.
+func NewServer(g *Graph, cfg ServerConfig) *Server {
+	return &Server{g: g, sv: server.New(g, weights.NewDegree(g), server.Config{
+		MaxPoolBytes: cfg.MaxPoolBytes,
+		Shards:       cfg.Shards,
+		Seed:         cfg.Seed,
+		Workers:      cfg.Workers,
+	})}
+}
+
+// Solve runs RAF for the pair (s, t) against its cached session.
+// Options.Seed and Options.Workers are ignored: the server's per-pair
+// streams govern, so the result is a pure function of (ServerConfig.Seed,
+// s, t) and the solve parameters.
+func (sv *Server) Solve(ctx context.Context, s, t Node, opts Options) (*Solution, error) {
+	o := opts.normalized()
+	res, err := sv.sv.Solve(ctx, s, t, o.coreConfig())
+	if err != nil {
+		return nil, err
+	}
+	return solutionFromResult(res), nil
+}
+
+// SolveMax solves the budgeted maximum variant for (s, t) against the
+// pair's cached pools; see Session.SolveMax for the TrainF/EstimatedF
+// distinction.
+func (sv *Server) SolveMax(ctx context.Context, s, t Node, budget int, realizations int64) (*MaxSolution, error) {
+	res, f, err := sv.sv.SolveMax(ctx, s, t, budget, realizations)
+	if err != nil {
+		return nil, err
+	}
+	return &MaxSolution{
+		Invited:    res.Invited.Members(),
+		EstimatedF: f,
+		TrainF:     res.CoveredFraction,
+	}, nil
+}
+
+// AcceptanceProbability estimates f(invited) for the pair (s, t) against
+// its cached evaluation pool.
+func (sv *Server) AcceptanceProbability(ctx context.Context, s, t Node, invited []Node, trials int64) (float64, error) {
+	set, err := nodeSetOf(sv.g, invited)
+	if err != nil {
+		return 0, err
+	}
+	return sv.sv.EstimateF(ctx, s, t, set, trials)
+}
+
+// Pmax estimates p_max for the pair (s, t) from its evaluation pool.
+func (sv *Server) Pmax(ctx context.Context, s, t Node, trials int64) (float64, error) {
+	return sv.sv.Pmax(ctx, s, t, trials)
+}
+
+// ServerKindStats is the hit/miss tally for one query kind: a hit found
+// the pair's session cached; a miss created it (including re-creation
+// after eviction).
+type ServerKindStats struct {
+	Hits   int64
+	Misses int64
+}
+
+// ServerStats is the server's observability ledger.
+type ServerStats struct {
+	// SessionsLive counts currently cached pair sessions;
+	// SessionsCreated and SessionsEvicted are lifetime counters.
+	SessionsLive    int
+	SessionsCreated int64
+	SessionsEvicted int64
+	// BytesHeld is the accounted size of all cached pair state; after an
+	// eviction pass it never exceeds ServerConfig.MaxPoolBytes.
+	BytesHeld int64
+	// Per-query-kind hit/miss tallies.
+	Solve                 ServerKindStats
+	SolveMax              ServerKindStats
+	AcceptanceProbability ServerKindStats
+	Pmax                  ServerKindStats
+}
+
+// Stats returns a snapshot of the server's ledger.
+func (sv *Server) Stats() ServerStats {
+	st := sv.sv.Stats()
+	conv := func(k server.Kind) ServerKindStats {
+		return ServerKindStats{Hits: st.ByKind[k].Hits, Misses: st.ByKind[k].Misses}
+	}
+	return ServerStats{
+		SessionsLive:          st.SessionsLive,
+		SessionsCreated:       st.SessionsCreated,
+		SessionsEvicted:       st.SessionsEvicted,
+		BytesHeld:             st.BytesHeld,
+		Solve:                 conv(server.KindSolve),
+		SolveMax:              conv(server.KindSolveMax),
+		AcceptanceProbability: conv(server.KindEstimateF),
+		Pmax:                  conv(server.KindPmax),
+	}
 }
 
 // SessionStats exposes the session's sampling ledger, making pool reuse

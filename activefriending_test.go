@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -271,8 +272,11 @@ func TestSessionSharedPool(t *testing.T) {
 	if st.SolvePoolSize != 12000 {
 		t.Errorf("after SolveMax: SolvePoolSize = %d, want 12000", st.SolvePoolSize)
 	}
-	if st.PoolDraws > 12000+2048 {
-		t.Errorf("after SolveMax: PoolDraws = %d, want ≤ %d (pool resampled)", st.PoolDraws, 12000+2048)
+	// SolveMax grew the solve pool 10000→12000 and measured EstimatedF on
+	// a 12000-draw eval pool; the ledger counts each pooled draw once.
+	if st.PoolDraws != st.SolvePoolSize+st.EvalPoolSize {
+		t.Errorf("after SolveMax: PoolDraws = %d, want SolvePoolSize+EvalPoolSize = %d (regrow double-counted)",
+			st.PoolDraws, st.SolvePoolSize+st.EvalPoolSize)
 	}
 
 	// Estimators run against the separate evaluation pool.
@@ -287,8 +291,16 @@ func TestSessionSharedPool(t *testing.T) {
 	if math.Abs(f-0.5) > 0.02 || math.Abs(pmax-0.5) > 0.02 {
 		t.Errorf("f = %v, pmax = %v, want ~0.5 each", f, pmax)
 	}
-	if st := sess.Stats(); st.EvalPoolSize != 50000 {
+	st = sess.Stats()
+	if st.EvalPoolSize != 50000 {
 		t.Errorf("EvalPoolSize = %d, want 50000", st.EvalPoolSize)
+	}
+	// The documented SessionStats invariant, after the full grow sequence
+	// (solve pool 10000→12000, eval pool 12000→50000, partial chunks
+	// regrown along the way): PoolDraws == SolvePoolSize + EvalPoolSize.
+	if st.PoolDraws != st.SolvePoolSize+st.EvalPoolSize {
+		t.Errorf("PoolDraws = %d, want SolvePoolSize+EvalPoolSize = %d",
+			st.PoolDraws, st.SolvePoolSize+st.EvalPoolSize)
 	}
 }
 
@@ -323,5 +335,128 @@ func TestSessionMatchesOneShot(t *testing.T) {
 	}
 	if oneShot.PoolType1 != viaSess.PoolType1 || oneShot.Covered != viaSess.Covered {
 		t.Errorf("diagnostics differ: %+v vs %+v", oneShot, viaSess)
+	}
+}
+
+// diamondChain builds a graph with many s→t routes: 0–{1,2}, {1,2}–{3,4},
+// {3,4}–5, plus a few dead-end spurs that give the sampler wrong turns.
+func diamondChain() *Graph {
+	b := NewGraphBuilder(10)
+	for _, e := range [][2]Node{
+		{0, 1}, {0, 2}, {1, 3}, {1, 4}, {2, 3}, {2, 4}, {3, 5}, {4, 5},
+		{1, 6}, {2, 7}, {3, 8}, {4, 9},
+	} {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// TestSolveMaxTrainEvalDiverge: TrainF is the covered fraction of the
+// very pool the greedy optimized over and is optimistically biased;
+// EstimatedF is re-measured on decorrelated draws. On a small pool the
+// two must not coincide — previously SolveMax reported the biased
+// in-pool number as EstimatedF.
+func TestSolveMaxTrainEvalDiverge(t *testing.T) {
+	g := diamondChain()
+	p, err := NewProblem(g, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	sess := p.NewSession(3, 0)
+	sol, err := sess.SolveMax(ctx, 2, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.TrainF == sol.EstimatedF {
+		t.Errorf("TrainF = EstimatedF = %v: EstimatedF still measured on the solve pool", sol.TrainF)
+	}
+	if sol.TrainF <= 0 || sol.EstimatedF <= 0 {
+		t.Errorf("degenerate estimates: TrainF = %v, EstimatedF = %v", sol.TrainF, sol.EstimatedF)
+	}
+	// One-shot path re-measures too (estimator streams are decorrelated
+	// from pool streams by namespace).
+	oneShot, err := p.SolveMax(ctx, 2, 400, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oneShot.TrainF == oneShot.EstimatedF {
+		t.Errorf("one-shot TrainF = EstimatedF = %v", oneShot.TrainF)
+	}
+}
+
+// TestServerFacade: the public Server answers all four query kinds,
+// answers are identical with and without an eviction-inducing budget,
+// and the stats ledger tracks sessions and bytes.
+func TestServerFacade(t *testing.T) {
+	g := diamondChain()
+	ctx := context.Background()
+	pairs := [][2]Node{{0, 5}, {0, 3}, {0, 4}, {6, 5}, {1, 2}}
+	opts := Options{Alpha: 0.3, Eps: 0.1, N: 50, Realizations: 3000, MaxPmaxDraws: 100000}
+
+	type answers struct {
+		sol  *Solution
+		msol *MaxSolution
+		f    float64
+		pmax float64
+	}
+	collect := func(sv *Server) []answers {
+		var out []answers
+		for _, pk := range pairs {
+			a := answers{}
+			var err error
+			a.sol, err = sv.Solve(ctx, pk[0], pk[1], opts)
+			if err != nil {
+				t.Fatalf("Solve(%v): %v", pk, err)
+			}
+			a.msol, err = sv.SolveMax(ctx, pk[0], pk[1], 2, 2000)
+			if err != nil {
+				t.Fatalf("SolveMax(%v): %v", pk, err)
+			}
+			a.f, err = sv.AcceptanceProbability(ctx, pk[0], pk[1], a.sol.Invited, 2000)
+			if err != nil {
+				t.Fatalf("AcceptanceProbability(%v): %v", pk, err)
+			}
+			a.pmax, err = sv.Pmax(ctx, pk[0], pk[1], 2000)
+			if err != nil {
+				t.Fatalf("Pmax(%v): %v", pk, err)
+			}
+			if a.f <= 0 || a.pmax <= 0 || a.f > a.pmax+0.05 {
+				t.Errorf("pair %v: f = %v, pmax = %v", pk, a.f, a.pmax)
+			}
+			out = append(out, a)
+		}
+		return out
+	}
+
+	free := NewServer(g, ServerConfig{Seed: 9})
+	want := collect(free)
+	budgeted := NewServer(g, ServerConfig{Seed: 9, MaxPoolBytes: 24 << 10, Shards: 2, Workers: 2})
+	got := collect(budgeted)
+	for i := range want {
+		if !reflect.DeepEqual(want[i], got[i]) {
+			t.Errorf("pair %v: budgeted server diverged:\n got %+v\nwant %+v", pairs[i], got[i], want[i])
+		}
+	}
+
+	st := budgeted.Stats()
+	if st.SessionsEvicted == 0 {
+		t.Errorf("no evictions under a 24KiB budget: %+v", st)
+	}
+	if st.BytesHeld > 24<<10 {
+		t.Errorf("BytesHeld = %d exceeds the 24KiB budget", st.BytesHeld)
+	}
+	if st.Solve.Hits+st.Solve.Misses != int64(len(pairs)) {
+		t.Errorf("solve queries = %d, want %d", st.Solve.Hits+st.Solve.Misses, len(pairs))
+	}
+	if free.Stats().SessionsLive != len(pairs) {
+		t.Errorf("unbudgeted live sessions = %d, want %d", free.Stats().SessionsLive, len(pairs))
+	}
+	// Adjacent pair rejected, wrong node id rejected.
+	if _, err := budgeted.Pmax(ctx, 0, 1, 1000); err == nil {
+		t.Error("adjacent pair accepted")
+	}
+	if _, err := budgeted.AcceptanceProbability(ctx, 0, 5, []Node{99}, 1000); err == nil {
+		t.Error("out-of-range invited node accepted")
 	}
 }

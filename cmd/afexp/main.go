@@ -11,11 +11,12 @@
 // values; raise them (e.g. -scale 1 -pairs 500) to match the paper's
 // setup exactly.
 //
-// Experiments run through per-pair realization-engine sessions: each
-// pair's pool is sampled once and reused across the α-sweep (fig3), the
-// growth curves (fig4/fig5) and the f measurements, which share one
-// evaluation pool per pair. All results are deterministic in -seed,
-// independent of -workers.
+// Experiments route through the graph-level serving layer
+// (internal/server): each pair's pool is sampled once, reused across the
+// α-sweep (fig3), the growth curves (fig4/fig5) and the f measurements,
+// and evicted least-recently-used when -maxbytes bounds the pool memory.
+// All results are deterministic in -seed, independent of -workers and of
+// the eviction schedule.
 package main
 
 import (
@@ -28,6 +29,7 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/eval"
 	"repro/internal/gen"
+	"repro/internal/server"
 	"repro/internal/tablewriter"
 	"repro/internal/weights"
 )
@@ -49,6 +51,7 @@ type options struct {
 	eps      float64
 	bigN     float64
 	maxReal  int64
+	maxBytes int64
 	trials   int64
 	seed     int64
 	workers  int
@@ -66,6 +69,7 @@ func run(args []string) error {
 	eps := fs.Float64("eps", 0.01, "accuracy slack (paper: 0.01)")
 	bigN := fs.Float64("N", 100000, "success control (paper: 100000)")
 	maxReal := fs.Int64("maxreal", 60000, "realization cap per RAF run")
+	maxBytes := fs.Int64("maxbytes", 0, "serving-layer pool memory budget in bytes (0 = unlimited)")
 	trials := fs.Int64("trials", 20000, "Monte-Carlo trials per f estimate")
 	seed := fs.Int64("seed", 1, "root seed")
 	workers := fs.Int("workers", 0, "parallel workers (0 = CPUs)")
@@ -76,7 +80,7 @@ func run(args []string) error {
 	o := options{
 		exp: *exp, datasets: strings.Split(*datasets, ","), scale: *scale,
 		pairs: *pairs, maxPmax: *maxPmax, alpha: *alpha, eps: *eps, bigN: *bigN,
-		maxReal: *maxReal, trials: *trials, seed: *seed, workers: *workers,
+		maxReal: *maxReal, maxBytes: *maxBytes, trials: *trials, seed: *seed, workers: *workers,
 		csv: *csv,
 	}
 	ctx := context.Background()
@@ -132,6 +136,13 @@ func run(args []string) error {
 			MaxRealizations: o.maxReal, EvalTrials: o.trials,
 			Seed: o.seed, Workers: o.workers,
 		}
+		// Route every pair's sessions through the serving layer: pools
+		// are shared across experiments on this dataset and evicted
+		// least-recently-used under -maxbytes.
+		sv := server.New(g, w, server.Config{
+			Seed: o.seed, Workers: o.workers, MaxPoolBytes: o.maxBytes,
+		})
+		cfg.Server = sv
 		if o.exp == "fig3" || o.exp == "all" {
 			rows, err := eval.BasicExperiment(ctx, cfg, []float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35})
 			if err != nil {
@@ -180,6 +191,9 @@ func run(args []string) error {
 				return err
 			}
 		}
+		st := sv.Stats()
+		fmt.Fprintf(os.Stderr, "server: %d pairs live, %d created, %d evicted, %d KiB held\n",
+			st.SessionsLive, st.SessionsCreated, st.SessionsEvicted, st.BytesHeld>>10)
 	}
 	if len(table2Rows) > 0 {
 		if err := emit(eval.RenderTable2(table2Names, table2Rows)); err != nil {

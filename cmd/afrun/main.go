@@ -12,19 +12,20 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	af "repro"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "afrun:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("afrun", flag.ContinueOnError)
 	dataset := fs.String("dataset", "Wiki", "Table I dataset analog")
 	scale := fs.Float64("scale", 0.05, "dataset scale")
@@ -89,14 +90,14 @@ func run(args []string) error {
 		return err
 	}
 
-	fmt.Printf("instance: %d nodes, %d edges, s=%d t=%d\n", g.NumNodes(), g.NumEdges(), *sFlag, *tFlag)
-	fmt.Printf("p*max  = %.5f (|Vmax| = %d)\n", sol.PStar, sol.VmaxSize)
-	fmt.Printf("RAF    : |I| = %d, f = %.5f  (pool %d, type-1 %d, covered %d)\n",
+	fmt.Fprintf(w, "instance: %d nodes, %d edges, s=%d t=%d\n", g.NumNodes(), g.NumEdges(), *sFlag, *tFlag)
+	fmt.Fprintf(w, "p*max  = %.5f (|Vmax| = %d)\n", sol.PStar, sol.VmaxSize)
+	fmt.Fprintf(w, "RAF    : |I| = %d, f = %.5f  (pool %d, type-1 %d, covered %d)\n",
 		k, fRAF, sol.Realizations, sol.PoolType1, sol.Covered)
-	fmt.Printf("HD     : |I| = %d, f = %.5f\n", k, fHD)
-	fmt.Printf("SP     : |I| = %d, f = %.5f\n", k, fSP)
+	fmt.Fprintf(w, "HD     : |I| = %d, f = %.5f\n", k, fHD)
+	fmt.Fprintf(w, "SP     : |I| = %d, f = %.5f\n", k, fSP)
 	if k <= 50 {
-		fmt.Printf("invited: %v\n", sol.Invited)
+		fmt.Fprintf(w, "invited: %v\n", sol.Invited)
 	}
 	return nil
 }

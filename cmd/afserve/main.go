@@ -1,0 +1,208 @@
+// Command afserve serves active-friending queries for arbitrary (s,t)
+// pairs over line-delimited JSON on stdin/stdout — the paper's online
+// setting, with many pairs in flight against one graph at once. It wraps
+// activefriending.Server: pair sessions are created on demand, shared
+// across queries, and evicted least-recently-used under -maxbytes.
+//
+// Usage:
+//
+//	afserve -file graph.txt < queries.jsonl
+//	afserve -dataset Wiki -scale 0.05 -maxbytes 268435456 -j 8
+//
+// Each input line is one request:
+//
+//	{"id":1,"op":"solve","s":3,"t":91,"alpha":0.2}
+//	{"id":2,"op":"solvemax","s":3,"t":91,"budget":5,"realizations":50000}
+//	{"id":3,"op":"acceptance","s":3,"t":91,"invited":[17,91],"trials":20000}
+//	{"id":4,"op":"pmax","s":3,"t":91,"trials":20000}
+//	{"id":5,"op":"stats"}
+//
+// Each response is one JSON line {"id":…,"ok":true,"result":…} (or
+// "error" when ok is false). With -j > 1 requests are answered
+// concurrently and responses may arrive out of order; match them by id.
+// Results are pure functions of (-seed, s, t) and the request
+// parameters: answer order, concurrency and pool eviction never change
+// them.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	af "repro"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "afserve:", err)
+		os.Exit(1)
+	}
+}
+
+type request struct {
+	ID           int64     `json:"id,omitempty"`
+	Op           string    `json:"op"`
+	S            af.Node   `json:"s"`
+	T            af.Node   `json:"t"`
+	Alpha        float64   `json:"alpha,omitempty"`
+	Eps          float64   `json:"eps,omitempty"`
+	N            float64   `json:"n,omitempty"`
+	Budget       int       `json:"budget,omitempty"`
+	Realizations int64     `json:"realizations,omitempty"`
+	Trials       int64     `json:"trials,omitempty"`
+	Invited      []af.Node `json:"invited,omitempty"`
+}
+
+type response struct {
+	ID     int64  `json:"id,omitempty"`
+	Op     string `json:"op"`
+	OK     bool   `json:"ok"`
+	Error  string `json:"error,omitempty"`
+	Result any    `json:"result,omitempty"`
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("afserve", flag.ContinueOnError)
+	file := fs.String("file", "", "edge-list file to serve")
+	dataset := fs.String("dataset", "", "Table I dataset analog to generate instead of -file")
+	scale := fs.Float64("scale", 0.05, "dataset scale")
+	seed := fs.Int64("seed", 1, "root seed; every answer is a pure function of (seed, s, t)")
+	workers := fs.Int("workers", 0, "sampling workers per query (0 = CPUs)")
+	shards := fs.Int("shards", 0, "pair-map lock shards (0 = default)")
+	maxBytes := fs.Int64("maxbytes", 0, "pool memory budget in bytes (0 = unlimited)")
+	jobs := fs.Int("j", 1, "max in-flight requests; >1 answers out of order")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var g *af.Graph
+	var err error
+	switch {
+	case *file != "":
+		f, err2 := os.Open(*file)
+		if err2 != nil {
+			return fmt.Errorf("opening graph: %w", err2)
+		}
+		g, err = af.LoadEdgeList(f)
+		f.Close()
+	case *dataset != "":
+		g, err = af.GenerateDataset(*dataset, *scale, *seed)
+	default:
+		return fmt.Errorf("one of -file or -dataset is required")
+	}
+	if err != nil {
+		return err
+	}
+	if *jobs < 1 {
+		*jobs = 1
+	}
+
+	sv := af.NewServer(g, af.ServerConfig{
+		MaxPoolBytes: *maxBytes,
+		Shards:       *shards,
+		Seed:         *seed,
+		Workers:      *workers,
+	})
+	ctx := context.Background()
+
+	var mu sync.Mutex // serializes response lines
+	bw := bufio.NewWriter(out)
+	defer bw.Flush()
+	enc := json.NewEncoder(bw)
+	reply := func(resp response) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if err := enc.Encode(resp); err != nil {
+			return err
+		}
+		// Flush per response so pipelined clients see answers promptly.
+		return bw.Flush()
+	}
+
+	sem := make(chan struct{}, *jobs)
+	var wg sync.WaitGroup
+	var failed atomic.Bool // a reply could not be written; stop serving
+	var replyErr error
+	var replyErrOnce sync.Once
+	fail := func(err error) {
+		replyErrOnce.Do(func() { replyErr = err; failed.Store(true) })
+	}
+
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() && !failed.Load() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req request
+		if err := json.Unmarshal(line, &req); err != nil {
+			if err := reply(response{OK: false, Error: fmt.Sprintf("bad request: %v", err)}); err != nil {
+				fail(err)
+			}
+			continue
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(req request) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := reply(serve(ctx, sv, req)); err != nil {
+				fail(err)
+			}
+		}(req)
+	}
+	// Always drain in-flight workers before returning: the deferred
+	// flush must not race their writes.
+	wg.Wait()
+	if replyErr != nil {
+		return replyErr
+	}
+	return sc.Err()
+}
+
+// serve answers one request against the server.
+func serve(ctx context.Context, sv *af.Server, req request) response {
+	resp := response{ID: req.ID, Op: req.Op}
+	trials := req.Trials
+	if trials <= 0 {
+		trials = 20000
+	}
+	var result any
+	var err error
+	switch req.Op {
+	case "solve":
+		result, err = sv.Solve(ctx, req.S, req.T, af.Options{
+			Alpha: req.Alpha, Eps: req.Eps, N: req.N,
+			Realizations: req.Realizations,
+		})
+	case "solvemax":
+		result, err = sv.SolveMax(ctx, req.S, req.T, req.Budget, req.Realizations)
+	case "acceptance":
+		var f float64
+		f, err = sv.AcceptanceProbability(ctx, req.S, req.T, req.Invited, trials)
+		result = map[string]float64{"f": f}
+	case "pmax":
+		var f float64
+		f, err = sv.Pmax(ctx, req.S, req.T, trials)
+		result = map[string]float64{"pmax": f}
+	case "stats":
+		result = sv.Stats()
+	default:
+		err = fmt.Errorf("unknown op %q", req.Op)
+	}
+	if err != nil {
+		resp.Error = err.Error()
+		return resp
+	}
+	resp.OK = true
+	resp.Result = result
+	return resp
+}

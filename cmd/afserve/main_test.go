@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// diamond is a small graph with several 0→5 routes (and spurs), so the
+// (0,5), (0,3), (0,4) pairs all have positive p_max.
+const diamond = "0 1\n0 2\n1 3\n1 4\n2 3\n2 4\n3 5\n4 5\n1 6\n2 7\n"
+
+func graphFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := os.WriteFile(path, []byte(diamond), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const queries = `{"id":1,"op":"pmax","s":0,"t":5,"trials":4000}
+{"id":2,"op":"solve","s":0,"t":5,"alpha":0.3,"eps":0.1,"n":50,"realizations":4000}
+{"id":3,"op":"acceptance","s":0,"t":5,"invited":[3,4,5],"trials":4000}
+{"id":4,"op":"solvemax","s":0,"t":5,"budget":2,"realizations":4000}
+{"id":5,"op":"pmax","s":0,"t":3,"trials":4000}
+{"id":6,"op":"stats"}
+{"id":7,"op":"solve","s":0,"t":1}
+{"id":8,"op":"bogus","s":0,"t":5}
+`
+
+type resp struct {
+	ID     int64           `json:"id"`
+	Op     string          `json:"op"`
+	OK     bool            `json:"ok"`
+	Error  string          `json:"error"`
+	Result json.RawMessage `json:"result"`
+}
+
+func runServe(t *testing.T, args []string, input string) []resp {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(args, strings.NewReader(input), &sb); err != nil {
+		t.Fatal(err)
+	}
+	var out []resp
+	for _, line := range strings.Split(strings.TrimSpace(sb.String()), "\n") {
+		var r resp
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			t.Fatalf("bad response line %q: %v", line, err)
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func TestServeQueries(t *testing.T) {
+	path := graphFile(t)
+	got := runServe(t, []string{"-file", path, "-seed", "7"}, queries)
+	if len(got) != 8 {
+		t.Fatalf("got %d responses, want 8", len(got))
+	}
+	for _, r := range got[:6] {
+		if !r.OK {
+			t.Errorf("id %d (%s): error %q", r.ID, r.Op, r.Error)
+		}
+	}
+	if got[6].OK || got[6].Error == "" {
+		t.Errorf("adjacent pair: %+v", got[6])
+	}
+	if got[7].OK || !strings.Contains(got[7].Error, "unknown op") {
+		t.Errorf("bogus op: %+v", got[7])
+	}
+	var pm struct {
+		Pmax float64 `json:"pmax"`
+	}
+	if err := json.Unmarshal(got[0].Result, &pm); err != nil {
+		t.Fatal(err)
+	}
+	if pm.Pmax <= 0 || pm.Pmax > 1 {
+		t.Errorf("pmax = %v", pm.Pmax)
+	}
+	var sol struct {
+		Invited []int32 `json:"Invited"`
+	}
+	if err := json.Unmarshal(got[1].Result, &sol); err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Invited) == 0 {
+		t.Errorf("solve returned empty invitation set: %s", got[1].Result)
+	}
+
+	// Determinism across runs, budgets and concurrency: same seed, same
+	// answers for every query — eviction and out-of-order answering are
+	// latency events, not correctness events. (stats output is excluded:
+	// hit/miss and byte ledgers legitimately differ.)
+	for _, extra := range [][]string{
+		{"-maxbytes", "16384"},
+		{"-j", "4"},
+		{"-maxbytes", "16384", "-j", "4", "-shards", "2", "-workers", "2"},
+	} {
+		again := runServe(t, append([]string{"-file", path, "-seed", "7"}, extra...), queries)
+		if len(again) != len(got) {
+			t.Fatalf("%v: got %d responses, want %d", extra, len(again), len(got))
+		}
+		for i := range got {
+			if got[i].Op == "stats" {
+				continue
+			}
+			if string(again[i].Result) != string(got[i].Result) || again[i].OK != got[i].OK {
+				t.Errorf("%v: id %d diverged:\n got %s\nwant %s", extra, again[i].ID, again[i].Result, got[i].Result)
+			}
+		}
+	}
+}
+
+func TestServeErrors(t *testing.T) {
+	if err := run([]string{}, strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Error("missing graph source accepted")
+	}
+	if err := run([]string{"-file", "/nonexistent"}, strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Malformed request lines are answered, not fatal.
+	path := graphFile(t)
+	got := runServe(t, []string{"-file", path}, "not json\n")
+	if len(got) != 1 || got[0].OK {
+		t.Errorf("malformed line: %+v", got)
+	}
+}
+
+func TestServeDataset(t *testing.T) {
+	got := runServe(t, []string{"-dataset", "Wiki", "-scale", "0.02"}, `{"id":1,"op":"stats"}`+"\n")
+	if len(got) != 1 || !got[0].OK {
+		t.Fatalf("stats on generated dataset: %+v", got)
+	}
+}

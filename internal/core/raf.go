@@ -92,9 +92,9 @@ type Result struct {
 	// PmaxDraws is the number of stopping-rule samples spent on PStar.
 	PmaxDraws int64
 	// LTheory is the Eq. 16 threshold l* (possibly +Inf-like huge);
-	// LUsed is the pool size actually used after caps/overrides (a cached
-	// Session pool may exceed the requested size; estimates normalize by
-	// the actual size).
+	// LUsed is the pool size actually used after caps/overrides. A
+	// Session serves exactly this many draws even when its cache has
+	// grown larger, so the result is independent of earlier solves.
 	LTheory float64
 	LUsed   int64
 	// PoolType1 is |B_l¹| and Demand is ⌈β·|B_l¹|⌉ (surfaced from the

@@ -60,6 +60,14 @@ func NewSession(in *ltm.Instance, seed int64, workers int) *Session {
 // sampling diagnostics).
 func (s *Session) Engine() *engine.Engine { return s.eng }
 
+// Instance returns the session's problem instance.
+func (s *Session) Instance() *ltm.Instance { return s.in }
+
+// MemBytes returns the bytes held by the session's cached realization
+// pool and regrow tables — the sizing input for memory-budgeted eviction
+// of cold sessions.
+func (s *Session) MemBytes() int64 { return s.pools.MemBytes() }
+
 // Pool returns the session's cached realization pool grown to at least l
 // draws.
 func (s *Session) Pool(ctx context.Context, l int64) (*engine.Pool, error) {
@@ -104,6 +112,18 @@ func (s *Session) estimatePmax(ctx context.Context, eps0, n float64, maxDraws in
 	s.pStarCap = maxDraws
 	s.pStarTruncated = maxDraws > 0 && draws >= maxDraws
 	return pStar, draws, nil
+}
+
+// poolSizeFromTheory converts the Eq. 16 threshold l* to a draw count.
+// The clamp must run BEFORE the float→int64 conversion: converting a
+// float64 beyond the int64 range is implementation-defined in Go, and the
+// theoretical l* is astronomically large whenever p* is tiny. The
+// negated comparison also routes NaN to the clamp.
+func poolSizeFromTheory(lTheory float64) int64 {
+	if !(lTheory <= math.MaxInt64/2) {
+		return math.MaxInt64 / 2
+	}
+	return int64(math.Ceil(lTheory))
 }
 
 // Framework runs Algorithm 3 against the session's cached pool, growing
@@ -181,10 +201,7 @@ func (s *Session) RAF(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	res.LTheory = lTheory
-	l := int64(math.Ceil(lTheory))
-	if lTheory > math.MaxInt64/2 {
-		l = math.MaxInt64 / 2
-	}
+	l := poolSizeFromTheory(lTheory)
 	if cfg.OverrideL > 0 {
 		l = cfg.OverrideL
 	} else if cfg.MaxRealizations > 0 && l > cfg.MaxRealizations {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/ltm"
+	"repro/internal/mc"
 )
 
 // sessionTestInstance returns a random instance with a comfortably
@@ -194,5 +195,42 @@ func TestSessionPmaxTruncatedNotReused(t *testing.T) {
 	if third.PmaxDraws != second.PmaxDraws || third.PStar != second.PStar {
 		t.Errorf("converged estimate not reused: %v/%d vs %v/%d",
 			third.PStar, third.PmaxDraws, second.PStar, second.PmaxDraws)
+	}
+}
+
+// TestPoolSizeFromTheory: the Eq. 16 threshold must be clamped BEFORE the
+// float→int64 conversion — an out-of-range conversion is
+// implementation-defined in Go, and the theoretical l* routinely exceeds
+// int64 when p* is tiny.
+func TestPoolSizeFromTheory(t *testing.T) {
+	const clamp = int64(math.MaxInt64 / 2)
+	cases := []struct {
+		lTheory float64
+		want    int64
+	}{
+		{123.4, 124},
+		{1, 1},
+		{1e30, clamp},
+		{math.MaxInt64, clamp}, // above MaxInt64/2, below MaxInt64
+		{math.Inf(1), clamp},
+		{math.NaN(), clamp},
+	}
+	for _, c := range cases {
+		if got := poolSizeFromTheory(c.lTheory); got != c.want {
+			t.Errorf("poolSizeFromTheory(%v) = %d, want %d", c.lTheory, got, c.want)
+		}
+	}
+	// An astronomical threshold straight out of Eq. 16: p* = 1e-280 on a
+	// 1000-dimensional union bound blows far past int64. The clamped size
+	// must stay positive (a negative or wrapped l would poison sampling).
+	lTheory, err := mc.RealizationThreshold(0.01, 0.01, 1e-280, 1000, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lTheory <= math.MaxInt64 {
+		t.Fatalf("lTheory = %v, expected astronomical", lTheory)
+	}
+	if got := poolSizeFromTheory(lTheory); got != clamp {
+		t.Errorf("poolSizeFromTheory(%v) = %d, want clamp %d", lTheory, got, clamp)
 	}
 }

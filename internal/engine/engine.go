@@ -65,18 +65,25 @@ func New(in *ltm.Instance) *Engine {
 func (e *Engine) Instance() *ltm.Instance { return e.in }
 
 // Draws returns the total number of realization draws made through the
-// engine; PoolDraws counts only those spent filling pools. The pair makes
-// pool reuse observable: an α-sweep through one Session leaves PoolDraws
-// at exactly the pool size.
+// engine; PoolDraws counts only those spent filling pools. Each pooled
+// draw is counted exactly once: when a Session regrows a partial trailing
+// chunk, the re-derived prefix is not re-counted, so after any grow
+// sequence PoolDraws equals the sum of the cached pool sizes. The pair
+// makes pool reuse observable: an α-sweep through one Session leaves
+// PoolDraws at exactly the pool size.
 func (e *Engine) Draws() int64     { return e.draws.Load() }
 func (e *Engine) PoolDraws() int64 { return e.poolDraws.Load() }
 
 // chunkPaths holds the type-1 paths of one sampled chunk in local CSR
-// form: path j is arena[offsets[j]:offsets[j+1]].
+// form: path j is arena[offsets[j]:offsets[j+1]] and was produced by the
+// chunk-local draw drawIdx[j]. The draw indices are what let an
+// assembled pool serve truncated prefix views (Pool.Truncate) at any
+// draw count, independent of how large the cache has grown.
 type chunkPaths struct {
 	draws   int64
 	arena   []graph.Node
 	offsets []int32
+	drawIdx []int32
 }
 
 // sampleChunk draws n realizations from the stream (seed, ns, chunk) and
@@ -84,6 +91,11 @@ type chunkPaths struct {
 // allocation. A chunk's result depends only on (seed, ns, chunk, n), and
 // a shorter chunk's paths are a prefix of a longer one's, which is what
 // lets Session grow a partial trailing chunk consistently.
+//
+// sampleChunk does not touch the draw ledger: the caller accounts for the
+// draws it is responsible for, so a Session that regrows a partial chunk
+// (re-deriving its already-counted prefix) can charge only the net-new
+// draws and keep PoolDraws equal to the pool size.
 func (e *Engine) sampleChunk(seed int64, ns uint64, chunk, n int64) chunkPaths {
 	r := rng.DeriveStreamRand(seed, ns, uint64(chunk))
 	sp := e.samplers.Get().(*realization.Sampler)
@@ -93,12 +105,17 @@ func (e *Engine) sampleChunk(seed int64, ns uint64, chunk, n int64) chunkPaths {
 		if tg.Outcome == realization.Type1 {
 			cp.arena = append(cp.arena, tg.Path...)
 			cp.offsets = append(cp.offsets, int32(len(cp.arena)))
+			cp.drawIdx = append(cp.drawIdx, int32(i))
 		}
 	}
 	e.samplers.Put(sp)
+	return cp
+}
+
+// addPoolDraws charges n pool draws to the engine's ledger.
+func (e *Engine) addPoolDraws(n int64) {
 	e.draws.Add(n)
 	e.poolDraws.Add(n)
-	return cp
 }
 
 // assemblePool concatenates chunk results (in chunk order) into one pool.
@@ -116,15 +133,21 @@ func assemblePool(chunks []chunkPaths, universe int) (*Pool, error) {
 	p := &Pool{
 		arena:    make([]graph.Node, 0, arenaLen),
 		offsets:  make([]int32, 1, paths+1),
+		pathDraw: make([]int64, 0, paths),
 		total:    total,
 		universe: universe,
 	}
+	var drawBase int64
 	for _, c := range chunks {
 		base := int32(len(p.arena))
 		p.arena = append(p.arena, c.arena...)
 		for _, end := range c.offsets[1:] {
 			p.offsets = append(p.offsets, base+end)
 		}
+		for _, d := range c.drawIdx {
+			p.pathDraw = append(p.pathDraw, drawBase+int64(d))
+		}
+		drawBase += c.draws
 	}
 	return p, nil
 }
@@ -167,6 +190,7 @@ func (e *Engine) samplePoolNS(ctx context.Context, l int64, workers int, seed in
 	if err != nil {
 		return nil, err
 	}
+	e.addPoolDraws(l)
 	return assemblePool(chunks, e.in.Graph().NumNodes())
 }
 

@@ -252,11 +252,68 @@ func TestSessionGrowthConsistency(t *testing.T) {
 	if !poolsEqual(final, oneShot) {
 		t.Error("grown session pool differs from one-shot pool of the final size")
 	}
-	// Growth cost: full chunks are sampled once; only the trailing
-	// partial chunk is ever redrawn. 900→2500→2600→9000 redraws the
-	// partials (900 at step 2, 452 at step 3) on top of the 9000.
-	if draws := eng.PoolDraws(); draws > 9000+900+452+ChunkSize {
-		t.Errorf("pool draws = %d, growth resampled more than the partial chunks", draws)
+	// The ledger counts every pooled draw exactly once: growth redraws
+	// partial trailing chunks, but their re-derived prefixes are already
+	// counted, so after any grow sequence PoolDraws equals the pool size.
+	if draws := eng.PoolDraws(); draws != 9000 {
+		t.Errorf("pool draws = %d, want exactly the pool size 9000", draws)
+	}
+}
+
+// TestSessionRegrowLedger is the regression test for the grow-time
+// over-count: growing through a partial chunk used to re-count the
+// chunk's already-counted prefix (Pool(1000) then Pool(4096) reported
+// PoolDraws = 5096), breaking the documented invariant that after an
+// α-sweep PoolDraws equals the pool size.
+func TestSessionRegrowLedger(t *testing.T) {
+	in := testInstance(t)
+	ctx := context.Background()
+	eng := New(in)
+	sess := eng.NewSession(11, 2)
+	for _, l := range []int64{1000, 4096, 5000} {
+		p, err := sess.Pool(ctx, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := eng.PoolDraws(); got != p.Total() {
+			t.Errorf("after Pool(%d): PoolDraws = %d, want pool size %d", l, got, p.Total())
+		}
+		if eng.Draws() != eng.PoolDraws() {
+			t.Errorf("after Pool(%d): Draws = %d, PoolDraws = %d, want equal (no estimator ran)",
+				l, eng.Draws(), eng.PoolDraws())
+		}
+	}
+}
+
+// TestMemBytes: pool byte accounting is positive, grows with the pool,
+// and includes the coverage index once built; the session adds its chunk
+// offset tables on top of the pool.
+func TestMemBytes(t *testing.T) {
+	in := testInstance(t)
+	ctx := context.Background()
+	sess := New(in).NewSession(3, 2)
+	small, err := sess.Pool(ctx, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallBytes := small.MemBytes()
+	if smallBytes <= 0 {
+		t.Fatalf("MemBytes = %d, want positive", smallBytes)
+	}
+	big, err := sess.Pool(ctx, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.MemBytes() <= smallBytes {
+		t.Errorf("grown pool MemBytes = %d, want > %d", big.MemBytes(), smallBytes)
+	}
+	pre := big.MemBytes()
+	big.Index()
+	if big.MemBytes() <= pre {
+		t.Errorf("MemBytes with index = %d, want > %d (index not accounted)", big.MemBytes(), pre)
+	}
+	if sess.MemBytes() <= big.MemBytes() {
+		t.Errorf("session MemBytes = %d, want > pool's %d (chunk offset tables)", sess.MemBytes(), big.MemBytes())
 	}
 }
 
@@ -430,5 +487,53 @@ func TestDrawCountGuard(t *testing.T) {
 	}
 	if _, err := New(in).EstimateF(context.Background(), graph.NewNodeSet(4), huge, 1, 1); err == nil {
 		t.Error("oversized estimate accepted")
+	}
+}
+
+// TestTruncatedViewMatchesOneShot: Pool(l) on a cache grown far beyond l
+// returns exactly the pool one-shot sampling of l draws would have
+// produced — path for path — so any result computed at size l is
+// independent of the session's growth history. This is the invariant a
+// serving layer relies on to evict and re-admit sessions without
+// changing answers.
+func TestTruncatedViewMatchesOneShot(t *testing.T) {
+	in := testInstance(t)
+	ctx := context.Background()
+	sess := New(in).NewSession(21, 3)
+	if _, err := sess.Pool(ctx, 9000); err != nil { // grow the cache first
+		t.Fatal(err)
+	}
+	for _, l := range []int64{100, 2000, 2048, 4096, 5000, 9000} {
+		view, err := sess.Pool(ctx, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oneShot, err := New(in).SamplePool(ctx, l, 1, 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if view.Total() != l || oneShot.Total() != l {
+			t.Fatalf("l=%d: totals %d / %d", l, view.Total(), oneShot.Total())
+		}
+		if view.NumType1() != oneShot.NumType1() {
+			t.Fatalf("l=%d: NumType1 %d, one-shot %d", l, view.NumType1(), oneShot.NumType1())
+		}
+		for i := 0; i < view.NumType1(); i++ {
+			a, b := view.Path(i), oneShot.Path(i)
+			if len(a) != len(b) {
+				t.Fatalf("l=%d path %d: len %d vs %d", l, i, len(a), len(b))
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("l=%d path %d diverges at %d", l, i, j)
+				}
+			}
+		}
+		// The view's own coverage machinery agrees with the one-shot pool.
+		all := graph.NewNodeSet(in.Graph().NumNodes())
+		all.Fill()
+		if got, want := view.EstimateF(all), oneShot.EstimateF(all); got != want {
+			t.Errorf("l=%d: view EstimateF(V) = %v, one-shot %v", l, got, want)
+		}
 	}
 }

@@ -31,7 +31,9 @@ type Index struct {
 func newIndex(p *Pool) *Index {
 	t1 := p.NumType1()
 	off := make([]int32, p.universe+1)
-	for _, v := range p.arena {
+	// Scan only the arena prefix the pool's paths occupy: a truncated
+	// view shares its parent's full arena but owns fewer paths.
+	for _, v := range p.arena[:p.offsets[t1]] {
 		off[v+1]++
 	}
 	var nodes []graph.Node
@@ -41,7 +43,7 @@ func newIndex(p *Pool) *Index {
 		}
 		off[v+1] += off[v]
 	}
-	ids := make([]int32, len(p.arena))
+	ids := make([]int32, p.offsets[t1])
 	next := make([]int32, p.universe)
 	for i := 0; i < t1; i++ {
 		for _, v := range p.Path(i) {
@@ -57,6 +59,13 @@ func newIndex(p *Pool) *Index {
 		hits:     make([]int32, t1),
 		hitEpoch: make([]uint32, t1),
 	}
+}
+
+// memBytes returns the resident size of the index's postings and scratch
+// tables (graph.Node, int32 and uint32 entries are 4 bytes each).
+func (ix *Index) memBytes() int64 {
+	return (int64(cap(ix.nodes)) + int64(cap(ix.off)) + int64(cap(ix.ids)) +
+		int64(cap(ix.hits)) + int64(cap(ix.hitEpoch))) * 4
 }
 
 // Realizations returns the ids of the pooled realizations whose path

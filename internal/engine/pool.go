@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/setcover"
@@ -10,19 +12,44 @@ import (
 // Pool is a batch of sampled realizations B_l in compact CSR form: the
 // type-1 backward paths live in one flat arena, so a pool of hundreds of
 // thousands of realizations costs two allocations instead of one per
-// path. Path i is arena[offsets[i]:offsets[i+1]].
+// path. Path i is arena[offsets[i]:offsets[i+1]] and was produced by
+// draw pathDraw[i] (ascending).
 //
 // Pool contents are a pure function of (seed, l) — chunked sampling makes
-// them independent of the worker count (see Engine.SamplePool). Pools are
-// immutable after construction and safe for concurrent use.
+// them independent of the worker count (see Engine.SamplePool), and
+// Truncate serves the exact-prefix view at any smaller draw count, so
+// estimates and solves can be pure functions of the requested size no
+// matter how large a cached pool has grown. Pools are immutable after
+// construction and safe for concurrent use.
 type Pool struct {
 	arena    []graph.Node
 	offsets  []int32
+	pathDraw []int64
 	total    int64
 	universe int
 
-	idxOnce sync.Once
-	idx     *Index
+	idxOnce  sync.Once
+	idx      *Index
+	idxBuilt atomic.Bool // set after idx is fully constructed
+}
+
+// Truncate returns the prefix view of the pool's first l draws: exactly
+// the pool that sampling l draws one-shot would have produced (chunk
+// streams are indexed and prefix-stable). The view shares the parent's
+// arena and offsets zero-copy and builds its own coverage index on
+// demand. l ≥ Total returns the pool itself.
+func (p *Pool) Truncate(l int64) *Pool {
+	if l >= p.total {
+		return p
+	}
+	k := sort.Search(len(p.pathDraw), func(i int) bool { return p.pathDraw[i] >= l })
+	return &Pool{
+		arena:    p.arena,
+		offsets:  p.offsets[:k+1],
+		pathDraw: p.pathDraw[:k],
+		total:    l,
+		universe: p.universe,
+	}
 }
 
 // Total returns l, the total number of realizations drawn (|B_l|).
@@ -81,17 +108,40 @@ func (p *Pool) EstimateF(invited *graph.NodeSet) float64 {
 // Index returns the pool's inverted node → realization index, built
 // lazily on first use and cached.
 func (p *Pool) Index() *Index {
-	p.idxOnce.Do(func() { p.idx = newIndex(p) })
+	p.idxOnce.Do(func() {
+		p.idx = newIndex(p)
+		p.idxBuilt.Store(true)
+	})
 	return p.idx
+}
+
+// MemBytes returns the resident size of the pool: the CSR path arena,
+// offset table and draw-index table, plus the coverage index once it has
+// been built. It is the unit of account for memory-budgeted pool
+// eviction. Truncated views share their parent's tables; account them
+// with IndexMemBytes instead.
+func (p *Pool) MemBytes() int64 {
+	return int64(cap(p.arena))*4 + int64(cap(p.offsets))*4 + int64(cap(p.pathDraw))*8 + p.IndexMemBytes()
+}
+
+// IndexMemBytes returns the resident size of the pool's coverage index
+// (0 until it is built) — the only storage a truncated view owns.
+func (p *Pool) IndexMemBytes() int64 {
+	if p.idxBuilt.Load() {
+		return p.idx.memBytes()
+	}
+	return 0
 }
 
 // SetcoverInstance hands the pool to the MSC solver zero-copy: the arena
 // and offsets become the solver's CSR set family directly (graph.Node is
-// an alias of int32), with no per-path slice headers materialized.
+// an alias of int32), with no per-path slice headers materialized. The
+// arena is sliced to the paths the pool owns — a truncated view shares a
+// larger parent arena.
 func (p *Pool) SetcoverInstance() *setcover.Instance {
 	return &setcover.Instance{
 		UniverseSize: p.universe,
-		SetArena:     p.arena,
+		SetArena:     p.arena[:p.offsets[p.NumType1()]],
 		SetOffsets:   p.offsets,
 	}
 }

@@ -16,6 +16,12 @@ import (
 // a grown pool is byte-identical to one sampled at the final size in a
 // single shot — for any worker count.
 //
+// Pool(l) always returns the pool of EXACTLY l draws — a truncated
+// prefix view when the cache has grown beyond l — so every result
+// computed from it is a pure function of (seed, l), independent of what
+// earlier calls happened to request. That independence is what lets a
+// serving layer evict and re-admit sessions without changing any answer.
+//
 // Session is safe for concurrent use; growth is serialized.
 type Session struct {
 	eng     *Engine
@@ -25,8 +31,9 @@ type Session struct {
 
 	mu     sync.Mutex
 	chunks []chunkPaths
-	draws  int64 // total draws across chunks = cached pool size
-	pool   *Pool // assembled view of chunks; nil until first Pool call
+	draws  int64           // total draws across chunks = cached pool size
+	pool   *Pool           // assembled view of chunks; nil until first Pool call
+	views  map[int64]*Pool // truncated prefix views by draw count
 }
 
 // NewSession returns a session whose pools draw from the engine's solve
@@ -50,10 +57,33 @@ func (s *Session) Size() int64 {
 	return s.draws
 }
 
-// Pool returns a pool of at least l realizations, sampling only what the
-// cache is missing. The returned pool's Total may exceed l when an
-// earlier call requested more — estimates normalize by Total, so a larger
-// pool only tightens accuracy.
+// MemBytes returns the bytes held by the session's cached pool, the
+// per-chunk tables kept for regrowth (chunk arenas alias the pool arena
+// and are not double-counted), and the coverage indexes of cached prefix
+// views. It is the sizing input for memory-budgeted eviction of cold
+// sessions.
+func (s *Session) MemBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var b int64
+	for _, c := range s.chunks {
+		b += int64(cap(c.offsets))*4 + int64(cap(c.drawIdx))*4
+	}
+	if s.pool != nil {
+		b += s.pool.MemBytes()
+	}
+	for _, v := range s.views {
+		b += v.IndexMemBytes()
+	}
+	return b
+}
+
+// Pool returns the pool of exactly l realizations, sampling only what
+// the cache is missing: when the cached pool is larger, the returned
+// pool is the zero-copy prefix view of its first l draws (identical to
+// a one-shot pool of size l); when smaller, the cache grows first.
+// Views are cached per draw count so repeated queries at one size share
+// a coverage index.
 func (s *Session) Pool(ctx context.Context, l int64) (*Pool, error) {
 	if err := checkDraws(l); err != nil {
 		return nil, err
@@ -61,7 +91,7 @@ func (s *Session) Pool(ctx context.Context, l int64) (*Pool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if l <= s.draws && s.pool != nil {
-		return s.pool, nil
+		return s.viewLocked(l), nil
 	}
 
 	// Keep full chunks; the trailing partial chunk (if any) is resampled
@@ -90,6 +120,10 @@ func (s *Session) Pool(ctx context.Context, l int64) (*Pool, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Charge only the net growth: regrowing the trailing partial chunk
+	// re-derives draws the ledger already counted, and counting them again
+	// would break the "PoolDraws equals the pool size" invariant.
+	s.eng.addPoolDraws(pool.total - s.draws)
 	// Re-alias each chunk's arena to its segment of the assembled pool
 	// arena: the cache then holds one copy of the path data (plus the
 	// small per-chunk offset tables needed to reassemble on growth).
@@ -102,7 +136,35 @@ func (s *Session) Pool(ctx context.Context, l int64) (*Pool, error) {
 	s.chunks = chunks
 	s.draws = pool.total
 	s.pool = pool
-	return pool, nil
+	// Growth rebuilt the arena; cached views alias the old one. Their
+	// contents remain valid prefixes, but dropping them lets the old
+	// arena be reclaimed — views are cheap to re-derive.
+	s.views = nil
+	return s.viewLocked(l), nil
+}
+
+// maxCachedViews bounds the per-session view cache: each cached view can
+// lazily build its own coverage index (comparable in size to the pool's),
+// so a workload sweeping many distinct draw counts must not accumulate
+// one index per count. Views are cheap to re-derive, so overflow just
+// resets the cache.
+const maxCachedViews = 8
+
+// viewLocked returns the cached prefix view of exactly l draws, creating
+// it if needed. Caller holds s.mu; l ≤ s.draws.
+func (s *Session) viewLocked(l int64) *Pool {
+	if l == s.draws {
+		return s.pool
+	}
+	if v, ok := s.views[l]; ok {
+		return v
+	}
+	v := s.pool.Truncate(l)
+	if s.views == nil || len(s.views) >= maxCachedViews {
+		s.views = make(map[int64]*Pool)
+	}
+	s.views[l] = v
+	return v
 }
 
 // EstimateF estimates f(invited) from the session's cached pool, growing

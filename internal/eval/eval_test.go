@@ -11,6 +11,7 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/server"
 	"repro/internal/weights"
 )
 
@@ -320,5 +321,49 @@ func TestExperimentsCancellation(t *testing.T) {
 	}
 	if _, err := RealizationSweep(ctx, cfg, []int64{100}); !errors.Is(err, context.Canceled) {
 		t.Errorf("RealizationSweep err = %v", err)
+	}
+}
+
+// TestBasicExperimentThroughServer routes the multi-pair experiment
+// through the serving layer: results are produced under an
+// eviction-inducing pool budget, identical to the same server config
+// without a budget, and the server's ledger shows the traffic.
+func TestBasicExperimentThroughServer(t *testing.T) {
+	g := testGraph(t)
+	pairs := samplePairsForTest(t, g, 4)
+	alphas := []float64{0.2, 0.3}
+
+	run := func(maxBytes int64) ([]Fig3Row, *server.Server) {
+		cfg := testConfig(t, g, pairs)
+		cfg.Server = server.New(g, cfg.Weights, server.Config{
+			Seed: cfg.Seed, Workers: cfg.Workers, MaxPoolBytes: maxBytes, Shards: 4,
+		})
+		rows, err := BasicExperiment(context.Background(), cfg, alphas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows, cfg.Server
+	}
+
+	free, freeSv := run(0)
+	budgeted, sv := run(96 << 10)
+	for i := range free {
+		if free[i] != budgeted[i] {
+			t.Errorf("alpha %v: rows diverged under eviction:\n got %+v\nwant %+v",
+				free[i].Alpha, budgeted[i], free[i])
+		}
+	}
+	st := sv.Stats()
+	if st.ByKind[server.KindAcquire].Hits+st.ByKind[server.KindAcquire].Misses == 0 {
+		t.Error("experiment did not route through the server")
+	}
+	if st.SessionsEvicted == 0 {
+		t.Errorf("no eviction under a 96KiB budget: %+v", st)
+	}
+	if st.BytesHeld > 96<<10 {
+		t.Errorf("BytesHeld = %d exceeds budget", st.BytesHeld)
+	}
+	if got := freeSv.Stats().SessionsLive; got != len(pairs) {
+		t.Errorf("unbudgeted server live sessions = %d, want %d", got, len(pairs))
 	}
 }

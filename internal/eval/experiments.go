@@ -13,6 +13,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/ltm"
 	"repro/internal/rng"
+	"repro/internal/server"
 	"repro/internal/weights"
 )
 
@@ -41,6 +42,15 @@ type Config struct {
 
 	Seed    int64
 	Workers int
+
+	// Server, when set, routes every pair's sessions through the serving
+	// layer: pools are cached, shared with query traffic, and evicted
+	// under the server's memory budget (per-pair seeds then derive from
+	// the server's (seed, s, t) streams, so results are reproducible
+	// across runs and eviction schedules but differ from the
+	// sessions-per-run path below). When nil, each experiment owns its
+	// pair sessions for the duration of the run.
+	Server *server.Server
 }
 
 func (c *Config) withDefaults() Config {
@@ -87,9 +97,23 @@ type pairSession struct {
 	sess   *core.Session
 	ev     *engine.Session
 	trials int64
+	done   func() // settles server accounting; nil off the server path
 }
 
 func (c *Config) newPairSession(pi int, pair Pair) (*pairSession, error) {
+	if c.Server != nil {
+		h, err := c.Server.Pair(pair.S, pair.T)
+		if err != nil {
+			return nil, err
+		}
+		return &pairSession{
+			in:     h.Instance(),
+			sess:   h.Core(),
+			ev:     h.Eval(),
+			trials: c.EvalTrials,
+			done:   h.Done,
+		}, nil
+	}
 	in, err := ltm.NewInstance(c.Graph, c.Weights, pair.S, pair.T)
 	if err != nil {
 		return nil, err
@@ -102,6 +126,14 @@ func (c *Config) newPairSession(pi int, pair Pair) (*pairSession, error) {
 		ev:     sess.Engine().NewEvalSession(seed, c.Workers),
 		trials: c.EvalTrials,
 	}, nil
+}
+
+// close settles the pair's accounting with the serving layer (letting it
+// evict cold pools); a no-op for run-owned sessions.
+func (ps *pairSession) close() {
+	if ps.done != nil {
+		ps.done()
+	}
 }
 
 // measureF estimates f(invited) against the pair's cached evaluation pool.
@@ -154,35 +186,42 @@ func BasicExperiment(ctx context.Context, cfg Config, alphas []float64) ([]Fig3R
 			}
 			continue
 		}
-		hdOrder, spOrder := hd.Rank(ps.in), sp.Rank(ps.in)
-		for ai, alpha := range alphas {
-			res, err := ps.sess.RAF(ctx, c.rafConfig(alpha))
-			if err != nil {
-				if errors.Is(err, core.ErrTargetUnreachable) {
-					rows[ai].Skipped++
-					continue
+		err = func() error {
+			defer ps.close()
+			hdOrder, spOrder := hd.Rank(ps.in), sp.Rank(ps.in)
+			for ai, alpha := range alphas {
+				res, err := ps.sess.RAF(ctx, c.rafConfig(alpha))
+				if err != nil {
+					if errors.Is(err, core.ErrTargetUnreachable) {
+						rows[ai].Skipped++
+						continue
+					}
+					return fmt.Errorf("eval: RAF on pair (%d,%d): %w", pair.S, pair.T, err)
 				}
-				return nil, fmt.Errorf("eval: RAF on pair (%d,%d): %w", pair.S, pair.T, err)
+				k := res.Invited.Len()
+				fRAF, err := ps.measureF(ctx, res.Invited)
+				if err != nil {
+					return err
+				}
+				fHD, err := ps.measureF(ctx, baselines.PrefixSet(c.Graph.NumNodes(), hdOrder, k))
+				if err != nil {
+					return err
+				}
+				fSP, err := ps.measureF(ctx, baselines.PrefixSet(c.Graph.NumNodes(), spOrder, k))
+				if err != nil {
+					return err
+				}
+				rows[ai].Pairs++
+				sums[ai][0] += pair.Pmax
+				sums[ai][1] += fRAF
+				sums[ai][2] += fHD
+				sums[ai][3] += fSP
+				sums[ai][4] += float64(k)
 			}
-			k := res.Invited.Len()
-			fRAF, err := ps.measureF(ctx, res.Invited)
-			if err != nil {
-				return nil, err
-			}
-			fHD, err := ps.measureF(ctx, baselines.PrefixSet(c.Graph.NumNodes(), hdOrder, k))
-			if err != nil {
-				return nil, err
-			}
-			fSP, err := ps.measureF(ctx, baselines.PrefixSet(c.Graph.NumNodes(), spOrder, k))
-			if err != nil {
-				return nil, err
-			}
-			rows[ai].Pairs++
-			sums[ai][0] += pair.Pmax
-			sums[ai][1] += fRAF
-			sums[ai][2] += fHD
-			sums[ai][3] += fSP
-			sums[ai][4] += float64(k)
+			return nil
+		}()
+		if err != nil {
+			return nil, err
 		}
 	}
 	for ai := range rows {
@@ -237,55 +276,62 @@ func CompareGrowth(ctx context.Context, cfg Config, ranker baselines.Ranker) (*G
 			res.PairsSkipped++
 			continue
 		}
-		raf, err := ps.sess.RAF(ctx, c.rafConfig(c.Alpha))
-		if err != nil {
-			if errors.Is(err, core.ErrTargetUnreachable) {
-				res.PairsSkipped++
-				continue
+		err = func() error {
+			defer ps.close()
+			raf, err := ps.sess.RAF(ctx, c.rafConfig(c.Alpha))
+			if err != nil {
+				if errors.Is(err, core.ErrTargetUnreachable) {
+					res.PairsSkipped++
+					return nil
+				}
+				return fmt.Errorf("eval: RAF on pair (%d,%d): %w", pair.S, pair.T, err)
 			}
-			return nil, fmt.Errorf("eval: RAF on pair (%d,%d): %w", pair.S, pair.T, err)
-		}
-		fRAF, err := ps.measureF(ctx, raf.Invited)
+			fRAF, err := ps.measureF(ctx, raf.Invited)
+			if err != nil {
+				return err
+			}
+			if fRAF <= 0 {
+				res.PairsSkipped++
+				return nil
+			}
+			kRAF := raf.Invited.Len()
+			order := ranker.Rank(ps.in)
+			// Geometric growth schedule: fine-grained near |I_RAF|, coarse
+			// beyond, so breakpoints (Sec. IV-B) remain visible at bounded
+			// cost. Every step's measurement is a coverage query against the
+			// pair's one cached evaluation pool.
+			for k := maxInt(1, kRAF/4); k <= len(order); {
+				invited := baselines.PrefixSet(c.Graph.NumNodes(), order, k)
+				fB, err := ps.measureF(ctx, invited)
+				if err != nil {
+					return err
+				}
+				points = append(points, point{x: fB / fRAF, y: float64(k) / float64(kRAF)})
+				if fB >= fRAF {
+					break
+				}
+				next := int(math.Ceil(float64(k) * 1.35))
+				if next <= k {
+					next = k + 1
+				}
+				k = next
+				if k > len(order) && len(order) > 0 && points[len(points)-1].x < 1 {
+					// Final point with the full candidate set.
+					k = len(order)
+					fAll, err := ps.measureF(ctx, baselines.PrefixSet(c.Graph.NumNodes(), order, k))
+					if err != nil {
+						return err
+					}
+					points = append(points, point{x: fAll / fRAF, y: float64(k) / float64(kRAF)})
+					break
+				}
+			}
+			res.PairsUsed++
+			return nil
+		}()
 		if err != nil {
 			return nil, err
 		}
-		if fRAF <= 0 {
-			res.PairsSkipped++
-			continue
-		}
-		kRAF := raf.Invited.Len()
-		order := ranker.Rank(ps.in)
-		// Geometric growth schedule: fine-grained near |I_RAF|, coarse
-		// beyond, so breakpoints (Sec. IV-B) remain visible at bounded
-		// cost. Every step's measurement is a coverage query against the
-		// pair's one cached evaluation pool.
-		for k := maxInt(1, kRAF/4); k <= len(order); {
-			invited := baselines.PrefixSet(c.Graph.NumNodes(), order, k)
-			fB, err := ps.measureF(ctx, invited)
-			if err != nil {
-				return nil, err
-			}
-			points = append(points, point{x: fB / fRAF, y: float64(k) / float64(kRAF)})
-			if fB >= fRAF {
-				break
-			}
-			next := int(math.Ceil(float64(k) * 1.35))
-			if next <= k {
-				next = k + 1
-			}
-			k = next
-			if k > len(order) && len(order) > 0 && points[len(points)-1].x < 1 {
-				// Final point with the full candidate set.
-				k = len(order)
-				fAll, err := ps.measureF(ctx, baselines.PrefixSet(c.Graph.NumNodes(), order, k))
-				if err != nil {
-					return nil, err
-				}
-				points = append(points, point{x: fAll / fRAF, y: float64(k) / float64(kRAF)})
-				break
-			}
-		}
-		res.PairsUsed++
 	}
 	if res.PairsUsed == 0 {
 		return nil, fmt.Errorf("%w: all pairs skipped", ErrNoPairs)
@@ -343,31 +389,38 @@ func VmaxExperiment(ctx context.Context, cfg Config) (*VmaxRow, error) {
 			row.PairsSkipped++
 			continue
 		}
-		res, err := ps.sess.RAF(ctx, c.rafConfig(c.Alpha))
-		if err != nil {
-			if errors.Is(err, core.ErrTargetUnreachable) {
-				row.PairsSkipped++
-				continue
-			}
-			return nil, fmt.Errorf("eval: RAF on pair (%d,%d): %w", pair.S, pair.T, err)
-		}
-		vmSize := res.VmaxSize
-		if vmSize == 0 {
-			vm, err := ps.sess.Vmax()
+		err = func() error {
+			defer ps.close()
+			res, err := ps.sess.RAF(ctx, c.rafConfig(c.Alpha))
 			if err != nil {
-				return nil, err
+				if errors.Is(err, core.ErrTargetUnreachable) {
+					row.PairsSkipped++
+					return nil
+				}
+				return fmt.Errorf("eval: RAF on pair (%d,%d): %w", pair.S, pair.T, err)
 			}
-			vmSize = vm.Len()
+			vmSize := res.VmaxSize
+			if vmSize == 0 {
+				vm, err := ps.sess.Vmax()
+				if err != nil {
+					return err
+				}
+				vmSize = vm.Len()
+			}
+			k := res.Invited.Len()
+			if k == 0 {
+				row.PairsSkipped++
+				return nil
+			}
+			row.PairsUsed++
+			sumVmax += float64(vmSize)
+			sumRAF += float64(k)
+			sumRatio += float64(vmSize) / float64(k)
+			return nil
+		}()
+		if err != nil {
+			return nil, err
 		}
-		k := res.Invited.Len()
-		if k == 0 {
-			row.PairsSkipped++
-			continue
-		}
-		row.PairsUsed++
-		sumVmax += float64(vmSize)
-		sumRAF += float64(k)
-		sumRatio += float64(vmSize) / float64(k)
 	}
 	if row.PairsUsed == 0 {
 		return nil, fmt.Errorf("%w: all pairs skipped", ErrNoPairs)
@@ -407,6 +460,7 @@ func RealizationSweep(ctx context.Context, cfg Config, ls []int64) ([]SweepPoint
 	if err != nil {
 		return nil, fmt.Errorf("eval: pair (%d,%d): %w", c.Pairs[0].S, c.Pairs[0].T, err)
 	}
+	defer ps.close()
 	vm, err := ps.sess.Vmax()
 	if err != nil {
 		return nil, err

@@ -1,0 +1,48 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/weights"
+)
+
+// BenchmarkServerManyPairs drives concurrent mixed traffic over ≥ 32
+// pairs through one budgeted server — the serving layer's target
+// workload. Run with -race in CI to machine-check the concurrency
+// claims.
+func BenchmarkServerManyPairs(b *testing.B) {
+	g := testGraph(200, 300)
+	pairs := validPairs(g, 32)
+	if len(pairs) < 32 {
+		b.Fatalf("only %d valid pairs", len(pairs))
+	}
+	// A budget below the working set (~32 pairs × tens of KiB of pools)
+	// keeps the LRU evicting while the benchmark runs.
+	sv := New(g, weights.NewDegree(g), Config{Seed: 1, MaxPoolBytes: 1 << 20})
+	ctx := context.Background()
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := next.Add(1)
+			pk := pairs[int(i)%len(pairs)]
+			if i%4 == 0 {
+				ns := graph.NewNodeSetOf(sv.Graph().NumNodes(), pk.t)
+				for _, v := range sv.Graph().Neighbors(pk.t) {
+					ns.Add(v)
+				}
+				if _, err := sv.EstimateF(ctx, pk.s, pk.t, ns, 4096); err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				if _, err := sv.Pmax(ctx, pk.s, pk.t, 4096); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.ReportMetric(float64(sv.Stats().SessionsEvicted), "evictions")
+}

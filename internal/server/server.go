@@ -1,0 +1,378 @@
+// Package server is the graph-level serving layer: one Server owns a
+// graph plus a weight scheme and answers Solve / SolveMax / EstimateF /
+// Pmax queries for arbitrary (s,t) pairs — the paper's online setting,
+// where many friending queries are in flight against one social network
+// at once.
+//
+// Pair sessions (a core.Session plus a decorrelated evaluation-pool
+// session) are created on demand and cached in a map sharded across a
+// fixed number of locks (hash of the pair), so queries for distinct
+// pairs never contend on session lookup. Cached pools are evicted
+// least-recently-used under a configurable byte budget, sized by
+// engine.Pool.MemBytes.
+//
+// Every result is a pure function of (seed, s, t): each pair's streams
+// derive from rng.DeriveStream(seed, nsPair, pack(s,t)), so an evicted
+// pair re-admitted later re-derives byte-identical pools. Eviction is a
+// latency event, never a correctness event — an answer after any
+// eviction schedule equals the never-evicted answer.
+package server
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/ltm"
+	"repro/internal/maxaf"
+	"repro/internal/rng"
+	"repro/internal/weights"
+)
+
+// nsPair namespaces the per-pair seed derivation so pair streams never
+// collide with the engine's own pool/eval/estimate namespaces.
+const nsPair uint64 = 0x50616972 // "Pair"
+
+// DefaultShards is the pair-map lock count used when Config.Shards ≤ 0.
+const DefaultShards = 16
+
+// Config parameterizes a Server.
+type Config struct {
+	// MaxPoolBytes bounds the total bytes of cached pair state (pool
+	// arenas, offset tables, coverage indexes) as measured by
+	// engine MemBytes accounting. When a completed query pushes the total
+	// over the budget, least-recently-used pairs are evicted until it
+	// fits. 0 disables eviction.
+	MaxPoolBytes int64
+	// Shards is the number of locks the pair map is sharded across
+	// (default DefaultShards). Distinct pairs on distinct shards never
+	// contend on session lookup.
+	Shards int
+	// Seed roots every pair's derived streams; results are pure functions
+	// of (Seed, s, t). Workers bounds sampling parallelism per query
+	// (0 = all CPUs) without affecting any result.
+	Seed    int64
+	Workers int
+}
+
+// Kind labels a query kind in the hit/miss ledger.
+type Kind int
+
+const (
+	KindSolve Kind = iota
+	KindSolveMax
+	KindEstimateF
+	KindPmax
+	KindAcquire // harness Pair() acquisitions
+	numKinds
+)
+
+// String returns the ledger label of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindSolve:
+		return "solve"
+	case KindSolveMax:
+		return "solvemax"
+	case KindEstimateF:
+		return "estimatef"
+	case KindPmax:
+		return "pmax"
+	case KindAcquire:
+		return "acquire"
+	}
+	return "unknown"
+}
+
+// KindCounts is the hit/miss tally for one query kind: a hit found the
+// pair's session cached, a miss created (or re-created, after eviction)
+// it.
+type KindCounts struct {
+	Hits   int64
+	Misses int64
+}
+
+// Stats is the server's observability ledger.
+type Stats struct {
+	// SessionsLive is the number of cached pair sessions;
+	// SessionsCreated and SessionsEvicted are lifetime counters (a pair
+	// recreated after eviction counts as created again).
+	SessionsLive    int
+	SessionsCreated int64
+	SessionsEvicted int64
+	// BytesHeld is the accounted size of all cached pair state. After an
+	// eviction pass it never exceeds Config.MaxPoolBytes.
+	BytesHeld int64
+	// ByKind indexes hit/miss tallies by Kind.
+	ByKind [numKinds]KindCounts
+}
+
+type pairKey struct{ s, t graph.Node }
+
+// entry is one cached pair: the solve session and its decorrelated
+// evaluation session. The LRU fields are guarded by Server.lruMu.
+type entry struct {
+	key  pairKey
+	sess *core.Session
+	eval *engine.Session
+
+	elem    *list.Element // position in the LRU list; nil when not listed
+	bytes   int64         // bytes currently charged against the budget
+	evicted bool          // removed from the map; in-flight holders may remain
+}
+
+type shard struct {
+	mu sync.Mutex
+	m  map[pairKey]*entry
+}
+
+// Server serves multi-pair query traffic on one graph. Safe for
+// concurrent use.
+type Server struct {
+	g      *graph.Graph
+	scheme weights.Scheme
+	cfg    Config
+	shards []shard
+
+	created atomic.Int64
+	evicted atomic.Int64
+	kinds   [numKinds]struct{ hits, misses atomic.Int64 }
+
+	// lruMu guards the recency list and the byte ledger. It is only ever
+	// held for O(1) bookkeeping plus eviction passes; pool sampling and
+	// solving run outside it. Lock order: lruMu may acquire a shard lock
+	// (eviction); shard locks never acquire lruMu.
+	lruMu sync.Mutex
+	lru   *list.List // front = most recently used; values are *entry
+	bytes int64
+}
+
+// New returns a server for the graph under the given weight scheme.
+func New(g *graph.Graph, scheme weights.Scheme, cfg Config) *Server {
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
+	}
+	sv := &Server{g: g, scheme: scheme, cfg: cfg, shards: make([]shard, cfg.Shards), lru: list.New()}
+	for i := range sv.shards {
+		sv.shards[i].m = make(map[pairKey]*entry)
+	}
+	return sv
+}
+
+// Graph returns the served graph.
+func (sv *Server) Graph() *graph.Graph { return sv.g }
+
+func packPair(k pairKey) uint64 {
+	return uint64(uint32(k.s))<<32 | uint64(uint32(k.t))
+}
+
+func (sv *Server) shardFor(k pairKey) *shard {
+	// Derive is a full-avalanche mix, so the low bits index uniformly.
+	h := uint64(rng.Derive(0, packPair(k)))
+	return &sv.shards[h%uint64(len(sv.shards))]
+}
+
+// pairSeed derives the pair's root seed. Eviction and re-admission
+// re-derive the same value, which is what makes a cache miss a latency
+// event rather than a correctness event.
+func (sv *Server) pairSeed(k pairKey) int64 {
+	return rng.DeriveStream(sv.cfg.Seed, nsPair, packPair(k))
+}
+
+// acquire returns the pair's cached entry, creating it on a miss, and
+// records the hit/miss under kind. The caller must pair it with release.
+func (sv *Server) acquire(kind Kind, s, t graph.Node) (*entry, error) {
+	k := pairKey{s, t}
+	sh := sv.shardFor(k)
+	sh.mu.Lock()
+	e, ok := sh.m[k]
+	if !ok {
+		in, err := ltm.NewInstance(sv.g, sv.scheme, s, t)
+		if err != nil {
+			sh.mu.Unlock()
+			return nil, err
+		}
+		seed := sv.pairSeed(k)
+		cs := core.NewSession(in, seed, sv.cfg.Workers)
+		e = &entry{key: k, sess: cs, eval: cs.Engine().NewEvalSession(seed, sv.cfg.Workers)}
+		sh.m[k] = e
+		sv.created.Add(1)
+	}
+	sh.mu.Unlock()
+	if ok {
+		sv.kinds[kind].hits.Add(1)
+	} else {
+		sv.kinds[kind].misses.Add(1)
+	}
+	sv.lruMu.Lock()
+	if e.elem != nil {
+		sv.lru.MoveToFront(e.elem)
+	} else if !e.evicted {
+		e.elem = sv.lru.PushFront(e)
+	}
+	sv.lruMu.Unlock()
+	return e, nil
+}
+
+// release re-measures the entry's resident bytes, settles the ledger and
+// evicts cold pairs if the budget is exceeded. Called after every query,
+// when the pools have grown to their final size. The measurement happens
+// under lruMu: measured outside, a stale (smaller) reading from one of
+// two concurrent queries on the same pair could settle last and leave
+// the ledger under-charged. MemBytes only takes session-internal locks,
+// which are never held while acquiring lruMu, so the nesting is safe.
+func (sv *Server) release(e *entry) {
+	sv.lruMu.Lock()
+	defer sv.lruMu.Unlock()
+	if e.evicted {
+		// Evicted while this query was in flight: its bytes were already
+		// written off; the session dies with the last in-flight holder.
+		return
+	}
+	mem := e.sess.MemBytes() + e.eval.MemBytes()
+	sv.bytes += mem - e.bytes
+	e.bytes = mem
+	sv.evictLocked()
+}
+
+// evictLocked evicts least-recently-used entries until the byte ledger
+// fits the budget. Caller holds lruMu.
+func (sv *Server) evictLocked() {
+	if sv.cfg.MaxPoolBytes <= 0 {
+		return
+	}
+	for sv.bytes > sv.cfg.MaxPoolBytes && sv.lru.Len() > 0 {
+		el := sv.lru.Back()
+		victim := el.Value.(*entry)
+		sv.lru.Remove(el)
+		victim.elem = nil
+		victim.evicted = true
+		sv.bytes -= victim.bytes
+		victim.bytes = 0
+		sh := sv.shardFor(victim.key)
+		sh.mu.Lock()
+		if sh.m[victim.key] == victim {
+			delete(sh.m, victim.key)
+		}
+		sh.mu.Unlock()
+		sv.evicted.Add(1)
+	}
+}
+
+// Solve runs RAF for (s,t) against the pair's cached session. cfg.Seed
+// and cfg.Workers are ignored in favor of the server's per-pair streams.
+func (sv *Server) Solve(ctx context.Context, s, t graph.Node, cfg core.Config) (*core.Result, error) {
+	e, err := sv.acquire(KindSolve, s, t)
+	if err != nil {
+		return nil, err
+	}
+	defer sv.release(e)
+	return e.sess.RAF(ctx, cfg)
+}
+
+// SolveMax runs the budgeted maximum variant for (s,t) against the
+// pair's cached solve pool (realizations ≤ 0 selects the default size)
+// and re-measures the chosen set on the pair's decorrelated evaluation
+// pool. It returns the solver result (whose CoveredFraction is the
+// biased in-pool fraction) together with the decorrelated estimate.
+func (sv *Server) SolveMax(ctx context.Context, s, t graph.Node, budget int, realizations int64) (*maxaf.Result, float64, error) {
+	e, err := sv.acquire(KindSolveMax, s, t)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer sv.release(e)
+	l := realizations
+	if l <= 0 {
+		l = maxaf.DefaultRealizations
+	}
+	pool, err := e.sess.Pool(ctx, l)
+	if err != nil {
+		return nil, 0, err
+	}
+	res, err := maxaf.SolveFromPool(e.sess.Instance(), budget, pool)
+	if err != nil {
+		return nil, 0, err
+	}
+	f, err := e.eval.EstimateF(ctx, res.Invited, l)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, f, nil
+}
+
+// EstimateF estimates f(invited) for (s,t) as a coverage query against
+// the pair's cached evaluation pool, grown to at least trials draws.
+func (sv *Server) EstimateF(ctx context.Context, s, t graph.Node, invited *graph.NodeSet, trials int64) (float64, error) {
+	e, err := sv.acquire(KindEstimateF, s, t)
+	if err != nil {
+		return 0, err
+	}
+	defer sv.release(e)
+	return e.eval.EstimateF(ctx, invited, trials)
+}
+
+// Pmax estimates p_max for (s,t) from the pair's evaluation pool.
+func (sv *Server) Pmax(ctx context.Context, s, t graph.Node, trials int64) (float64, error) {
+	e, err := sv.acquire(KindPmax, s, t)
+	if err != nil {
+		return 0, err
+	}
+	defer sv.release(e)
+	return e.eval.FractionType1(ctx, trials)
+}
+
+// PairHandle exposes a pair's cached sessions for harness use (the eval
+// experiments drive core.Session directly). Call Done after a batch of
+// operations so the server can settle the byte ledger and evict.
+type PairHandle struct {
+	sv *Server
+	e  *entry
+}
+
+// Pair returns a handle on the (s,t) sessions, creating them on demand.
+func (sv *Server) Pair(s, t graph.Node) (*PairHandle, error) {
+	e, err := sv.acquire(KindAcquire, s, t)
+	if err != nil {
+		return nil, err
+	}
+	return &PairHandle{sv: sv, e: e}, nil
+}
+
+// Core returns the pair's solve session.
+func (h *PairHandle) Core() *core.Session { return h.e.sess }
+
+// Eval returns the pair's evaluation-pool session.
+func (h *PairHandle) Eval() *engine.Session { return h.e.eval }
+
+// Instance returns the pair's problem instance.
+func (h *PairHandle) Instance() *ltm.Instance { return h.e.sess.Instance() }
+
+// Done settles the pair's byte accounting and runs eviction. The handle
+// stays usable afterwards (an evicted pair keeps working for in-flight
+// holders; the server just stops charging for it).
+func (h *PairHandle) Done() { h.sv.release(h.e) }
+
+// Stats returns a snapshot of the server's ledger.
+func (sv *Server) Stats() Stats {
+	st := Stats{
+		SessionsCreated: sv.created.Load(),
+		SessionsEvicted: sv.evicted.Load(),
+	}
+	for k := range st.ByKind {
+		st.ByKind[k] = KindCounts{Hits: sv.kinds[k].hits.Load(), Misses: sv.kinds[k].misses.Load()}
+	}
+	for i := range sv.shards {
+		sh := &sv.shards[i]
+		sh.mu.Lock()
+		st.SessionsLive += len(sh.m)
+		sh.mu.Unlock()
+	}
+	sv.lruMu.Lock()
+	st.BytesHeld = sv.bytes
+	sv.lruMu.Unlock()
+	return st
+}
