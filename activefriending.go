@@ -444,6 +444,50 @@ func (s *Session) SolveMax(ctx context.Context, budget int, realizations int64) 
 	}, nil
 }
 
+// maxSolutions pairs a budget sweep's solver results with their
+// decorrelated estimates.
+func maxSolutions(results []*maxaf.Result, fs []float64) []*MaxSolution {
+	out := make([]*MaxSolution, len(results))
+	for i, r := range results {
+		out[i] = &MaxSolution{
+			Invited:    r.Invited.Members(),
+			EstimatedF: fs[i],
+			TrainF:     r.CoveredFraction,
+		}
+	}
+	return out
+}
+
+// SolveMaxBudgets answers SolveMax for every budget in one shot against
+// the session's cached pool: the pool's set-cover family is folded once,
+// one solver's scratch is reused across the sweep, and both the TrainF
+// and EstimatedF measurements are batched coverage queries — one postings
+// traversal per pool for the whole sweep. Results are identical to
+// calling SolveMax per budget.
+func (s *Session) SolveMaxBudgets(ctx context.Context, budgets []int, realizations int64) ([]*MaxSolution, error) {
+	l := realizations
+	if l <= 0 {
+		l = maxaf.DefaultRealizations
+	}
+	pool, err := s.core.Pool(ctx, l)
+	if err != nil {
+		return nil, err
+	}
+	results, err := maxaf.SolveBudgetsFromPool(s.p.in, budgets, pool)
+	if err != nil {
+		return nil, err
+	}
+	sets := make([]*graph.NodeSet, len(results))
+	for i, r := range results {
+		sets[i] = r.Invited
+	}
+	fs, err := s.eval.EstimateFMany(ctx, sets, l)
+	if err != nil {
+		return nil, err
+	}
+	return maxSolutions(results, fs), nil
+}
+
 // AcceptanceProbability estimates f(invited) as a coverage query against
 // the session's evaluation pool (grown to at least trials draws), so
 // repeated measurements share draws and the pool's coverage index.
@@ -535,6 +579,19 @@ func (sv *Server) SolveMax(ctx context.Context, s, t Node, budget int, realizati
 		EstimatedF: f,
 		TrainF:     res.CoveredFraction,
 	}, nil
+}
+
+// SolveMaxBudgets answers a whole SolveMax budget sweep for (s, t) in one
+// shot: the pair's pool is folded into a set-cover family once, one
+// solver is reused across budgets, and the TrainF / EstimatedF
+// measurements are batched coverage queries (one postings traversal per
+// pool). Results are identical to calling SolveMax per budget.
+func (sv *Server) SolveMaxBudgets(ctx context.Context, s, t Node, budgets []int, realizations int64) ([]*MaxSolution, error) {
+	results, fs, err := sv.sv.SolveMaxBudgets(ctx, s, t, budgets, realizations)
+	if err != nil {
+		return nil, err
+	}
+	return maxSolutions(results, fs), nil
 }
 
 // AcceptanceProbability estimates f(invited) for the pair (s, t) against

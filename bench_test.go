@@ -491,3 +491,127 @@ func BenchmarkMaxAFSolve(b *testing.B) {
 		}
 	}
 }
+
+// --- PR 3: amortized solve-path benchmarks ---------------------------------
+
+// benchSolvePool samples one 20k-draw pool for the repeated-solve and
+// batched-coverage benchmarks (cached per process via setupDataset).
+func benchSolvePool(b *testing.B) *engine.Pool {
+	b.Helper()
+	in := benchInstance(b)
+	pool, err := engine.New(in).SamplePool(context.Background(), 20000, 0, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if pool.NumType1() == 0 {
+		b.Skip("no type-1 realizations")
+	}
+	return pool
+}
+
+// sweepDemands is a 10-demand β-sweep grid against one pool: the workload
+// of α/β sweeps and repeated server solves on a cached pair.
+func sweepDemands(pool *engine.Pool) []int {
+	t1 := pool.NumType1()
+	demands := make([]int, 0, 10)
+	for i := 1; i <= 10; i++ {
+		d := t1 * i / 11
+		if d < 1 {
+			d = 1
+		}
+		demands = append(demands, d)
+	}
+	return demands
+}
+
+// BenchmarkRepeatedSolves measures the amortized path: the pool's family
+// is folded once (cached) and one Solver's scratch is reused across the
+// whole 10-demand sweep — each iteration is 10 solves, rebuild-free.
+func BenchmarkRepeatedSolves(b *testing.B) {
+	pool := benchSolvePool(b)
+	demands := sweepDemands(pool)
+	fam, err := pool.Family()
+	if err != nil {
+		b.Fatal(err)
+	}
+	solver := setcover.NewSolver(fam)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, d := range demands {
+			if _, err := solver.Solve(d); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkRepeatedSolvesRebuild is the pre-split behaviour: every solve
+// of the same sweep re-folds the family, re-hashes every path and
+// rebuilds the element index from scratch (one-shot setcover.Greedy).
+func BenchmarkRepeatedSolvesRebuild(b *testing.B) {
+	pool := benchSolvePool(b)
+	demands := sweepDemands(pool)
+	inst := pool.SetcoverInstance()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, d := range demands {
+			if _, err := setcover.Greedy(inst, d); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchQuerySets builds the batched-coverage workload: 8 invitation sets
+// of the shapes real traffic produces (solver outputs = small path
+// unions, plus near-universe measurement sets).
+func benchQuerySets(pool *engine.Pool) []*graph.NodeSet {
+	n := pool.Universe()
+	sets := make([]*graph.NodeSet, 0, 8)
+	for i := 0; i < 6; i++ {
+		s := graph.NewNodeSet(n)
+		for j := 0; j <= i*3; j++ {
+			for _, v := range pool.Path(j % pool.NumType1()) {
+				s.Add(v)
+			}
+		}
+		sets = append(sets, s)
+	}
+	full := graph.NewNodeSet(n)
+	full.Fill()
+	almost := full.Clone()
+	almost.Remove(graph.Node(0))
+	sets = append(sets, full, almost)
+	return sets
+}
+
+// BenchmarkCoverageBatch answers 8 coverage queries in one batched
+// postings traversal (Index.CoverageCounts).
+func BenchmarkCoverageBatch(b *testing.B) {
+	pool := benchSolvePool(b)
+	sets := benchQuerySets(pool)
+	pool.Index()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool.Index().CoverageCounts(sets)
+	}
+}
+
+// BenchmarkCoverageBatchSingles answers the same 8 queries with one
+// CoverageCount call each — the pre-batch behaviour CoverageBatch must
+// beat.
+func BenchmarkCoverageBatchSingles(b *testing.B) {
+	pool := benchSolvePool(b)
+	sets := benchQuerySets(pool)
+	pool.Index()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range sets {
+			pool.Index().CoverageCount(s)
+		}
+	}
+}

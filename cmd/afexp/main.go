@@ -29,6 +29,7 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/eval"
 	"repro/internal/gen"
+	"repro/internal/pprofserve"
 	"repro/internal/server"
 	"repro/internal/tablewriter"
 	"repro/internal/weights"
@@ -74,7 +75,11 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "root seed")
 	workers := fs.Int("workers", 0, "parallel workers (0 = CPUs)")
 	csv := fs.Bool("csv", false, "emit CSV")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := pprofserve.Start(*pprofAddr); err != nil {
 		return err
 	}
 	o := options{

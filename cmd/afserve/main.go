@@ -13,9 +13,16 @@
 //
 //	{"id":1,"op":"solve","s":3,"t":91,"alpha":0.2}
 //	{"id":2,"op":"solvemax","s":3,"t":91,"budget":5,"realizations":50000}
-//	{"id":3,"op":"acceptance","s":3,"t":91,"invited":[17,91],"trials":20000}
-//	{"id":4,"op":"pmax","s":3,"t":91,"trials":20000}
-//	{"id":5,"op":"stats"}
+//	{"id":3,"op":"solvemax","s":3,"t":91,"budgets":[1,2,5,10]}
+//	{"id":4,"op":"acceptance","s":3,"t":91,"invited":[17,91],"trials":20000}
+//	{"id":5,"op":"pmax","s":3,"t":91,"trials":20000}
+//	{"id":6,"op":"stats"}
+//
+// A solvemax with a "budgets" list answers the whole sweep in one
+// response: the pair's pool is folded into a set-cover family once, one
+// solver is reused across budgets, and the measurements are batched
+// coverage queries. -pprof serves net/http/pprof for profiling under
+// real traffic.
 //
 // Each response is one JSON line {"id":…,"ok":true,"result":…} (or
 // "error" when ok is false). With -j > 1 requests are answered
@@ -37,6 +44,7 @@ import (
 	"sync/atomic"
 
 	af "repro"
+	"repro/internal/pprofserve"
 )
 
 func main() {
@@ -55,6 +63,7 @@ type request struct {
 	Eps          float64   `json:"eps,omitempty"`
 	N            float64   `json:"n,omitempty"`
 	Budget       int       `json:"budget,omitempty"`
+	Budgets      []int     `json:"budgets,omitempty"`
 	Realizations int64     `json:"realizations,omitempty"`
 	Trials       int64     `json:"trials,omitempty"`
 	Invited      []af.Node `json:"invited,omitempty"`
@@ -78,7 +87,11 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	shards := fs.Int("shards", 0, "pair-map lock shards (0 = default)")
 	maxBytes := fs.Int64("maxbytes", 0, "pool memory budget in bytes (0 = unlimited)")
 	jobs := fs.Int("j", 1, "max in-flight requests; >1 answers out of order")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := pprofserve.Start(*pprofAddr); err != nil {
 		return err
 	}
 
@@ -184,7 +197,13 @@ func serve(ctx context.Context, sv *af.Server, req request) response {
 			Realizations: req.Realizations,
 		})
 	case "solvemax":
-		result, err = sv.SolveMax(ctx, req.S, req.T, req.Budget, req.Realizations)
+		// A "budgets" list answers the whole sweep from one pool fold and
+		// two batched coverage queries; "budget" answers a single solve.
+		if len(req.Budgets) > 0 {
+			result, err = sv.SolveMaxBudgets(ctx, req.S, req.T, req.Budgets, req.Realizations)
+		} else {
+			result, err = sv.SolveMax(ctx, req.S, req.T, req.Budget, req.Realizations)
+		}
 	case "acceptance":
 		var f float64
 		f, err = sv.AcceptanceProbability(ctx, req.S, req.T, req.Invited, trials)

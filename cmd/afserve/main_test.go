@@ -139,3 +139,35 @@ func TestServeDataset(t *testing.T) {
 		t.Fatalf("stats on generated dataset: %+v", got)
 	}
 }
+
+// TestServeSolveMaxSweep: a "budgets" list answers the whole sweep in one
+// response, and each entry matches the corresponding single-budget query.
+func TestServeSolveMaxSweep(t *testing.T) {
+	path := graphFile(t)
+	const sweepQueries = `{"id":1,"op":"solvemax","s":0,"t":5,"budgets":[1,2,3],"realizations":4000}
+{"id":2,"op":"solvemax","s":0,"t":5,"budget":1,"realizations":4000}
+{"id":3,"op":"solvemax","s":0,"t":5,"budget":2,"realizations":4000}
+{"id":4,"op":"solvemax","s":0,"t":5,"budget":3,"realizations":4000}
+`
+	got := runServe(t, []string{"-file", path, "-seed", "7"}, sweepQueries)
+	if len(got) != 4 {
+		t.Fatalf("got %d responses, want 4", len(got))
+	}
+	for _, r := range got {
+		if !r.OK {
+			t.Fatalf("id %d: error %q", r.ID, r.Error)
+		}
+	}
+	var sweep []json.RawMessage
+	if err := json.Unmarshal(got[0].Result, &sweep); err != nil {
+		t.Fatalf("sweep result not an array: %v", err)
+	}
+	if len(sweep) != 3 {
+		t.Fatalf("sweep has %d entries, want 3", len(sweep))
+	}
+	for i, want := range got[1:] {
+		if string(sweep[i]) != string(want.Result) {
+			t.Errorf("budget %d: sweep entry %s != single response %s", i+1, sweep[i], want.Result)
+		}
+	}
+}

@@ -126,10 +126,11 @@ func EstimatePmax(ctx context.Context, in *ltm.Instance, eps0, n float64, maxDra
 }
 
 // FrameworkFromPool runs the solve half of Algorithm 3 on an existing
-// realization pool: build the MSC instance (V, {t(g₁), …}, ⌈β·|B_l¹|⌉)
-// zero-copy from the pool's CSR arena and solve it with the greedy
-// Chlamtáč-style solver. The demand is computed here once and surfaced as
-// Solution.Demand.
+// realization pool: solve the MSC instance (V, {t(g₁), …}, ⌈β·|B_l¹|⌉)
+// with the greedy Chlamtáč-style solver against the pool's cached
+// set-cover family, so repeated solves on one pool (α/β sweeps, server
+// traffic) fold and index the paths exactly once and run rebuild-free.
+// The demand is computed here once and surfaced as Solution.Demand.
 func FrameworkFromPool(in *ltm.Instance, beta float64, pool *engine.Pool) (*graph.NodeSet, *setcover.Solution, error) {
 	if beta <= 0 || beta > 1 {
 		return nil, nil, fmt.Errorf("%w: beta=%v not in (0,1]", ErrBadConfig, beta)
@@ -141,7 +142,11 @@ func FrameworkFromPool(in *ltm.Instance, beta float64, pool *engine.Pool) (*grap
 	if demand < 1 {
 		demand = 1
 	}
-	sol, err := setcover.Greedy(pool.SetcoverInstance(), demand)
+	fam, err := pool.Family()
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: MSC family: %w", err)
+	}
+	sol, err := fam.Solve(demand)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: MSC solve: %w", err)
 	}

@@ -1,0 +1,261 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/setcover"
+)
+
+// setcoverGreedy runs the one-shot greedy on the pool's CSR instance — an
+// independent fresh fold to compare the cached family against.
+func setcoverGreedy(pool *Pool, p int) (*setcover.Solution, error) {
+	return setcover.Greedy(pool.SetcoverInstance(), p)
+}
+
+// coverageBatchPool samples one pool with an index for the batch tests.
+func coverageBatchPool(t *testing.T) *Pool {
+	t.Helper()
+	in := testInstance(t)
+	pool, err := New(in).SamplePool(context.Background(), 12000, 0, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.NumType1() == 0 {
+		t.Skip("no type-1 realizations")
+	}
+	return pool
+}
+
+// randomQuerySets builds a batch that exercises both postings sides:
+// small random sets and unions of sampled paths (positive side), plus
+// near-universe sets (complement side), an empty set and a nil entry.
+func randomQuerySets(rng *rand.Rand, pool *Pool) []*graph.NodeSet {
+	n := pool.Universe()
+	var sets []*graph.NodeSet
+	// Small random sets: cheap positive side.
+	for i := 0; i < 4; i++ {
+		s := graph.NewNodeSet(n)
+		for j := 0; j < 1+rng.Intn(5); j++ {
+			s.Add(graph.Node(rng.Intn(n)))
+		}
+		sets = append(sets, s)
+	}
+	// Unions of pooled paths: the solver-output shape.
+	for i := 0; i < 3; i++ {
+		s := graph.NewNodeSet(n)
+		for j := 0; j < 1+rng.Intn(8); j++ {
+			for _, v := range pool.Path(rng.Intn(pool.NumType1())) {
+				s.Add(v)
+			}
+		}
+		sets = append(sets, s)
+	}
+	// Near-universe sets: the complement side carries fewer postings.
+	for i := 0; i < 3; i++ {
+		s := graph.NewNodeSet(n)
+		s.Fill()
+		for j := 0; j < rng.Intn(4); j++ {
+			s.Remove(graph.Node(rng.Intn(n)))
+		}
+		sets = append(sets, s)
+	}
+	// Full universe, empty, and nil (treated as empty).
+	full := graph.NewNodeSet(n)
+	full.Fill()
+	sets = append(sets, full, graph.NewNodeSet(n), nil)
+	return sets
+}
+
+// TestCoverageCountsParity: the batched query must agree with a loop of
+// single CoverageCount calls on every kind of set — both postings sides,
+// empty and full sets — and with the raw pool scan.
+func TestCoverageCountsParity(t *testing.T) {
+	pool := coverageBatchPool(t)
+	rng := rand.New(rand.NewSource(5))
+	for round := 0; round < 5; round++ {
+		sets := randomQuerySets(rng, pool)
+		got := pool.Index().CoverageCounts(sets)
+		if len(got) != len(sets) {
+			t.Fatalf("round %d: %d counts for %d sets", round, len(got), len(sets))
+		}
+		for j, s := range sets {
+			if s == nil {
+				// nil counts as the empty invitation set.
+				empty := graph.NewNodeSet(pool.Universe())
+				if want := pool.Index().CoverageCount(empty); got[j] != want {
+					t.Errorf("round %d set %d (nil): batch %d, single(empty) %d", round, j, got[j], want)
+				}
+				continue
+			}
+			if want := pool.Index().CoverageCount(s); got[j] != want {
+				t.Errorf("round %d set %d: batch %d, single %d", round, j, got[j], want)
+			}
+			if want := pool.CoverageCount(s); got[j] != want {
+				t.Errorf("round %d set %d: batch %d, scan %d", round, j, got[j], want)
+			}
+		}
+	}
+}
+
+// TestCoverageCountsEdgeBatches: empty batches and degenerate entries.
+func TestCoverageCountsEdgeBatches(t *testing.T) {
+	pool := coverageBatchPool(t)
+	if got := pool.Index().CoverageCounts(nil); len(got) != 0 {
+		t.Errorf("nil batch: %v, want empty", got)
+	}
+	if got := pool.Index().CoverageCounts([]*graph.NodeSet{}); len(got) != 0 {
+		t.Errorf("empty batch: %v, want empty", got)
+	}
+	// All-nil and all-empty batches count no coverage (paths are non-empty).
+	got := pool.Index().CoverageCounts([]*graph.NodeSet{nil, graph.NewNodeSet(pool.Universe())})
+	for j, c := range got {
+		if c != 0 {
+			t.Errorf("degenerate set %d: count %d, want 0", j, c)
+		}
+	}
+	// Duplicated sets must count independently and identically.
+	full := graph.NewNodeSet(pool.Universe())
+	full.Fill()
+	dup := pool.Index().CoverageCounts([]*graph.NodeSet{full, full, full})
+	for j := 1; j < len(dup); j++ {
+		if dup[j] != dup[0] {
+			t.Errorf("duplicate sets disagree: %v", dup)
+		}
+	}
+	if dup[0] != int64(pool.NumType1()) {
+		t.Errorf("full-universe count = %d, want %d", dup[0], pool.NumType1())
+	}
+}
+
+// TestEstimateFManyMatchesEstimateF: the batched estimates must equal the
+// single-set estimates bit for bit (same counts, same division).
+func TestEstimateFManyMatchesEstimateF(t *testing.T) {
+	pool := coverageBatchPool(t)
+	rng := rand.New(rand.NewSource(13))
+	sets := randomQuerySets(rng, pool)
+	got := pool.EstimateFMany(sets)
+	for j, s := range sets {
+		if s == nil {
+			continue
+		}
+		if want := pool.EstimateF(s); got[j] != want {
+			t.Errorf("set %d: batch %v, single %v", j, got[j], want)
+		}
+	}
+}
+
+// TestSessionEstimateFMany: the session path must grow the pool and agree
+// with per-set EstimateF at the same trial count.
+func TestSessionEstimateFMany(t *testing.T) {
+	in := testInstance(t)
+	ctx := context.Background()
+	sess := New(in).NewEvalSession(7, 0)
+	n := in.Graph().NumNodes()
+	a := graph.NewNodeSet(n)
+	a.Fill()
+	b := graph.NewNodeSet(n)
+	b.Add(graph.Node(n - 1))
+	got, err := sess.EstimateFMany(ctx, []*graph.NodeSet{a, b}, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Size() != 6000 {
+		t.Fatalf("session size = %d, want 6000", sess.Size())
+	}
+	for j, s := range []*graph.NodeSet{a, b} {
+		want, err := sess.EstimateF(ctx, s, 6000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[j] != want {
+			t.Errorf("set %d: batch %v, single %v", j, got[j], want)
+		}
+	}
+}
+
+// TestPoolFamilyCachedAndAccounted: Family() must build once, be shared
+// across calls, agree with a fresh fold of the same CSR instance, and
+// show up in the pool's MemBytes the moment it exists.
+func TestPoolFamilyCachedAndAccounted(t *testing.T) {
+	pool := coverageBatchPool(t)
+	pre := pool.MemBytes()
+	if pool.FamilyMemBytes() != 0 {
+		t.Fatalf("FamilyMemBytes before build = %d, want 0", pool.FamilyMemBytes())
+	}
+	fam, err := pool.Family()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := pool.Family()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fam != again {
+		t.Error("Family() not cached: distinct pointers")
+	}
+	if fam.NumSets() != pool.NumType1() {
+		t.Errorf("family |U| = %d, want %d", fam.NumSets(), pool.NumType1())
+	}
+	if pool.FamilyMemBytes() != fam.MemBytes() {
+		t.Errorf("FamilyMemBytes = %d, want %d", pool.FamilyMemBytes(), fam.MemBytes())
+	}
+	if got := pool.MemBytes(); got != pre+fam.MemBytes() {
+		t.Errorf("MemBytes after family build = %d, want %d", got, pre+fam.MemBytes())
+	}
+	// Solves through the cached family must match one-shot Greedy on the
+	// same CSR instance (the engine-side half of the parity guarantee; the
+	// solver-level parity tests live in internal/setcover).
+	demand := pool.NumType1() / 2
+	if demand < 1 {
+		demand = 1
+	}
+	got, err := fam.Solve(demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := setcoverGreedy(pool, demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Union) != len(want.Union) || got.Covered != want.Covered || got.Picked != want.Picked {
+		t.Fatalf("family solve %+v != one-shot %+v", got, want)
+	}
+	for i := range got.Union {
+		if got.Union[i] != want.Union[i] {
+			t.Fatalf("unions differ at %d", i)
+		}
+	}
+}
+
+// TestTruncatedViewFamilyIndependent: a truncated view folds its own
+// (smaller) family over its own path prefix, independent of the parent's.
+func TestTruncatedViewFamilyIndependent(t *testing.T) {
+	in := testInstance(t)
+	pool, err := New(in).SamplePool(context.Background(), 8000, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := pool.Truncate(2000)
+	oneShot, err := New(in).SamplePool(context.Background(), 2000, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vf, err := view.Family()
+	if err != nil {
+		t.Fatal(err)
+	}
+	of, err := oneShot.Family()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vf.NumSets() != of.NumSets() || vf.NumFolded() != of.NumFolded() {
+		t.Fatalf("view family (%d sets, %d folded) != one-shot (%d, %d)",
+			vf.NumSets(), vf.NumFolded(), of.NumSets(), of.NumFolded())
+	}
+	if view.FamilyMemBytes() != vf.MemBytes() {
+		t.Errorf("view FamilyMemBytes = %d, want %d", view.FamilyMemBytes(), vf.MemBytes())
+	}
+}

@@ -92,30 +92,15 @@ func (ix *Index) CoverageCount(invited *graph.NodeSet) int64 {
 		}
 		ix.epoch = 1
 	}
-	// forEachInvited visits invited ∩ pool-nodes via whichever side is
-	// smaller: the invited set's members (no allocation) or the pool's
-	// distinct-node list. Invited nodes absent from the pool have empty
-	// postings, so visiting them is harmless.
-	forEachInvited := func(fn func(v graph.Node)) {
-		if invited.Len() <= len(ix.nodes) {
-			invited.Range(func(v graph.Node) bool { fn(v); return true })
-			return
-		}
-		for _, v := range ix.nodes {
-			if invited.Contains(v) {
-				fn(v)
-			}
-		}
-	}
 	var invPostings int64
-	forEachInvited(func(v graph.Node) {
+	ix.forEachInvited(invited, func(v graph.Node) {
 		invPostings += int64(ix.off[v+1] - ix.off[v])
 	})
 	t1 := int64(ix.pool.NumType1())
 	if invPostings <= int64(len(ix.ids))-invPostings {
 		// Positive side: tally hits on realizations of invited nodes.
 		var covered int64
-		forEachInvited(func(v graph.Node) {
+		ix.forEachInvited(invited, func(v graph.Node) {
 			for _, r := range ix.Realizations(v) {
 				if ix.hitEpoch[r] != ix.epoch {
 					ix.hitEpoch[r] = ix.epoch
@@ -143,4 +128,132 @@ func (ix *Index) CoverageCount(invited *graph.NodeSet) int64 {
 		}
 	}
 	return covered
+}
+
+// forEachInvited visits invited ∩ pool-nodes via whichever enumeration is
+// smaller — the set's own members or the pool's distinct-node list — the
+// same adaptivity CoverageCount uses. Invited nodes absent from the pool
+// have empty postings, so visiting them is harmless. nil visits nothing
+// (the empty invitation set).
+func (ix *Index) forEachInvited(invited *graph.NodeSet, fn func(v graph.Node)) {
+	if invited == nil {
+		return
+	}
+	if invited.Len() <= len(ix.nodes) {
+		invited.Range(func(v graph.Node) bool { fn(v); return true })
+		return
+	}
+	for _, v := range ix.nodes {
+		if invited.Contains(v) {
+			fn(v)
+		}
+	}
+}
+
+// CoverageCounts answers many coverage queries against the pool at once:
+// counts[j] = F(B_l, invited[j]). Each set is counted from its cheaper
+// postings side, exactly like CoverageCount. Positive-side sets (small
+// invitation sets) touch only their own members' postings, reusing one
+// per-realization tally row, so they cost no more than single queries
+// minus the per-call locking. Complement-side sets — the shape solver
+// outputs and measurement sets take, where the batch win matters — share
+// ONE traversal of the pool's node list and postings for the entire
+// group, instead of one traversal per set.
+//
+// A nil entry counts as the empty invitation set. Unlike CoverageCount,
+// the batch uses its own scratch rather than the index's epoch buffers,
+// so it takes no lock and may run concurrently with other queries.
+func (ix *Index) CoverageCounts(invited []*graph.NodeSet) []int64 {
+	k := len(invited)
+	counts := make([]int64, k)
+	if k == 0 {
+		return counts
+	}
+	t1 := ix.pool.NumType1()
+	total := int64(len(ix.ids))
+	var pos, neg []int // batch-local set indexes per side
+	invPostings := make([]int64, k)
+	for j, s := range invited {
+		ix.forEachInvited(s, func(v graph.Node) {
+			invPostings[j] += int64(ix.off[v+1] - ix.off[v])
+		})
+		if invPostings[j] <= total-invPostings[j] {
+			pos = append(pos, j)
+		} else {
+			neg = append(neg, j)
+			counts[j] = int64(t1)
+		}
+	}
+	// Positive side: tally hits on the realizations of each set's invited
+	// nodes until the path length is reached (path nodes are distinct by
+	// construction). Sets run sequentially, sharing one tally row that is
+	// all-zero between sets. How the row returns to zero is chosen per set
+	// from its pass-1 postings mass: a sparse set records the realizations
+	// it touched and zeroes only those (work proportional to its own
+	// postings — a singleton set against a huge pool never pays an
+	// O(|B_l¹|) pass), while a dense set tallies branch-free and pays one
+	// sequential clear, far cheaper than scatter-resetting most of the row.
+	if len(pos) > 0 {
+		hits := make([]int32, t1)
+		var touched []int32 // allocated on the first sparse set
+		for _, j := range pos {
+			if sparse := invPostings[j] < int64(t1)/8; sparse {
+				if touched == nil {
+					touched = make([]int32, 0, t1/8+1)
+				}
+				touched = touched[:0]
+				ix.forEachInvited(invited[j], func(v graph.Node) {
+					for _, r := range ix.Realizations(v) {
+						if hits[r] == 0 {
+							touched = append(touched, r)
+						}
+						hits[r]++
+						if hits[r] == ix.pool.offsets[r+1]-ix.pool.offsets[r] {
+							counts[j]++
+						}
+					}
+				})
+				for _, r := range touched {
+					hits[r] = 0
+				}
+				continue
+			}
+			ix.forEachInvited(invited[j], func(v graph.Node) {
+				for _, r := range ix.Realizations(v) {
+					hits[r]++
+					if hits[r] == ix.pool.offsets[r+1]-ix.pool.offsets[r] {
+						counts[j]++
+					}
+				}
+			})
+			clear(hits)
+		}
+	}
+	// Complement side: strike out realizations touching non-invited nodes,
+	// for all sets in one sweep of the node list and postings.
+	if len(neg) > 0 {
+		struck := make([]uint64, (len(neg)*t1+63)/64)
+		miss := make([]int, 0, len(neg))
+		for _, v := range ix.nodes {
+			miss = miss[:0]
+			for ni, j := range neg {
+				if s := invited[j]; s == nil || !s.Contains(v) {
+					miss = append(miss, ni)
+				}
+			}
+			if len(miss) == 0 {
+				continue
+			}
+			for _, r := range ix.Realizations(v) {
+				for _, ni := range miss {
+					bit := ni*t1 + int(r)
+					if struck[bit>>6]&(1<<(uint(bit)&63)) == 0 {
+						struck[bit>>6] |= 1 << (uint(bit) & 63)
+						counts[neg[ni]]--
+					}
+				}
+			}
+		}
+	}
+	return counts
 }

@@ -31,6 +31,11 @@ type Pool struct {
 	idxOnce  sync.Once
 	idx      *Index
 	idxBuilt atomic.Bool // set after idx is fully constructed
+
+	famOnce  sync.Once
+	fam      *setcover.Family
+	famErr   error
+	famBuilt atomic.Bool // set after fam is fully constructed
 }
 
 // Truncate returns the prefix view of the pool's first l draws: exactly
@@ -105,6 +110,21 @@ func (p *Pool) EstimateF(invited *graph.NodeSet) float64 {
 	return float64(p.Index().CoverageCount(invited)) / float64(p.total)
 }
 
+// EstimateFMany returns F(B_l, I)/l for every invitation set in one
+// batched traversal of the coverage index's postings (Index.CoverageCounts);
+// measuring k sets costs one pass instead of k.
+func (p *Pool) EstimateFMany(invited []*graph.NodeSet) []float64 {
+	counts := p.Index().CoverageCounts(invited)
+	out := make([]float64, len(counts))
+	if p.total == 0 {
+		return out
+	}
+	for i, c := range counts {
+		out[i] = float64(c) / float64(p.total)
+	}
+	return out
+}
+
 // Index returns the pool's inverted node → realization index, built
 // lazily on first use and cached.
 func (p *Pool) Index() *Index {
@@ -116,21 +136,49 @@ func (p *Pool) Index() *Index {
 }
 
 // MemBytes returns the resident size of the pool: the CSR path arena,
-// offset table and draw-index table, plus the coverage index once it has
-// been built. It is the unit of account for memory-budgeted pool
-// eviction. Truncated views share their parent's tables; account them
-// with IndexMemBytes instead.
+// offset table and draw-index table, plus the coverage index and the
+// set-cover family once they have been built. It is the unit of account
+// for memory-budgeted pool eviction. Truncated views share their parent's
+// tables; account them with IndexMemBytes + FamilyMemBytes instead.
 func (p *Pool) MemBytes() int64 {
-	return int64(cap(p.arena))*4 + int64(cap(p.offsets))*4 + int64(cap(p.pathDraw))*8 + p.IndexMemBytes()
+	return int64(cap(p.arena))*4 + int64(cap(p.offsets))*4 + int64(cap(p.pathDraw))*8 +
+		p.IndexMemBytes() + p.FamilyMemBytes()
 }
 
 // IndexMemBytes returns the resident size of the pool's coverage index
-// (0 until it is built) — the only storage a truncated view owns.
+// (0 until it is built).
 func (p *Pool) IndexMemBytes() int64 {
 	if p.idxBuilt.Load() {
 		return p.idx.memBytes()
 	}
 	return 0
+}
+
+// FamilyMemBytes returns the resident size of the pool's cached set-cover
+// family (0 until it is built). Together with IndexMemBytes it is all the
+// storage a truncated view owns.
+func (p *Pool) FamilyMemBytes() int64 {
+	if p.famBuilt.Load() {
+		return p.fam.MemBytes()
+	}
+	return 0
+}
+
+// Family returns the pool's set-cover family — the immutable fold
+// (distinct paths with multiplicities plus the element → sets index) every
+// MSC solve against this pool shares — built lazily on first use from the
+// CSR arena and cached. Repeated solves at new demands or budgets (α/β
+// sweeps, SolveMax budget searches, server traffic) then skip the
+// per-query rebuild entirely: they borrow a pooled Solver holding only
+// mutable scratch. Safe for concurrent use.
+func (p *Pool) Family() (*setcover.Family, error) {
+	p.famOnce.Do(func() {
+		p.fam, p.famErr = setcover.NewFamily(p.SetcoverInstance())
+		if p.famErr == nil {
+			p.famBuilt.Store(true)
+		}
+	})
+	return p.fam, p.famErr
 }
 
 // SetcoverInstance hands the pool to the MSC solver zero-copy: the arena

@@ -73,7 +73,7 @@ func (s *Session) MemBytes() int64 {
 		b += s.pool.MemBytes()
 	}
 	for _, v := range s.views {
-		b += v.IndexMemBytes()
+		b += v.IndexMemBytes() + v.FamilyMemBytes()
 	}
 	return b
 }
@@ -176,6 +176,18 @@ func (s *Session) EstimateF(ctx context.Context, invited *graph.NodeSet, trials 
 		return 0, err
 	}
 	return p.EstimateF(invited), nil
+}
+
+// EstimateFMany estimates f for every invitation set in one batched
+// coverage query against the session's cached pool (grown to at least
+// trials draws first): the pool's postings are traversed once for the
+// whole batch instead of once per set.
+func (s *Session) EstimateFMany(ctx context.Context, invited []*graph.NodeSet, trials int64) ([]float64, error) {
+	p, err := s.Pool(ctx, trials)
+	if err != nil {
+		return nil, err
+	}
+	return p.EstimateFMany(invited), nil
 }
 
 // FractionType1 returns the cached pool's estimate of p_max = f(V),

@@ -141,6 +141,13 @@ func (ps *pairSession) measureF(ctx context.Context, invited *graph.NodeSet) (fl
 	return ps.ev.EstimateF(ctx, invited, ps.trials)
 }
 
+// measureFMany estimates f for several invitation sets in one batched
+// coverage query against the pair's evaluation pool: the pool's postings
+// are traversed once for the whole batch instead of once per set.
+func (ps *pairSession) measureFMany(ctx context.Context, invited []*graph.NodeSet) ([]float64, error) {
+	return ps.ev.EstimateFMany(ctx, invited, ps.trials)
+}
+
 // Fig3Row is one x-position of the basic experiment: average acceptance
 // probabilities at a fixed α, with the HD and SP sets sized to |I_RAF|.
 type Fig3Row struct {
@@ -199,23 +206,21 @@ func BasicExperiment(ctx context.Context, cfg Config, alphas []float64) ([]Fig3R
 					return fmt.Errorf("eval: RAF on pair (%d,%d): %w", pair.S, pair.T, err)
 				}
 				k := res.Invited.Len()
-				fRAF, err := ps.measureF(ctx, res.Invited)
-				if err != nil {
-					return err
-				}
-				fHD, err := ps.measureF(ctx, baselines.PrefixSet(c.Graph.NumNodes(), hdOrder, k))
-				if err != nil {
-					return err
-				}
-				fSP, err := ps.measureF(ctx, baselines.PrefixSet(c.Graph.NumNodes(), spOrder, k))
+				// One batched coverage query measures RAF and both size-
+				// matched baselines in a single postings traversal.
+				fs, err := ps.measureFMany(ctx, []*graph.NodeSet{
+					res.Invited,
+					baselines.PrefixSet(c.Graph.NumNodes(), hdOrder, k),
+					baselines.PrefixSet(c.Graph.NumNodes(), spOrder, k),
+				})
 				if err != nil {
 					return err
 				}
 				rows[ai].Pairs++
 				sums[ai][0] += pair.Pmax
-				sums[ai][1] += fRAF
-				sums[ai][2] += fHD
-				sums[ai][3] += fSP
+				sums[ai][1] += fs[0]
+				sums[ai][2] += fs[1]
+				sums[ai][3] += fs[2]
 				sums[ai][4] += float64(k)
 			}
 			return nil
@@ -475,7 +480,13 @@ func RealizationSweep(ctx context.Context, cfg Config, ls []int64) ([]SweepPoint
 	}
 	sorted := append([]int64(nil), ls...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	// Solve every grid point first (each pool is the previous point's pool
+	// grown in place), then measure all invitation sets in one batched
+	// coverage query against the evaluation pool — the sweep table costs a
+	// single postings traversal instead of one per grid point.
 	out := make([]SweepPoint, 0, len(sorted))
+	var sets []*graph.NodeSet
+	var measured []int // out indexes awaiting a measurement
 	for _, l := range sorted {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -488,11 +499,18 @@ func RealizationSweep(ctx context.Context, cfg Config, ls []int64) ([]SweepPoint
 			}
 			return nil, err
 		}
-		f, err := ps.measureF(ctx, invited)
+		measured = append(measured, len(out))
+		out = append(out, SweepPoint{L: l, Size: invited.Len()})
+		sets = append(sets, invited)
+	}
+	if len(sets) > 0 { // all-unreachable sweeps need no evaluation pool
+		fs, err := ps.measureFMany(ctx, sets)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, SweepPoint{L: l, F: f, Size: invited.Len()})
+		for i, oi := range measured {
+			out[oi].F = fs[i]
+		}
 	}
 	return out, nil
 }

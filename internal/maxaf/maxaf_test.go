@@ -162,3 +162,58 @@ func TestSolveMonotoneInBudget(t *testing.T) {
 		prev = res.CoveredFraction
 	}
 }
+
+// TestSolveBudgetsFromPoolParity: the budget-sweep path (one cached
+// family, one reused solver, batched coverage re-measurement) must return
+// results identical to calling SolveFromPool per budget.
+func TestSolveBudgetsFromPoolParity(t *testing.T) {
+	g := randomConnected(4, 40, 60)
+	if g.HasEdge(0, 39) {
+		t.Skip("adjacent s,t")
+	}
+	in := mustInstance(t, g, 0, 39)
+	pool, err := engine.New(in).SamplePool(context.Background(), 12000, 0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.NumType1() == 0 {
+		t.Skip("no type-1 realizations")
+	}
+	budgets := []int{1, 2, 3, 5, 8, 13, 21, 40}
+	sweep, err := SolveBudgetsFromPool(in, budgets, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != len(budgets) {
+		t.Fatalf("%d results for %d budgets", len(sweep), len(budgets))
+	}
+	for i, b := range budgets {
+		single, err := SolveFromPool(in, b, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotM, wantM := sweep[i].Invited.Members(), single.Invited.Members()
+		if len(gotM) != len(wantM) {
+			t.Fatalf("budget %d: |sweep|=%d |single|=%d", b, len(gotM), len(wantM))
+		}
+		for j := range gotM {
+			if gotM[j] != wantM[j] {
+				t.Fatalf("budget %d: invited sets differ at %d", b, j)
+			}
+		}
+		if sweep[i].CoveredFraction != single.CoveredFraction {
+			t.Errorf("budget %d: sweep fraction %v != single %v (batched re-measurement must equal the greedy's tally)",
+				b, sweep[i].CoveredFraction, single.CoveredFraction)
+		}
+		if sweep[i].PoolType1 != single.PoolType1 {
+			t.Errorf("budget %d: PoolType1 %d != %d", b, sweep[i].PoolType1, single.PoolType1)
+		}
+	}
+	// Error paths: empty sweep and non-positive budgets.
+	if _, err := SolveBudgetsFromPool(in, nil, pool); err == nil {
+		t.Error("empty budget list accepted")
+	}
+	if _, err := SolveBudgetsFromPool(in, []int{3, 0}, pool); err == nil {
+		t.Error("zero budget accepted")
+	}
+}

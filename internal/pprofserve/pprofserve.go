@@ -1,0 +1,35 @@
+// Package pprofserve starts the net/http/pprof endpoint behind the CLI
+// tools' -pprof flags, so hot paths (pool sampling, set-cover solves,
+// coverage queries) can be profiled under real traffic:
+//
+//	afserve -dataset Wiki -pprof localhost:6060 < queries.jsonl &
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
+package pprofserve
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+)
+
+// Start serves the default mux (where net/http/pprof registers its
+// handlers) on addr from a background goroutine. An empty addr is a
+// no-op. The listener is opened synchronously so a bad address fails the
+// flag parse fast instead of dying silently mid-run.
+func Start(addr string) error {
+	if addr == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("pprof: %w", err)
+	}
+	go func() {
+		// The default mux also serves expvar if imported elsewhere; only
+		// pprof is registered here. Serve errors after a successful listen
+		// mean the process is shutting down — nothing to report.
+		_ = http.Serve(ln, nil)
+	}()
+	return nil
+}

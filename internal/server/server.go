@@ -304,6 +304,41 @@ func (sv *Server) SolveMax(ctx context.Context, s, t graph.Node, budget int, rea
 	return res, f, nil
 }
 
+// SolveMaxBudgets answers a whole budget sweep for (s,t) in one shot: the
+// budgeted greedy runs against the pair's cached pool with one reused
+// solver (the pool's set-cover family is folded once), and both the
+// in-pool fractions and the decorrelated estimates come from batched
+// coverage queries — one postings traversal per pool for the entire
+// sweep. Results are identical to calling SolveMax per budget.
+func (sv *Server) SolveMaxBudgets(ctx context.Context, s, t graph.Node, budgets []int, realizations int64) ([]*maxaf.Result, []float64, error) {
+	e, err := sv.acquire(KindSolveMax, s, t)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer sv.release(e)
+	l := realizations
+	if l <= 0 {
+		l = maxaf.DefaultRealizations
+	}
+	pool, err := e.sess.Pool(ctx, l)
+	if err != nil {
+		return nil, nil, err
+	}
+	results, err := maxaf.SolveBudgetsFromPool(e.sess.Instance(), budgets, pool)
+	if err != nil {
+		return nil, nil, err
+	}
+	sets := make([]*graph.NodeSet, len(results))
+	for i, r := range results {
+		sets[i] = r.Invited
+	}
+	fs, err := e.eval.EstimateFMany(ctx, sets, l)
+	if err != nil {
+		return nil, nil, err
+	}
+	return results, fs, nil
+}
+
 // EstimateF estimates f(invited) for (s,t) as a coverage query against
 // the pair's cached evaluation pool, grown to at least trials draws.
 func (sv *Server) EstimateF(ctx context.Context, s, t graph.Node, invited *graph.NodeSet, trials int64) (float64, error) {

@@ -248,3 +248,44 @@ func TestPairHandle(t *testing.T) {
 		t.Errorf("pmax hit/miss = %d/%d, want 1/0 (handle session not shared)", c.Hits, c.Misses)
 	}
 }
+
+// TestSolveMaxBudgetsMatchesSolveMax: the batched budget sweep must
+// return, per budget, exactly what the single-budget query returns —
+// same invited sets, same in-pool fractions, same decorrelated
+// estimates — including across eviction (fresh server).
+func TestSolveMaxBudgetsMatchesSolveMax(t *testing.T) {
+	g := testGraph(40, 60)
+	pairs := validPairs(g, 2)
+	if len(pairs) == 0 {
+		t.Skip("no valid pairs")
+	}
+	ctx := context.Background()
+	budgets := []int{1, 2, 4, 8}
+	for _, pk := range pairs {
+		sweepSv := New(g, weights.NewDegree(g), Config{Seed: 5})
+		results, fs, err := sweepSv.SolveMaxBudgets(ctx, pk.s, pk.t, budgets, 3000)
+		if err != nil {
+			if errors.Is(err, core.ErrTargetUnreachable) {
+				continue
+			}
+			t.Fatal(err)
+		}
+		singleSv := New(g, weights.NewDegree(g), Config{Seed: 5})
+		for i, b := range budgets {
+			res, f, err := singleSv.SolveMax(ctx, pk.s, pk.t, b, 3000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotM, wantM := results[i].Invited.Members(), res.Invited.Members()
+			if fmt.Sprint(gotM) != fmt.Sprint(wantM) {
+				t.Fatalf("pair %v budget %d: sweep invited %v != single %v", pk, b, gotM, wantM)
+			}
+			if results[i].CoveredFraction != res.CoveredFraction {
+				t.Errorf("pair %v budget %d: TrainF %v != %v", pk, b, results[i].CoveredFraction, res.CoveredFraction)
+			}
+			if fs[i] != f {
+				t.Errorf("pair %v budget %d: EstimatedF %v != %v", pk, b, fs[i], f)
+			}
+		}
+	}
+}

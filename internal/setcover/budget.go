@@ -1,10 +1,6 @@
 package setcover
 
-import (
-	"container/heap"
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // GreedyBudget solves the budgeted dual of MSC: choose a union of at most
 // budget elements maximizing the number of covered members of U
@@ -18,64 +14,19 @@ import (
 // only shrink as the union grows, so densities only improve; every
 // decrement re-files the set in a lazy max-heap and stale entries are
 // skipped on pop.
+//
+// This is the one-shot convenience wrapper: it folds the instance into a
+// Family and solves once. For repeated solves on one family, build the
+// Family once and use Solver.SolveBudget (or Family.SolveBudget).
 func GreedyBudget(inst *Instance, budget int) (*Solution, error) {
 	if budget <= 0 {
 		return nil, fmt.Errorf("%w: budget %d must be positive", ErrBadInstance, budget)
 	}
-	folded, err := fold(inst)
+	fam, err := NewFamily(inst)
 	if err != nil {
 		return nil, err
 	}
-	elemToSets := buildElemIndex(folded, inst.UniverseSize)
-	marg := make([]int, len(folded))
-	done := make([]bool, len(folded))
-	sol := &Solution{}
-	h := &densityHeap{}
-	for j, fs := range folded {
-		marg[j] = len(fs.elems)
-		if marg[j] == 0 {
-			done[j] = true
-			sol.Covered += fs.mult
-			continue
-		}
-		heap.Push(h, densityEntry{id: int32(j), marg: marg[j], density: float64(fs.mult) / float64(marg[j])})
-	}
-	inUnion := make(map[int32]bool)
-	remaining := budget
-	for h.Len() > 0 && remaining > 0 {
-		entry := heap.Pop(h).(densityEntry)
-		j := entry.id
-		if done[j] || marg[j] != entry.marg {
-			continue // stale: a fresher entry exists (or the set is covered)
-		}
-		if marg[j] > remaining {
-			// Doesn't fit now; future decrements re-push it.
-			continue
-		}
-		sol.Picked++
-		for _, e := range folded[j].elems {
-			if inUnion[e] {
-				continue
-			}
-			inUnion[e] = true
-			sol.Union = append(sol.Union, e)
-			remaining--
-			for _, k := range elemToSets.sets(e) {
-				if done[k] {
-					continue
-				}
-				marg[k]--
-				if marg[k] == 0 {
-					done[k] = true
-					sol.Covered += folded[k].mult
-				} else {
-					heap.Push(h, densityEntry{id: k, marg: marg[k], density: float64(folded[k].mult) / float64(marg[k])})
-				}
-			}
-		}
-	}
-	sort.Slice(sol.Union, func(i, k int) bool { return sol.Union[i] < sol.Union[k] })
-	return sol, nil
+	return fam.SolveBudget(budget)
 }
 
 type densityEntry struct {
@@ -85,11 +36,13 @@ type densityEntry struct {
 }
 
 // densityHeap is a max-heap on density (ties: smaller marginal first,
-// then smaller id for determinism).
+// then smaller id for determinism). The sift routines mirror
+// container/heap exactly — same swaps, same pop order — but operate on
+// the concrete type, so pushes in the solver's hot loop never box an
+// entry into an interface.
 type densityHeap []densityEntry
 
-func (h densityHeap) Len() int { return len(h) }
-func (h densityHeap) Less(i, j int) bool {
+func (h densityHeap) less(i, j int) bool {
 	if h[i].density != h[j].density {
 		return h[i].density > h[j].density
 	}
@@ -98,12 +51,47 @@ func (h densityHeap) Less(i, j int) bool {
 	}
 	return h[i].id < h[j].id
 }
-func (h densityHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *densityHeap) Push(x any)   { *h = append(*h, x.(densityEntry)) }
-func (h *densityHeap) Pop() any {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
+
+func (h *densityHeap) push(x densityEntry) {
+	*h = append(*h, x)
+	h.up(len(*h) - 1)
+}
+
+func (h *densityHeap) pop() densityEntry {
+	n := len(*h) - 1
+	(*h)[0], (*h)[n] = (*h)[n], (*h)[0]
+	h.down(0, n)
+	x := (*h)[n]
+	*h = (*h)[:n]
 	return x
+}
+
+func (h densityHeap) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h densityHeap) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && h.less(j2, j1) {
+			j = j2 // right child
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
 }

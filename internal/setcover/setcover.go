@@ -7,10 +7,16 @@
 // which Chlamtáč et al. give a 2√|U|-approximation. This package
 // implements the combinatorial minimum-marginal-union greedy — the
 // practical surrogate with the same O(√|U|) behaviour — plus an exact
-// exponential solver used as a test oracle. The greedy folds duplicate
-// subsets with multiplicities (in RAF many sampled t(g) paths coincide)
-// and maintains marginals incrementally with an element→sets index and a
-// bucket queue, so a solve costs O(Σ|U_i|) after folding.
+// exponential solver used as a test oracle.
+//
+// The solve path is split into two halves so repeated queries against one
+// family amortize: a Family is the prebuilt immutable fold (canonical
+// distinct sets with multiplicities — in RAF many sampled t(g) paths
+// coincide — plus the inverted element → sets index), and a Solver holds
+// all mutable scratch (marginals, bucket queue, epoch-versioned union
+// bitset), so a solve costs O(Σ|U_i|) once at Family build and each
+// subsequent solve allocates nothing beyond its Solution. Greedy and
+// GreedyBudget are one-shot wrappers over that pair.
 //
 // Coverage is counted semantically: a subset counts as covered the moment
 // all its elements are in the union, whether or not it was explicitly
@@ -18,10 +24,9 @@
 package setcover
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // ErrInfeasible reports a demand p exceeding the family size.
@@ -96,89 +101,14 @@ type Solution struct {
 	Picked int
 }
 
-type foldedSet struct {
-	elems []int32 // sorted distinct elements
-	mult  int     // how many original sets folded here
-}
-
-// fold canonicalizes and deduplicates the family. Scratch buffers are
-// reused across input sets, so only distinct folded sets allocate.
-func fold(inst *Instance) ([]foldedSet, error) {
-	if err := inst.validate(); err != nil {
-		return nil, err
-	}
-	nsets := inst.NumSets()
-	index := make(map[string]int, nsets)
-	var folded []foldedSet
-	var keyBuf []byte
-	var elemBuf []int32
-	for i := 0; i < nsets; i++ {
-		elemBuf = append(elemBuf[:0], inst.set(i)...)
-		sort.Slice(elemBuf, func(i, j int) bool { return elemBuf[i] < elemBuf[j] })
-		// Drop intra-set duplicates and validate range.
-		out := elemBuf[:0]
-		var prev int32 = -1
-		for _, e := range elemBuf {
-			if e < 0 || int(e) >= inst.UniverseSize {
-				return nil, fmt.Errorf("%w: element %d outside universe [0,%d)", ErrBadInstance, e, inst.UniverseSize)
-			}
-			if e != prev {
-				out = append(out, e)
-				prev = e
-			}
-		}
-		elemBuf = out
-		keyBuf = keyBuf[:0]
-		for _, e := range elemBuf {
-			keyBuf = binary.AppendUvarint(keyBuf, uint64(e))
-		}
-		key := string(keyBuf)
-		if j, ok := index[key]; ok {
-			folded[j].mult++
-			continue
-		}
-		index[key] = len(folded)
-		folded = append(folded, foldedSet{elems: append([]int32(nil), elemBuf...), mult: 1})
-	}
-	return folded, nil
-}
-
-// elemIndex is the inverted element → folded-set-id index in CSR form:
-// the sets containing element e are ids[off[e]:off[e+1]].
-type elemIndex struct {
-	off []int32
-	ids []int32
-}
-
-func (ix *elemIndex) sets(e int32) []int32 { return ix.ids[ix.off[e]:ix.off[e+1]] }
-
-// buildElemIndex inverts the folded family over the universe.
-func buildElemIndex(folded []foldedSet, universe int) *elemIndex {
-	off := make([]int32, universe+1)
-	total := 0
-	for _, fs := range folded {
-		total += len(fs.elems)
-		for _, e := range fs.elems {
-			off[e+1]++
-		}
-	}
-	for e := 0; e < universe; e++ {
-		off[e+1] += off[e]
-	}
-	ids := make([]int32, total)
-	next := make([]int32, universe)
-	for j, fs := range folded {
-		for _, e := range fs.elems {
-			ids[off[e]+next[e]] = int32(j)
-			next[e]++
-		}
-	}
-	return &elemIndex{off: off, ids: ids}
-}
-
 // Greedy solves the MSC instance for demand p with the minimum-marginal
 // greedy. It returns ErrInfeasible when p exceeds |U| and ErrBadInstance
 // for malformed input.
+//
+// This is the one-shot convenience wrapper: it folds the instance into a
+// Family and solves once. For repeated solves on one family (an α/β
+// sweep, serving traffic), build the Family once and use Solver.Solve
+// (or Family.Solve) — the fold and index are then paid exactly once.
 func Greedy(inst *Instance, p int) (*Solution, error) {
 	if err := inst.validate(); err != nil {
 		return nil, err
@@ -189,93 +119,11 @@ func Greedy(inst *Instance, p int) (*Solution, error) {
 	if p > inst.NumSets() {
 		return nil, fmt.Errorf("%w: p=%d > |U|=%d", ErrInfeasible, p, inst.NumSets())
 	}
-	folded, err := fold(inst)
+	fam, err := NewFamily(inst)
 	if err != nil {
 		return nil, err
 	}
-
-	// Element → folded-set ids inverted index.
-	elemToSets := buildElemIndex(folded, inst.UniverseSize)
-	maxSize := 0
-	for _, fs := range folded {
-		if len(fs.elems) > maxSize {
-			maxSize = len(fs.elems)
-		}
-	}
-
-	marg := make([]int, len(folded)) // uncovered-element count per folded set
-	done := make([]bool, len(folded))
-	buckets := make([][]int32, maxSize+1)
-	for j, fs := range folded {
-		marg[j] = len(fs.elems)
-		buckets[marg[j]] = append(buckets[marg[j]], int32(j))
-	}
-
-	inUnion := make(map[int32]bool)
-	sol := &Solution{Demand: p}
-
-	// Empty sets (possible in principle) are covered from the start.
-	for j, fs := range folded {
-		if marg[j] == 0 && !done[j] {
-			done[j] = true
-			sol.Covered += fs.mult
-		}
-	}
-
-	cur := 0
-	for sol.Covered < p {
-		// Find the lowest non-empty bucket with a live entry.
-		for cur <= maxSize && len(buckets[cur]) == 0 {
-			cur++
-		}
-		if cur > maxSize {
-			// Cannot happen while sol.Covered < p ≤ total multiplicity,
-			// but guard against inconsistency rather than spin.
-			return nil, fmt.Errorf("%w: internal exhaustion at covered=%d, p=%d", ErrInfeasible, sol.Covered, p)
-		}
-		j := buckets[cur][len(buckets[cur])-1]
-		buckets[cur] = buckets[cur][:len(buckets[cur])-1]
-		if done[j] || marg[j] != cur {
-			// Stale entry: either already covered (skip) or its marginal
-			// shrank and a fresher entry exists in a lower bucket.
-			if !done[j] && marg[j] < cur {
-				// Re-file defensively (normally the decrement path already
-				// filed it).
-				buckets[marg[j]] = append(buckets[marg[j]], j)
-				if marg[j] < cur {
-					cur = marg[j]
-				}
-			}
-			continue
-		}
-		// Pick folded set j: add its uncovered elements to the union.
-		sol.Picked++
-		for _, e := range folded[j].elems {
-			if inUnion[e] {
-				continue
-			}
-			inUnion[e] = true
-			sol.Union = append(sol.Union, e)
-			for _, k := range elemToSets.sets(e) {
-				if done[k] {
-					continue
-				}
-				marg[k]--
-				if marg[k] == 0 {
-					done[k] = true
-					sol.Covered += folded[k].mult
-				} else {
-					buckets[marg[k]] = append(buckets[marg[k]], k)
-					if marg[k] < cur {
-						cur = marg[k]
-					}
-				}
-			}
-		}
-		// j itself reached marginal 0 via the loop above.
-	}
-	sort.Slice(sol.Union, func(i, k int) bool { return sol.Union[i] < sol.Union[k] })
-	return sol, nil
+	return fam.Solve(p)
 }
 
 // Exact solves the MSC instance optimally by enumerating subfamilies of
@@ -291,11 +139,11 @@ func Exact(inst *Instance, p int) (*Solution, error) {
 	if p > inst.NumSets() {
 		return nil, fmt.Errorf("%w: p=%d > |U|=%d", ErrInfeasible, p, inst.NumSets())
 	}
-	folded, err := fold(inst)
+	fam, err := NewFamily(inst)
 	if err != nil {
 		return nil, err
 	}
-	k := len(folded)
+	k := fam.NumFolded()
 	if k > 24 {
 		return nil, fmt.Errorf("%w: %d distinct sets too many for exact enumeration", ErrBadInstance, k)
 	}
@@ -307,7 +155,7 @@ func Exact(inst *Instance, p int) (*Solution, error) {
 			if mask&(1<<j) == 0 {
 				continue
 			}
-			for _, e := range folded[j].elems {
+			for _, e := range fam.set(j) {
 				union[e] = true
 			}
 		}
@@ -316,16 +164,16 @@ func Exact(inst *Instance, p int) (*Solution, error) {
 		}
 		// Count covered multiplicity (incidental covers included).
 		covered := 0
-		for _, fs := range folded {
+		for j := 0; j < k; j++ {
 			ok := true
-			for _, e := range fs.elems {
+			for _, e := range fam.set(j) {
 				if !union[e] {
 					ok = false
 					break
 				}
 			}
 			if ok {
-				covered += fs.mult
+				covered += int(fam.mult[j])
 			}
 		}
 		if covered < p {
@@ -335,7 +183,7 @@ func Exact(inst *Instance, p int) (*Solution, error) {
 		for e := range union {
 			elems = append(elems, e)
 		}
-		sort.Slice(elems, func(i, j int) bool { return elems[i] < elems[j] })
+		slices.Sort(elems)
 		bestSize = len(elems)
 		best = &Solution{Union: elems, Covered: covered, Demand: p}
 	}
