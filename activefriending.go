@@ -55,6 +55,31 @@
 //
 // cmd/afserve exposes the server over line-delimited JSON on
 // stdin/stdout.
+//
+// # Persistence
+//
+// Pools can be snapshotted to disk and loaded back byte-identically
+// (internal/snapshot): a snapshot is a versioned, checksummed,
+// little-endian blob — a 64-byte header (seed, stream namespace,
+// universe, total draws), the CSR offset table, the per-path draw
+// indices, the path arena, and a CRC-32C footer — loadable either by
+// copy or zero-copy via mmap. Because every pool is a pure function of
+// (seed, l), and every answer a pure function of its pool, answers
+// computed from a loaded snapshot are byte-identical to answers computed
+// from fresh sampling; a corrupted, truncated or seed-mismatched file is
+// rejected by validation and the pool is simply resampled. Persistence
+// is therefore purely a latency tier (loading a pool is ~25× faster than
+// resampling it).
+//
+// Give a Server a ServerConfig.SpillDir and eviction under MaxPoolBytes
+// writes the victim's pools to disk instead of discarding them, with
+// re-admission restoring from bytes; Server.SpillAll flushes every live
+// pair (graceful shutdown) and Server.Warm preloads every spill file
+// (restart). ServerStats ledgers the spills, loads, bytes and draws
+// saved. afserve wires this up end to end:
+//
+//	afserve -file graph.txt -seed 1 -maxbytes 268435456 -spill-dir /var/tmp/af
+//	afserve -file graph.txt -seed 1 -spill-dir /var/tmp/af -warm   # restart, disk-warm
 package activefriending
 
 import (
@@ -523,6 +548,16 @@ type ServerConfig struct {
 	// (0 = all CPUs) without affecting any result.
 	Seed    int64
 	Workers int
+	// SpillDir, when non-empty, gives eviction a disk tier: instead of
+	// discarding an evicted pair's pools, the server snapshots them to
+	// one checksummed file in this directory (which must exist), and the
+	// pair's next query restores the pools from bytes instead of
+	// resampling draw by draw. Snapshots carry their stream identity
+	// (seed and namespace); files that fail validation — corruption,
+	// format-version skew, or a different Seed — are ignored and the
+	// pair resamples, with byte-identical answers either way. See also
+	// Server.SpillAll (shutdown flush) and Server.Warm (startup preload).
+	SpillDir string
 }
 
 // Server serves active-friending queries for arbitrary (s,t) pairs on
@@ -550,8 +585,25 @@ func NewServer(g *Graph, cfg ServerConfig) *Server {
 		Shards:       cfg.Shards,
 		Seed:         cfg.Seed,
 		Workers:      cfg.Workers,
+		SpillDir:     cfg.SpillDir,
 	})}
 }
+
+// SpillAll snapshots every cached pair's pools to ServerConfig.SpillDir
+// without evicting them — the graceful-shutdown flush. A successor
+// process serving the same graph with the same Seed then answers its
+// first queries from disk-warm pools (lazily on first query, or eagerly
+// via Warm). A no-op when no SpillDir is configured.
+func (sv *Server) SpillAll() error { return sv.sv.SpillAll() }
+
+// Warm admits every pair with a spill file in ServerConfig.SpillDir and
+// returns the number of pairs whose pools were actually restored from
+// disk. Files that fail validation still admit their pair — cold, and
+// ledgered in ServerStats.SpillLoadErrors — but are not counted.
+// Admission runs through the normal cache path, so the memory budget is
+// enforced and ServerStats ledgers the loads. A no-op without a
+// SpillDir.
+func (sv *Server) Warm() (int, error) { return sv.sv.Warm() }
 
 // Solve runs RAF for the pair (s, t) against its cached session.
 // Options.Seed and Options.Workers are ignored: the server's per-pair
@@ -620,13 +672,32 @@ type ServerKindStats struct {
 // ServerStats is the server's observability ledger.
 type ServerStats struct {
 	// SessionsLive counts currently cached pair sessions;
-	// SessionsCreated and SessionsEvicted are lifetime counters.
+	// SessionsCreated and SessionsEvicted are lifetime counters (a pair
+	// recreated after eviction counts as created again). An eviction is
+	// counted exactly when its pair leaves the cache, so at quiescence
+	// SessionsLive == SessionsCreated − SessionsEvicted.
 	SessionsLive    int
 	SessionsCreated int64
 	SessionsEvicted int64
 	// BytesHeld is the accounted size of all cached pair state; after an
 	// eviction pass it never exceeds ServerConfig.MaxPoolBytes.
 	BytesHeld int64
+	// Spills counts evictions (and SpillAll flushes) that wrote a pair's
+	// pools to ServerConfig.SpillDir, totalling SpillBytes on disk;
+	// SpillLoads counts re-admissions restored from a spill file
+	// (SpillLoadBytes read) instead of resampled, and SpillDrawsSaved
+	// totals the pool draws those loads avoided — the load-vs-resample
+	// win. SpillLoadErrors counts rejected or unreadable spill files,
+	// SpillWriteErrors failed snapshot writes (the previous file, if
+	// any, survives); the affected pairs resampled, which changes no
+	// answer.
+	Spills           int64
+	SpillBytes       int64
+	SpillLoads       int64
+	SpillLoadBytes   int64
+	SpillDrawsSaved  int64
+	SpillLoadErrors  int64
+	SpillWriteErrors int64
 	// Per-query-kind hit/miss tallies.
 	Solve                 ServerKindStats
 	SolveMax              ServerKindStats
@@ -645,6 +716,13 @@ func (sv *Server) Stats() ServerStats {
 		SessionsCreated:       st.SessionsCreated,
 		SessionsEvicted:       st.SessionsEvicted,
 		BytesHeld:             st.BytesHeld,
+		Spills:                st.Spills,
+		SpillBytes:            st.SpillBytes,
+		SpillLoads:            st.SpillLoads,
+		SpillLoadBytes:        st.SpillLoadBytes,
+		SpillDrawsSaved:       st.SpillDrawsSaved,
+		SpillLoadErrors:       st.SpillLoadErrors,
+		SpillWriteErrors:      st.SpillWriteErrors,
 		Solve:                 conv(server.KindSolve),
 		SolveMax:              conv(server.KindSolveMax),
 		AcceptanceProbability: conv(server.KindEstimateF),

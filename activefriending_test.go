@@ -459,4 +459,30 @@ func TestServerFacade(t *testing.T) {
 	if _, err := budgeted.AcceptanceProbability(ctx, 0, 5, []Node{99}, 1000); err == nil {
 		t.Error("out-of-range invited node accepted")
 	}
+
+	// Spill tier: a budgeted server that spills to disk, and a warm
+	// restart from its flushed state, both answer identically; the
+	// ledger shows pools moving through the disk tier instead of being
+	// resampled.
+	dir := t.TempDir()
+	spilling := NewServer(g, ServerConfig{Seed: 9, MaxPoolBytes: 24 << 10, SpillDir: dir})
+	if got := collect(spilling); !reflect.DeepEqual(want, got) {
+		t.Error("spilling server diverged from the unbudgeted reference")
+	}
+	if st := spilling.Stats(); st.Spills == 0 || st.SpillLoads == 0 || st.SpillDrawsSaved == 0 {
+		t.Errorf("spill tier idle under budget pressure: %+v", st)
+	}
+	if err := spilling.SpillAll(); err != nil {
+		t.Fatal(err)
+	}
+	warmed := NewServer(g, ServerConfig{Seed: 9, SpillDir: dir})
+	if n, err := warmed.Warm(); err != nil || n == 0 {
+		t.Fatalf("Warm = %d, %v", n, err)
+	}
+	if got := collect(warmed); !reflect.DeepEqual(want, got) {
+		t.Error("warm-restarted server diverged")
+	}
+	if st := warmed.Stats(); st.SpillLoads == 0 {
+		t.Errorf("warm restart resampled instead of loading: %+v", st)
+	}
 }

@@ -10,9 +10,12 @@
 package activefriending_test
 
 import (
+	"bytes"
 	"context"
+	"io"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"testing"
@@ -27,6 +30,7 @@ import (
 	"repro/internal/maxaf"
 	"repro/internal/realization"
 	"repro/internal/setcover"
+	"repro/internal/snapshot"
 	"repro/internal/weights"
 )
 
@@ -612,6 +616,110 @@ func BenchmarkCoverageBatchSingles(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, s := range sets {
 			pool.Index().CoverageCount(s)
+		}
+	}
+}
+
+// --- PR 4: pool persistence benchmarks ---------------------------------------
+
+// benchSnapshotBytes samples a 20k-draw session pool once and serializes
+// it — the unit of work of the server's spill tier.
+func benchSnapshotBytes(b *testing.B) (*ltm.Instance, []byte) {
+	b.Helper()
+	in := benchInstance(b)
+	sess := engine.New(in).NewSession(7, 0)
+	if _, err := sess.Pool(context.Background(), 20000); err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sess.Snapshot(&buf); err != nil {
+		b.Fatal(err)
+	}
+	return in, buf.Bytes()
+}
+
+// BenchmarkSnapshotSave measures serializing a 20k-draw pool (the
+// eviction-time spill cost, minus disk).
+func BenchmarkSnapshotSave(b *testing.B) {
+	in := benchInstance(b)
+	sess := engine.New(in).NewSession(7, 0)
+	if _, err := sess.Pool(context.Background(), 20000); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(sess.SnapshotSize())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sess.Snapshot(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotLoad measures the copying read path: bytes →
+// validated session pool with regrow tables.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	in, data := benchSnapshotBytes(b)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.OpenSession(engine.New(in), bytes.NewReader(data), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotMmap measures the zero-copy path: open + map + decode
+// + validate, pool aliasing the mapped file.
+func BenchmarkSnapshotMmap(b *testing.B) {
+	in, data := benchSnapshotBytes(b)
+	path := filepath.Join(b.TempDir(), "pool.afsnap")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := snapshot.OpenFile(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := engine.OpenSessionData(engine.New(in), f.Pools[0], 0); err != nil {
+			b.Fatal(err)
+		}
+		f.Close()
+	}
+}
+
+// BenchmarkSpillReload measures re-admitting an evicted 20k-draw pool
+// from its snapshot, ready to answer queries; BenchmarkSpillResample is
+// the draw-by-draw rebuild it replaces. The acceptance bar for the spill
+// tier is reload ≥ 10× faster than resample.
+func BenchmarkSpillReload(b *testing.B) {
+	in, data := benchSnapshotBytes(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess, err := engine.OpenSession(engine.New(in), bytes.NewReader(data), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sess.Pool(context.Background(), 20000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpillResample(b *testing.B) {
+	in, _ := benchSnapshotBytes(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess := engine.New(in).NewSession(7, 0)
+		if _, err := sess.Pool(context.Background(), 20000); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -5,7 +5,13 @@
 //
 //	afexp -exp table1 -scale 0.1
 //	afexp -exp fig3 -datasets Wiki,HepTh -pairs 30 -scale 0.05
-//	afexp -exp fig4 | -exp fig5 | -exp table2 | -exp fig6 | -exp all
+//	afexp -exp fig4 | -exp fig5 | -exp table2 | -exp fig6 | -exp warm | -exp all
+//
+// The warm experiment is this reproduction's restart story rather than a
+// paper artifact: it serves a pool-bound workload cold, flushes every
+// pool snapshot to disk, replays the workload on a server warmed from
+// those snapshots, and reports the timing gap plus a byte-identity check
+// of the answers.
 //
 // Scale, pair count and Monte-Carlo budgets default to laptop-friendly
 // values; raise them (e.g. -scale 1 -pairs 500) to match the paper's
@@ -61,7 +67,7 @@ type options struct {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("afexp", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: table1|fig3|fig4|fig5|table2|fig6|all")
+	exp := fs.String("exp", "all", "experiment: table1|fig3|fig4|fig5|table2|fig6|warm|all")
 	datasets := fs.String("datasets", "Wiki,HepTh,HepPh,Youtube", "comma-separated dataset analogs")
 	scale := fs.Float64("scale", 0.05, "dataset scale (1 = paper size)")
 	pairs := fs.Int("pairs", 20, "number of (s,t) pairs per dataset (paper: 500)")
@@ -106,7 +112,7 @@ func run(args []string) error {
 			return err
 		}
 	}
-	wantsPairs := map[string]bool{"fig3": true, "fig4": true, "fig5": true, "table2": true, "fig6": true, "all": true}
+	wantsPairs := map[string]bool{"fig3": true, "fig4": true, "fig5": true, "table2": true, "fig6": true, "warm": true, "all": true}
 	if !wantsPairs[o.exp] && o.exp != "table1" {
 		return fmt.Errorf("unknown experiment %q", o.exp)
 	}
@@ -184,6 +190,24 @@ func run(args []string) error {
 			}
 			table2Rows = append(table2Rows, row)
 			table2Names = append(table2Names, name)
+		}
+		if o.exp == "warm" || o.exp == "all" {
+			// Warm-restart experiment: serve a pool-bound workload cold,
+			// flush every pool to disk (the afserve shutdown path), then
+			// replay it on a server warmed from the snapshots and compare
+			// wall-clock time and answers.
+			dir, err := os.MkdirTemp("", "afexp-spill-*")
+			if err != nil {
+				return err
+			}
+			res, werr := eval.WarmRestart(ctx, cfg, dir)
+			os.RemoveAll(dir)
+			if werr != nil {
+				return werr
+			}
+			if err := emit(eval.RenderWarmRestart(name, res)); err != nil {
+				return err
+			}
 		}
 		if (o.exp == "fig6" || o.exp == "all") && name == strings.TrimSpace(o.datasets[0]) {
 			// The paper's Fig. 6 uses a single illustrative pair from the

@@ -24,6 +24,15 @@
 // coverage queries. -pprof serves net/http/pprof for profiling under
 // real traffic.
 //
+// -spill-dir makes pool state survive both eviction and restarts:
+// evicted pairs are snapshotted to disk and restored from bytes on
+// their next query, and when stdin closes (or on SIGINT/SIGTERM) every
+// live pair is flushed. A restarted server with the same -seed picks
+// the snapshots up lazily, or eagerly with -warm; snapshots are
+// checksummed and carry their stream identity, so a damaged or
+// mismatched file just means that pair resamples — answers are
+// byte-identical either way.
+//
 // Each response is one JSON line {"id":…,"ok":true,"result":…} (or
 // "error" when ok is false). With -j > 1 requests are answered
 // concurrently and responses may arrive out of order; match them by id.
@@ -40,8 +49,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sync"
 	"sync/atomic"
+	"syscall"
 
 	af "repro"
 	"repro/internal/pprofserve"
@@ -86,10 +97,20 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	workers := fs.Int("workers", 0, "sampling workers per query (0 = CPUs)")
 	shards := fs.Int("shards", 0, "pair-map lock shards (0 = default)")
 	maxBytes := fs.Int64("maxbytes", 0, "pool memory budget in bytes (0 = unlimited)")
+	spillDir := fs.String("spill-dir", "", "spill evicted pools to snapshots in this directory and flush all pools on shutdown")
+	warm := fs.Bool("warm", false, "preload every snapshot in -spill-dir before serving")
 	jobs := fs.Int("j", 1, "max in-flight requests; >1 answers out of order")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *warm && *spillDir == "" {
+		return fmt.Errorf("-warm requires -spill-dir")
+	}
+	if *spillDir != "" {
+		if err := os.MkdirAll(*spillDir, 0o755); err != nil {
+			return fmt.Errorf("creating -spill-dir: %w", err)
+		}
 	}
 	if err := pprofserve.Start(*pprofAddr); err != nil {
 		return err
@@ -122,8 +143,44 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		Shards:       *shards,
 		Seed:         *seed,
 		Workers:      *workers,
+		SpillDir:     *spillDir,
 	})
 	ctx := context.Background()
+	if *warm {
+		n, err := sv.Warm()
+		if err != nil {
+			return fmt.Errorf("warming from %s: %w", *spillDir, err)
+		}
+		fmt.Fprintf(os.Stderr, "afserve: warmed %d pairs from %s\n", n, *spillDir)
+	}
+	// Graceful shutdown: flush every live pair's pools to the spill
+	// directory exactly once — on EOF after in-flight requests drain, or
+	// on SIGINT/SIGTERM (in-flight pairs snapshot consistently; pairs
+	// that grow afterwards are simply flushed at their pre-growth size).
+	var flushOnce sync.Once
+	flush := func() {
+		flushOnce.Do(func() {
+			if err := sv.SpillAll(); err != nil {
+				fmt.Fprintln(os.Stderr, "afserve: spill flush:", err)
+			}
+		})
+	}
+	if *spillDir != "" {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sig)
+		done := make(chan struct{})
+		defer close(done) // unblocks the watcher so repeated run() calls don't leak it
+		go func() {
+			select {
+			case <-sig:
+				flush()
+				os.Exit(0)
+			case <-done:
+			}
+		}()
+		defer flush()
+	}
 
 	var mu sync.Mutex // serializes response lines
 	bw := bufio.NewWriter(out)

@@ -118,6 +118,53 @@ func TestServeQueries(t *testing.T) {
 	}
 }
 
+// TestServeSpillWarmRestart: a run with -spill-dir flushes its pools on
+// shutdown (stdin EOF), and a restarted server with the same seed and
+// -warm answers identically — its spill ledger showing the pools came
+// from disk rather than resampling.
+func TestServeSpillWarmRestart(t *testing.T) {
+	path := graphFile(t)
+	dir := filepath.Join(t.TempDir(), "spill")
+	first := runServe(t, []string{"-file", path, "-seed", "7", "-spill-dir", dir}, queries)
+	files, err := filepath.Glob(filepath.Join(dir, "pair-*.afsnap"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("shutdown flush wrote no snapshots (err %v)", err)
+	}
+
+	second := runServe(t, []string{"-file", path, "-seed", "7", "-spill-dir", dir, "-warm"}, queries)
+	if len(second) != len(first) {
+		t.Fatalf("got %d responses, want %d", len(second), len(first))
+	}
+	for i := range first {
+		if first[i].Op == "stats" {
+			continue
+		}
+		if string(second[i].Result) != string(first[i].Result) || second[i].OK != first[i].OK {
+			t.Errorf("id %d diverged after warm restart:\n got %s\nwant %s", second[i].ID, second[i].Result, first[i].Result)
+		}
+	}
+	// The second run's stats response must show disk-warm pools.
+	var st struct {
+		SpillLoads      int64
+		SpillDrawsSaved int64
+	}
+	for _, r := range second {
+		if r.Op == "stats" {
+			if err := json.Unmarshal(r.Result, &st); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if st.SpillLoads == 0 || st.SpillDrawsSaved == 0 {
+		t.Errorf("warm restart did not load from disk: %+v", st)
+	}
+
+	// -warm without -spill-dir is a configuration error.
+	if err := run([]string{"-file", path, "-warm"}, strings.NewReader(""), &strings.Builder{}); err == nil {
+		t.Error("-warm without -spill-dir accepted")
+	}
+}
+
 func TestServeErrors(t *testing.T) {
 	if err := run([]string{}, strings.NewReader(""), &strings.Builder{}); err == nil {
 		t.Error("missing graph source accepted")

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"io"
 	"math"
 	"sync"
 
@@ -73,6 +74,19 @@ func (s *Session) MemBytes() int64 { return s.pools.MemBytes() }
 func (s *Session) Pool(ctx context.Context, l int64) (*engine.Pool, error) {
 	return s.pools.Pool(ctx, l)
 }
+
+// Snapshot serializes the session's cached realization pool (see
+// engine.Session.Snapshot). The cached V_max and p_max estimate are not
+// written: both are deterministic in the instance and seed, so a
+// restored session re-derives them on demand with identical results.
+func (s *Session) Snapshot(w io.Writer) error { return s.pools.Snapshot(w) }
+
+// Restore loads a pool snapshot into a freshly created session,
+// consuming exactly one snapshot from r. The snapshot's stream identity
+// must match the session's seed; on any mismatch or corruption the
+// session is left cold and resamples lazily — with byte-identical
+// results, since pools are pure functions of (seed, l).
+func (s *Session) Restore(r io.Reader) error { return s.pools.Restore(r) }
 
 // PoolSize returns the cached pool size (0 before the first solve).
 func (s *Session) PoolSize() int64 { return s.pools.Size() }

@@ -52,6 +52,44 @@ type Engine struct {
 	samplers  sync.Pool
 	draws     atomic.Int64 // every draw made through the engine
 	poolDraws atomic.Int64 // draws spent filling pools (subset of draws)
+
+	fpOnce sync.Once
+	fp     uint64
+}
+
+// Fingerprint returns a content hash of the engine's problem instance —
+// graph structure, edge weights, initiator and target. Snapshots embed
+// it so a restore can reject pools sampled on a *different* instance
+// that happens to share a node count (same-seed restarts against a
+// modified graph must resample, not silently adopt stale draws).
+// Computed once per engine, O(V+E).
+func (e *Engine) Fingerprint() uint64 {
+	e.fpOnce.Do(func() {
+		// Word-wise FNV-1a (whole uint64 per round, not per byte — this
+		// runs on every pair-session creation and spill load, so it must
+		// stay a small fraction of a reload) with a murmur3 finalizer to
+		// restore avalanche.
+		const offset64, prime64 = 14695981039346656037, 1099511628211
+		h := uint64(offset64)
+		mix := func(v uint64) { h = (h ^ v) * prime64 }
+		g, w := e.in.Graph(), e.in.Weights()
+		mix(uint64(g.NumNodes()))
+		mix(uint64(e.in.S()))
+		mix(uint64(e.in.T()))
+		for v := graph.Node(0); v < graph.Node(g.NumNodes()); v++ {
+			nb := g.Neighbors(v)
+			mix(uint64(len(nb)))
+			for _, u := range nb {
+				mix(uint64(u))
+				mix(math.Float64bits(w.W(u, v)))
+			}
+		}
+		h ^= h >> 33
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
+		e.fp = h
+	})
+	return e.fp
 }
 
 // New returns an engine for the instance.

@@ -1,0 +1,190 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/snapshot"
+)
+
+// Snapshot serializes the session's cached pool — arena, offsets,
+// per-path draw indices, universe and total draws, plus the (seed,
+// namespace) that produced it — in the internal/snapshot format. Because
+// pool contents are a pure function of (seed, l), a snapshot loaded by
+// OpenSession or Restore is byte-identical to the live pool, and every
+// solve or estimate computed from it returns identical results: spilling
+// to disk is a latency decision, never a correctness one. A session that
+// has not sampled yet writes a valid empty snapshot.
+func (s *Session) Snapshot(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sp := &snapshot.Pool{
+		Seed:        s.seed,
+		NS:          uint64(s.ns),
+		Fingerprint: s.eng.Fingerprint(),
+		Universe:    int64(s.eng.in.Graph().NumNodes()),
+		Total:       s.draws,
+		Offsets:     []int32{0},
+	}
+	if s.pool != nil {
+		sp.Offsets = s.pool.offsets
+		sp.PathDraw = s.pool.pathDraw
+		sp.Arena = s.pool.arena[:s.pool.offsets[s.pool.NumType1()]]
+	}
+	return snapshot.Write(w, sp)
+}
+
+// SnapshotSize returns the exact byte size Snapshot would write now.
+func (s *Session) SnapshotSize() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pool == nil {
+		return snapshot.EncodedSize(&snapshot.Pool{Offsets: []int32{0}})
+	}
+	return snapshot.EncodedSize(&snapshot.Pool{
+		Offsets: s.pool.offsets,
+		Arena:   s.pool.arena[:s.pool.offsets[s.pool.NumType1()]],
+	})
+}
+
+// Seed returns the seed the session's streams derive from.
+func (s *Session) Seed() int64 { return s.seed }
+
+// OpenSession loads a session from a snapshot written by Snapshot: the
+// pool, its per-chunk regrow tables, and the (seed, namespace) identity
+// all come from the snapshot, so the loaded session behaves exactly like
+// the one that wrote it — including growth past the snapshotted size,
+// which resamples only the missing chunks. Reading consumes exactly one
+// snapshot from r, leaving any following bytes unread.
+func OpenSession(e *Engine, r io.Reader, workers int) (*Session, error) {
+	sp, err := snapshot.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return sessionFromSnapshot(e, sp, workers)
+}
+
+// OpenSessionBytes is OpenSession over an in-memory or mmap'd blob
+// holding exactly one snapshot. On little-endian hosts the session's
+// pool aliases data zero-copy: the caller must keep data immutable and
+// alive (for an mmap'd file, mapped) as long as the session or any pool
+// view derived from it is in use.
+func OpenSessionBytes(e *Engine, data []byte, workers int) (*Session, error) {
+	sp, err := snapshot.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	return sessionFromSnapshot(e, sp, workers)
+}
+
+// OpenSessionData builds a session directly from an already-decoded
+// snapshot — the zero-copy mmap path: pair it with snapshot.OpenFile,
+// whose pools alias the mapped region (keep the file open for the
+// session's lifetime).
+func OpenSessionData(e *Engine, sp *snapshot.Pool, workers int) (*Session, error) {
+	return sessionFromSnapshot(e, sp, workers)
+}
+
+func sessionFromSnapshot(e *Engine, sp *snapshot.Pool, workers int) (*Session, error) {
+	s := &Session{eng: e, seed: sp.Seed, workers: workers, ns: sp.NS}
+	if err := s.adoptSnapshot(sp); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Restore loads a snapshot into a freshly created (never-sampled)
+// session. Unlike OpenSession it validates that the snapshot's stream
+// identity matches the session's own (seed and namespace), so a serving
+// layer restoring spilled pair state cannot adopt bytes sampled under a
+// different configuration — a mismatch returns an error and the caller
+// falls back to resampling, which yields the same answers.
+func (s *Session) Restore(r io.Reader) error {
+	sp, err := snapshot.Read(r)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draws != 0 {
+		return fmt.Errorf("engine: restore into a session holding %d draws", s.draws)
+	}
+	if sp.Seed != s.seed || sp.NS != s.ns {
+		return fmt.Errorf("engine: snapshot stream (seed %d, ns %#x) does not match session (seed %d, ns %#x)",
+			sp.Seed, sp.NS, s.seed, s.ns)
+	}
+	return s.adoptSnapshotLocked(sp)
+}
+
+func (s *Session) adoptSnapshot(sp *snapshot.Pool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.adoptSnapshotLocked(sp)
+}
+
+// adoptSnapshotLocked installs the snapshot's pool and rebuilds the
+// per-chunk tables growth needs. Caller holds s.mu. Loading charges
+// nothing to the engine's draw ledger: the whole point of a snapshot is
+// that its draws were paid for in a previous life.
+func (s *Session) adoptSnapshotLocked(sp *snapshot.Pool) error {
+	if n := int64(s.eng.in.Graph().NumNodes()); sp.Universe != n {
+		return fmt.Errorf("engine: snapshot universe %d does not match the %d-node instance", sp.Universe, n)
+	}
+	// Same node count is not same instance: a restart against a modified
+	// graph or weight scheme must resample rather than adopt stale pools.
+	if fp := s.eng.Fingerprint(); sp.Fingerprint != fp {
+		return fmt.Errorf("engine: snapshot instance fingerprint %#x does not match %#x", sp.Fingerprint, fp)
+	}
+	if sp.Total == 0 {
+		return nil // empty snapshot: the session starts cold, as written
+	}
+	if err := checkDraws(sp.Total); err != nil {
+		return err
+	}
+	pool := &Pool{
+		arena:    sp.Arena,
+		offsets:  sp.Offsets,
+		pathDraw: sp.PathDraw,
+		total:    sp.Total,
+		universe: int(sp.Universe),
+	}
+	s.pool = pool
+	s.draws = pool.total
+	s.chunks = chunksFromPool(pool)
+	s.views = nil
+	return nil
+}
+
+// chunksFromPool rebuilds the per-chunk CSR tables from an assembled
+// pool by splitting its draw indices at ChunkSize boundaries — the exact
+// inverse of assemblePool, so a loaded session's chunk state is
+// byte-identical to the writer's and growth behaves identically (the
+// trailing partial chunk, if any, is still resampled on growth with the
+// loaded draws as its stream prefix).
+func chunksFromPool(p *Pool) []chunkPaths {
+	nchunks := int((p.total + ChunkSize - 1) / ChunkSize)
+	chunks := make([]chunkPaths, nchunks)
+	lo := 0
+	for c := range chunks {
+		start := int64(c) * ChunkSize
+		end := min(start+ChunkSize, p.total)
+		hi := lo
+		for hi < len(p.pathDraw) && p.pathDraw[hi] < end {
+			hi++
+		}
+		cp := chunkPaths{
+			draws:   end - start,
+			arena:   p.arena[p.offsets[lo]:p.offsets[hi]],
+			offsets: make([]int32, hi-lo+1),
+			drawIdx: make([]int32, hi-lo),
+		}
+		base := p.offsets[lo]
+		for j := lo; j < hi; j++ {
+			cp.offsets[j-lo+1] = p.offsets[j+1] - base
+			cp.drawIdx[j-lo] = int32(p.pathDraw[j] - start)
+		}
+		chunks[c] = cp
+		lo = hi
+	}
+	return chunks
+}

@@ -367,3 +367,25 @@ func TestBasicExperimentThroughServer(t *testing.T) {
 		t.Errorf("unbudgeted server live sessions = %d, want %d", got, len(pairs))
 	}
 }
+
+func TestWarmRestart(t *testing.T) {
+	g := testGraph(t)
+	pairs := samplePairsForTest(t, g, 3)
+	cfg := testConfig(t, g, pairs)
+	res, err := WarmRestart(context.Background(), cfg, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Identical {
+		t.Fatal("warm answers diverged from cold answers")
+	}
+	if res.SpillLoads == 0 || res.DrawsSaved == 0 || res.SpillBytes == 0 {
+		t.Fatalf("warm run did not load from disk: %+v", res)
+	}
+	if res.Pairs != len(pairs) {
+		t.Fatalf("Pairs = %d, want %d", res.Pairs, len(pairs))
+	}
+	if _, err := WarmRestart(context.Background(), Config{Graph: g, Weights: cfg.Weights}, t.TempDir()); err == nil {
+		t.Fatal("no pairs accepted")
+	}
+}

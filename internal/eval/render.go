@@ -71,6 +71,17 @@ func RenderFig6(dataset string, pts []SweepPoint) *tablewriter.Table {
 	return t
 }
 
+// RenderWarmRestart renders the warm-restart experiment for one dataset.
+func RenderWarmRestart(dataset string, res *WarmRestartResult) *tablewriter.Table {
+	t := tablewriter.New(fmt.Sprintf("Warm restart (%s): cold sampling vs snapshot-warmed pools", dataset),
+		"pairs", "cold ms", "warm ms", "speedup", "spill KiB", "loads", "draws saved", "identical")
+	t.AddRow(res.Pairs,
+		float64(res.Cold.Microseconds())/1000,
+		float64(res.Warm.Microseconds())/1000,
+		res.Speedup, res.SpillBytes>>10, res.SpillLoads, res.DrawsSaved, res.Identical)
+	return t
+}
+
 // RenderPairs summarizes a sampled pair set.
 func RenderPairs(dataset string, pairs []Pair) *tablewriter.Table {
 	t := tablewriter.New(fmt.Sprintf("Sampled pairs (%s)", dataset),

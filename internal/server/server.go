@@ -16,11 +16,29 @@
 // pair re-admitted later re-derives byte-identical pools. Eviction is a
 // latency event, never a correctness event — an answer after any
 // eviction schedule equals the never-evicted answer.
+//
+// With Config.SpillDir set, eviction gains a second tier: instead of
+// discarding a victim's pools, the server snapshots them to disk
+// (internal/snapshot; atomic write-temp + rename), and a later query for
+// the pair restores the pools from bytes instead of resampling them.
+// Snapshots are checksummed and carry their stream identity, so a
+// corrupted, truncated or configuration-skewed file is rejected and the
+// pair silently falls back to resampling — with identical answers, by
+// the same purity argument. SpillAll flushes every live pair at
+// shutdown; Warm preloads every spill file at startup, so a restarted
+// server answers its first queries from disk-warm pools.
 package server
 
 import (
+	"bufio"
 	"container/list"
 	"context"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 
@@ -30,6 +48,7 @@ import (
 	"repro/internal/ltm"
 	"repro/internal/maxaf"
 	"repro/internal/rng"
+	"repro/internal/snapshot"
 	"repro/internal/weights"
 )
 
@@ -57,6 +76,15 @@ type Config struct {
 	// (0 = all CPUs) without affecting any result.
 	Seed    int64
 	Workers int
+	// SpillDir, when non-empty, turns eviction into a spill: a victim
+	// pair's pools are snapshotted to one file in this directory before
+	// the memory is released, and the pair's next query restores them
+	// from bytes instead of resampling. The directory must exist. Spill
+	// files from a previous process with the same Seed are picked up
+	// transparently (or eagerly via Warm); files that fail checksum,
+	// version or stream-identity validation are ignored and the pair
+	// resamples — answers are identical either way.
+	SpillDir string
 }
 
 // Kind labels a query kind in the hit/miss ledger.
@@ -98,15 +126,37 @@ type KindCounts struct {
 
 // Stats is the server's observability ledger.
 type Stats struct {
-	// SessionsLive is the number of cached pair sessions;
+	// SessionsLive is the number of currently cached pair sessions;
 	// SessionsCreated and SessionsEvicted are lifetime counters (a pair
-	// recreated after eviction counts as created again).
+	// recreated after eviction counts as created again). An eviction is
+	// counted exactly when its pair leaves the cache, so at quiescence
+	// (no queries in flight) SessionsLive == SessionsCreated −
+	// SessionsEvicted; a snapshot taken mid-eviction may transiently see
+	// the map shrink before the counter settles.
 	SessionsLive    int
 	SessionsCreated int64
 	SessionsEvicted int64
 	// BytesHeld is the accounted size of all cached pair state. After an
 	// eviction pass it never exceeds Config.MaxPoolBytes.
 	BytesHeld int64
+	// Spills counts evictions (and SpillAll flushes) that wrote the
+	// victim's pools to SpillDir, totalling SpillBytes on disk; with no
+	// SpillDir both stay zero and eviction discards.
+	Spills     int64
+	SpillBytes int64
+	// SpillLoads counts pair re-admissions whose pools were restored
+	// from a spill file (SpillLoadBytes read) instead of resampled;
+	// SpillDrawsSaved totals the pool draws those loads avoided — the
+	// load-vs-resample win. SpillLoadErrors counts spill files rejected
+	// (checksum, version or stream-identity mismatch) or unreadable, and
+	// SpillWriteErrors counts failed snapshot writes (the previous file,
+	// if any, is left intact); the pair then resamples on its next
+	// admission, which changes no answer.
+	SpillLoads       int64
+	SpillLoadBytes   int64
+	SpillDrawsSaved  int64
+	SpillLoadErrors  int64
+	SpillWriteErrors int64
 	// ByKind indexes hit/miss tallies by Kind.
 	ByKind [numKinds]KindCounts
 }
@@ -115,10 +165,22 @@ type pairKey struct{ s, t graph.Node }
 
 // entry is one cached pair: the solve session and its decorrelated
 // evaluation session. The LRU fields are guarded by Server.lruMu.
+//
+// With a spill directory, a freshly created entry's sessions may be
+// restored from disk. The restore runs behind restoreOnce on the first
+// acquirer AFTER the entry is published — off the shard lock, so a slow
+// disk never stalls unrelated pairs on the same shard; later acquirers
+// of the same pair block on the Once (they would block on the cold
+// pool's sampling otherwise). sess/eval are replaced only inside the
+// Once, which happens-before every use.
 type entry struct {
 	key  pairKey
 	sess *core.Session
 	eval *engine.Session
+
+	restoreOnce sync.Once
+	loaded      bool  // restored from a spill file; written inside restoreOnce
+	loadedDraws int64 // pool draws at restore time; written inside restoreOnce
 
 	elem    *list.Element // position in the LRU list; nil when not listed
 	bytes   int64         // bytes currently charged against the budget
@@ -142,10 +204,19 @@ type Server struct {
 	evicted atomic.Int64
 	kinds   [numKinds]struct{ hits, misses atomic.Int64 }
 
+	spills           atomic.Int64
+	spillBytes       atomic.Int64
+	spillLoads       atomic.Int64
+	spillLoadBytes   atomic.Int64
+	spillDrawsSaved  atomic.Int64
+	spillLoadErrors  atomic.Int64
+	spillWriteErrors atomic.Int64
+
 	// lruMu guards the recency list and the byte ledger. It is only ever
-	// held for O(1) bookkeeping plus eviction passes; pool sampling and
-	// solving run outside it. Lock order: lruMu may acquire a shard lock
-	// (eviction); shard locks never acquire lruMu.
+	// held for O(1) bookkeeping plus eviction passes; pool sampling,
+	// solving and spill I/O run outside it. Lock order: lruMu may acquire
+	// a shard lock (eviction); shard locks may acquire session-internal
+	// locks (spill restore); neither ever acquires lruMu.
 	lruMu sync.Mutex
 	lru   *list.List // front = most recently used; values are *entry
 	bytes int64
@@ -203,6 +274,7 @@ func (sv *Server) acquire(kind Kind, s, t graph.Node) (*entry, error) {
 		sv.created.Add(1)
 	}
 	sh.mu.Unlock()
+	sv.ensureRestored(e)
 	if ok {
 		sv.kinds[kind].hits.Add(1)
 	} else {
@@ -227,24 +299,37 @@ func (sv *Server) acquire(kind Kind, s, t graph.Node) (*entry, error) {
 // which are never held while acquiring lruMu, so the nesting is safe.
 func (sv *Server) release(e *entry) {
 	sv.lruMu.Lock()
-	defer sv.lruMu.Unlock()
 	if e.evicted {
 		// Evicted while this query was in flight: its bytes were already
 		// written off; the session dies with the last in-flight holder.
+		sv.lruMu.Unlock()
 		return
 	}
 	mem := e.sess.MemBytes() + e.eval.MemBytes()
 	sv.bytes += mem - e.bytes
 	e.bytes = mem
-	sv.evictLocked()
+	victims := sv.evictLocked()
+	sv.lruMu.Unlock()
+	// Spill the victims' pools outside lruMu: snapshotting takes only
+	// session-internal locks, and disk writes must not serialize the
+	// whole server. An in-flight holder may still grow a victim while it
+	// is written; Snapshot sees a consistent (possibly larger) pool,
+	// which restores to the same answers.
+	for _, v := range victims {
+		sv.writeSpill(v)
+	}
 }
 
 // evictLocked evicts least-recently-used entries until the byte ledger
-// fits the budget. Caller holds lruMu.
-func (sv *Server) evictLocked() {
+// fits the budget, returning the victims so the caller can spill them
+// after dropping lruMu. Caller holds lruMu. An eviction is counted only
+// when the pair actually leaves the cache, keeping SessionsLive ==
+// SessionsCreated − SessionsEvicted at quiescence.
+func (sv *Server) evictLocked() []*entry {
 	if sv.cfg.MaxPoolBytes <= 0 {
-		return
+		return nil
 	}
+	var victims []*entry
 	for sv.bytes > sv.cfg.MaxPoolBytes && sv.lru.Len() > 0 {
 		el := sv.lru.Back()
 		victim := el.Value.(*entry)
@@ -257,10 +342,179 @@ func (sv *Server) evictLocked() {
 		sh.mu.Lock()
 		if sh.m[victim.key] == victim {
 			delete(sh.m, victim.key)
+			sv.evicted.Add(1)
 		}
 		sh.mu.Unlock()
-		sv.evicted.Add(1)
+		if sv.cfg.SpillDir != "" {
+			victims = append(victims, victim)
+		}
 	}
+	return victims
+}
+
+// ensureRestored runs the entry's one-time spill restore. Every reader
+// of e.sess/e.eval must pass through it (acquire does; writeSpill does
+// for SpillAll's sake): a concurrent Do blocks until the first finishes,
+// so nobody can observe the sessions while a partial-restore reset is
+// replacing them. A no-op once done, or without a spill directory.
+func (sv *Server) ensureRestored(e *entry) {
+	if sv.cfg.SpillDir != "" {
+		e.restoreOnce.Do(func() { sv.restoreSpill(e) })
+	}
+}
+
+// spillPattern names a pair's spill file within SpillDir.
+const spillPattern = "pair-%d-%d.afsnap"
+
+func (sv *Server) spillPath(k pairKey) string {
+	return filepath.Join(sv.cfg.SpillDir, fmt.Sprintf(spillPattern, k.s, k.t))
+}
+
+// writeSpill snapshots the entry's solve and evaluation pools into the
+// pair's spill file via snapshot.WriteFileFunc (write-temp + fsync +
+// rename, so a reader — or a crash — never observes a torn file).
+// Spilling is best-effort on the eviction path — on error the previous
+// file is left untouched, the eviction degrades to a plain discard, and
+// the failure is ledgered in SpillWriteErrors — but the error is
+// returned so SpillAll can surface it.
+func (sv *Server) writeSpill(e *entry) error {
+	sv.ensureRestored(e)
+	// A pair restored from disk and never grown since would rewrite a
+	// byte-identical file (pools are pure functions of (seed, l)):
+	// skip the redundant write — warming a spill dir larger than the
+	// byte budget would otherwise rewrite every over-budget file it
+	// just read.
+	if e.loaded && e.sess.PoolSize()+e.eval.Size() == e.loadedDraws {
+		return nil
+	}
+	n, err := snapshot.WriteFileFunc(sv.spillPath(e.key), func(w io.Writer) error {
+		if err := e.sess.Snapshot(w); err != nil {
+			return err
+		}
+		return e.eval.Snapshot(w)
+	})
+	if err != nil {
+		sv.spillWriteErrors.Add(1)
+		return err
+	}
+	sv.spills.Add(1)
+	sv.spillBytes.Add(n)
+	return nil
+}
+
+// restoreSpill loads the pair's spill file, if any, into its freshly
+// created sessions. Every failure mode — missing file aside — counts as
+// a load error and leaves the pair wholly cold (a half-restored pair is
+// reset, so the ledger matches reality exactly); the pair then
+// resamples lazily with byte-identical pools. Restore validates the
+// checksum, format version and stream identity (seed and namespace)
+// before adopting any bytes. Runs inside the entry's restoreOnce.
+func (sv *Server) restoreSpill(e *entry) {
+	f, err := os.Open(sv.spillPath(e.key))
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			sv.spillLoadErrors.Add(1)
+		}
+		return
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	if err := e.sess.Restore(br); err != nil {
+		sv.spillLoadErrors.Add(1)
+		return
+	}
+	if err := e.eval.Restore(br); err != nil {
+		// The solve pool loaded but the eval pool did not: drop the
+		// half-restored state (recreating the sessions is cheap and
+		// answer-invariant) so SpillLoads/SpillDrawsSaved count exactly
+		// the pairs that really came from disk.
+		seed := sv.pairSeed(e.key)
+		cs := core.NewSession(e.sess.Instance(), seed, sv.cfg.Workers)
+		e.sess, e.eval = cs, cs.Engine().NewEvalSession(seed, sv.cfg.Workers)
+		sv.spillLoadErrors.Add(1)
+		return
+	}
+	e.loaded = true
+	e.loadedDraws = e.sess.PoolSize() + e.eval.Size()
+	sv.spillLoads.Add(1)
+	if st, err := f.Stat(); err == nil {
+		sv.spillLoadBytes.Add(st.Size())
+	}
+	sv.spillDrawsSaved.Add(e.loadedDraws)
+}
+
+// SpillAll snapshots every live pair to SpillDir without evicting — the
+// graceful-shutdown flush: a successor process with the same Seed (see
+// Warm) then answers its first queries from disk-warm pools. A no-op
+// without a SpillDir. Returns the first write error; pairs after an
+// error are still attempted.
+func (sv *Server) SpillAll() error {
+	if sv.cfg.SpillDir == "" {
+		return nil
+	}
+	if _, err := os.Stat(sv.cfg.SpillDir); err != nil {
+		return err
+	}
+	var firstErr error
+	for i := range sv.shards {
+		sh := &sv.shards[i]
+		sh.mu.Lock()
+		entries := make([]*entry, 0, len(sh.m))
+		for _, e := range sh.m {
+			entries = append(entries, e)
+		}
+		sh.mu.Unlock()
+		for _, e := range entries {
+			if err := sv.writeSpill(e); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("spilling pair (%d,%d): %w", e.key.s, e.key.t, err)
+			}
+		}
+	}
+	return firstErr
+}
+
+// Warm admits every pair with a spill file in SpillDir and returns the
+// number of pairs whose pools were actually restored from disk (files
+// that fail validation admit a cold pair, ledgered in SpillLoadErrors,
+// and are not counted). Admission runs through the normal cache path,
+// so the byte budget is enforced (warming more state than fits simply
+// re-spills the coldest pairs) and Stats ledgers the loads. A no-op
+// without a SpillDir.
+func (sv *Server) Warm() (int, error) {
+	if sv.cfg.SpillDir == "" {
+		return 0, nil
+	}
+	// Sweep temp debris a crash mid-spill may have orphaned; a live
+	// concurrent write losing its temp file just degrades to a plain
+	// discard (ledgered), so the sweep is safe.
+	if orphans, err := filepath.Glob(filepath.Join(sv.cfg.SpillDir, "*.afsnap.tmp*")); err == nil {
+		for _, o := range orphans {
+			os.Remove(o)
+		}
+	}
+	des, err := os.ReadDir(sv.cfg.SpillDir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, de := range des {
+		var s, t graph.Node
+		// Sscanf tolerates trailing input, so require an exact re-render
+		// match too — orphaned *.tmp* debris must not admit a pair twice.
+		if c, err := fmt.Sscanf(de.Name(), spillPattern, &s, &t); err != nil || c != 2 ||
+			de.Name() != fmt.Sprintf(spillPattern, s, t) {
+			continue
+		}
+		h, err := sv.Pair(s, t)
+		if err != nil {
+			continue
+		}
+		if h.e.loaded {
+			n++
+		}
+		h.Done()
+	}
+	return n, nil
 }
 
 // Solve runs RAF for (s,t) against the pair's cached session. cfg.Seed
@@ -394,8 +648,15 @@ func (h *PairHandle) Done() { h.sv.release(h.e) }
 // Stats returns a snapshot of the server's ledger.
 func (sv *Server) Stats() Stats {
 	st := Stats{
-		SessionsCreated: sv.created.Load(),
-		SessionsEvicted: sv.evicted.Load(),
+		SessionsCreated:  sv.created.Load(),
+		SessionsEvicted:  sv.evicted.Load(),
+		Spills:           sv.spills.Load(),
+		SpillBytes:       sv.spillBytes.Load(),
+		SpillLoads:       sv.spillLoads.Load(),
+		SpillLoadBytes:   sv.spillLoadBytes.Load(),
+		SpillDrawsSaved:  sv.spillDrawsSaved.Load(),
+		SpillLoadErrors:  sv.spillLoadErrors.Load(),
+		SpillWriteErrors: sv.spillWriteErrors.Load(),
 	}
 	for k := range st.ByKind {
 		st.ByKind[k] = KindCounts{Hits: sv.kinds[k].hits.Load(), Misses: sv.kinds[k].misses.Load()}

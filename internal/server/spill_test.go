@@ -1,0 +1,251 @@
+package server
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/snapshot"
+	"repro/internal/weights"
+)
+
+// newSpillServer returns a server over the shared test graph with a
+// spill directory and the given byte budget (0 = no eviction).
+func newSpillServer(tb testing.TB, dir string, maxBytes int64) *Server {
+	g := testGraph(40, 60)
+	return New(g, weights.NewDegree(g), Config{
+		MaxPoolBytes: maxBytes,
+		Seed:         7,
+		Workers:      2,
+		SpillDir:     dir,
+	})
+}
+
+// TestSpillReloadDeterminism is the spill tier's correctness claim:
+// answers under any evict-to-disk / restore-from-disk schedule equal the
+// never-evicted answers, and the ledger shows the spills and loads
+// actually happening.
+func TestSpillReloadDeterminism(t *testing.T) {
+	g := testGraph(40, 60)
+	pairs := validPairs(g, 8)
+	if len(pairs) < 4 {
+		t.Skip("not enough pairs")
+	}
+
+	ref := New(g, weights.NewDegree(g), Config{Seed: 7, Workers: 2})
+	want := queryAll(t, ref, pairs, 2)
+
+	dir := t.TempDir()
+	sv := newSpillServer(t, dir, 200<<10)
+	got := queryAll(t, sv, pairs, 2)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("spill-evicting server answers differ from the unbounded reference")
+	}
+
+	st := sv.Stats()
+	if st.SessionsEvicted == 0 {
+		t.Fatal("budget never forced an eviction; shrink MaxPoolBytes")
+	}
+	if st.Spills == 0 || st.SpillBytes == 0 {
+		t.Fatalf("evictions did not spill: %+v", st)
+	}
+	if st.SpillLoads == 0 || st.SpillDrawsSaved == 0 {
+		t.Fatalf("re-admissions did not load from disk: %+v", st)
+	}
+	if st.SpillLoadErrors != 0 {
+		t.Fatalf("unexpected load errors: %+v", st)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "pair-*.afsnap"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no spill files on disk (err %v)", err)
+	}
+}
+
+// TestSpillCorruptionFallsBackToResample: a damaged spill file must be
+// rejected (ledgered as a load error) and the pair resampled, with
+// byte-identical answers.
+func TestSpillCorruptionFallsBackToResample(t *testing.T) {
+	g := testGraph(40, 60)
+	pairs := validPairs(g, 4)
+	if len(pairs) < 2 {
+		t.Skip("not enough pairs")
+	}
+	dir := t.TempDir()
+	sv := newSpillServer(t, dir, 0) // no budget: spill only via SpillAll
+	want := queryAll(t, sv, pairs, 1)
+	if err := sv.SpillAll(); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "pair-*.afsnap"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("SpillAll wrote nothing (err %v)", err)
+	}
+	// Corrupt one file, truncate another mid-header, and cut a third
+	// exactly after its first snapshot — the partial-restore path, where
+	// the solve pool loads but the eval pool cannot: the pair must be
+	// reset to wholly cold so the load ledger stays exact.
+	raw, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/3] ^= 1
+	if err := os.WriteFile(files[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if len(files) > 1 {
+		if err := os.Truncate(files[1], 40); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(files) > 2 {
+		whole, err := os.ReadFile(files[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, first, err := snapshot.DecodeNext(whole); err != nil {
+			t.Fatal(err)
+		} else if err := os.Truncate(files[2], first); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fresh := newSpillServer(t, dir, 0)
+	got := queryAll(t, fresh, pairs, 1)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("answers after corrupted spill differ")
+	}
+	st := fresh.Stats()
+	if want := int64(min(len(files), 3)); st.SpillLoadErrors != want {
+		t.Fatalf("SpillLoadErrors = %d, want %d: %+v", st.SpillLoadErrors, want, st)
+	}
+	if st.SpillLoads != int64(len(files))-st.SpillLoadErrors {
+		t.Fatalf("SpillLoads = %d with %d files and %d errors", st.SpillLoads, len(files), st.SpillLoadErrors)
+	}
+}
+
+// TestSpillAllWriteError: when snapshots cannot be written (here the
+// "directory" is a regular file), SpillAll must surface the error and
+// the ledger must count the failed writes.
+func TestSpillAllWriteError(t *testing.T) {
+	g := testGraph(40, 60)
+	pairs := validPairs(g, 2)
+	if len(pairs) == 0 {
+		t.Skip("no pairs")
+	}
+	notADir := filepath.Join(t.TempDir(), "notadir")
+	if err := os.WriteFile(notADir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sv := newSpillServer(t, notADir, 0)
+	queryAll(t, sv, pairs[:1], 1)
+	if err := sv.SpillAll(); err == nil {
+		t.Fatal("SpillAll on an unwritable spill dir returned nil")
+	}
+	if st := sv.Stats(); st.SpillWriteErrors == 0 || st.Spills != 0 {
+		t.Fatalf("write failures not ledgered: %+v", st)
+	}
+}
+
+// TestSpillAllWarmRestart is the restart story end to end: flush a
+// server's pools, open a successor with the same seed, Warm it, and
+// check the successor (a) loads pools from disk and (b) answers
+// identically without resampling the warmed draws.
+func TestSpillAllWarmRestart(t *testing.T) {
+	g := testGraph(40, 60)
+	pairs := validPairs(g, 6)
+	if len(pairs) < 3 {
+		t.Skip("not enough pairs")
+	}
+	dir := t.TempDir()
+
+	first := newSpillServer(t, dir, 0)
+	want := queryAll(t, first, pairs, 1)
+	if err := first.SpillAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	second := newSpillServer(t, dir, 0)
+	n, err := second.Warm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("Warm admitted no pairs")
+	}
+	st := second.Stats()
+	if st.SpillLoads == 0 || st.SpillDrawsSaved == 0 {
+		t.Fatalf("Warm did not load pools: %+v", st)
+	}
+	got := queryAll(t, second, pairs, 1)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("warm-restarted server answers differ")
+	}
+
+	// A server with a different seed must refuse the foreign snapshots
+	// (stream identity mismatch) and still answer deterministically for
+	// its own seed.
+	foreign := New(g, weights.NewDegree(g), Config{Seed: 8, Workers: 2, SpillDir: dir})
+	if _, err := foreign.Warm(); err != nil {
+		t.Fatal(err)
+	}
+	if fst := foreign.Stats(); fst.SpillLoads != 0 || fst.SpillLoadErrors == 0 {
+		t.Fatalf("foreign-seed server adopted alien pools: %+v", fst)
+	}
+}
+
+// TestStatsSessionInvariant drives concurrent query/evict/spill churn,
+// quiesces, and checks the lifetime ledger: every created session is
+// either still live or was evicted exactly once. Run under -race in CI.
+func TestStatsSessionInvariant(t *testing.T) {
+	for _, dir := range []string{"", t.TempDir()} {
+		name := "discard"
+		if dir != "" {
+			name = "spill"
+		}
+		t.Run(name, func(t *testing.T) {
+			g := testGraph(40, 60)
+			pairs := validPairs(g, 10)
+			if len(pairs) < 4 {
+				t.Skip("not enough pairs")
+			}
+			sv := New(g, weights.NewDegree(g), Config{
+				MaxPoolBytes: 150 << 10,
+				Seed:         7,
+				Workers:      1,
+				SpillDir:     dir,
+			})
+			ctx := context.Background()
+			var wg sync.WaitGroup
+			for w := 0; w < 8; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					r := rand.New(rand.NewSource(int64(w)))
+					for i := 0; i < 30; i++ {
+						pk := pairs[r.Intn(len(pairs))]
+						switch r.Intn(3) {
+						case 0:
+							sv.Pmax(ctx, pk.s, pk.t, 2000)
+						case 1:
+							sv.SolveMax(ctx, pk.s, pk.t, 3, 2000)
+						default:
+							sv.Solve(ctx, pk.s, pk.t, solveCfg)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			st := sv.Stats()
+			if st.SessionsEvicted == 0 {
+				t.Fatalf("no eviction churn; shrink the budget (stats %+v)", st)
+			}
+			if got, want := int64(st.SessionsLive), st.SessionsCreated-st.SessionsEvicted; got != want {
+				t.Fatalf("SessionsLive = %d, want created−evicted = %d (stats %+v)", got, want, st)
+			}
+		})
+	}
+}

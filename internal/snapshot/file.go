@@ -1,0 +1,103 @@
+package snapshot
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// File is an open snapshot file: one or more consecutive snapshots
+// backed by an mmap'd region (linux) or an in-memory copy (elsewhere).
+// The pools alias the backing bytes; Close only after every pool loaded
+// from the file is out of use.
+type File struct {
+	Pools []*Pool
+	unmap func() error
+}
+
+// OpenFile opens path and decodes every snapshot in it zero-copy. Any
+// decode error (truncation, checksum, version skew) fails the whole
+// open, so a caller can treat the file as atomically valid or fall back
+// to resampling.
+func OpenFile(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	data, unmap, err := mapFile(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	mf := &File{unmap: unmap}
+	for rest := data; len(rest) > 0; {
+		p, n, err := DecodeNext(rest)
+		if err != nil {
+			unmap()
+			return nil, fmt.Errorf("snapshot %d in %s: %w", len(mf.Pools), path, err)
+		}
+		mf.Pools = append(mf.Pools, p)
+		rest = rest[n:]
+	}
+	return mf, nil
+}
+
+// Close releases the backing region. The file's pools (and anything
+// aliasing them, e.g. engine pools opened zero-copy) must not be used
+// afterwards.
+func (f *File) Close() error {
+	if f.unmap == nil {
+		return nil
+	}
+	u := f.unmap
+	f.unmap = nil
+	return u()
+}
+
+// WriteFileFunc atomically replaces path with whatever write produces:
+// the content goes to a temporary file in the same directory, is
+// fsynced, and renamed into place, so readers (including live mmaps of
+// the previous version) never observe a torn file. Returns the bytes
+// written. On any error the previous file is left untouched.
+func WriteFileFunc(path string, write func(io.Writer) error) (int64, error) {
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	bw := bufio.NewWriterSize(tmp, 1<<20)
+	err = write(bw)
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return 0, err
+	}
+	st, err := os.Stat(tmp.Name())
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), os.Rename(tmp.Name(), path)
+}
+
+// WriteFile atomically replaces path with the given snapshots (see
+// WriteFileFunc).
+func WriteFile(path string, pools ...*Pool) (int64, error) {
+	return WriteFileFunc(path, func(w io.Writer) error {
+		for _, p := range pools {
+			if err := Write(w, p); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,54 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead throws arbitrary bytes at the decoder: whatever the input, it
+// must return a pool or an error — never panic, and never allocate
+// beyond the bytes actually present (huge header claims are capped
+// against the data before any slice is made). Inputs that do decode must
+// re-encode to a blob that decodes to the same pool.
+func FuzzRead(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(magic[:])
+	for _, p := range []*Pool{
+		testPool(1, 50, 10),
+		testPool(2, 300, 40),
+		{Seed: 5, NS: 7, Universe: 3, Total: 0, Offsets: []int32{0}},
+	} {
+		var buf bytes.Buffer
+		if err := Write(&buf, p); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		// Seed a few targeted corruptions so the interesting paths are in
+		// the corpus even before the fuzzer mutates anything.
+		for _, off := range []int{0, 8, 40, 48, 56, buf.Len() - 1} {
+			mut := bytes.Clone(buf.Bytes())
+			mut[off] ^= 0x80
+			f.Add(mut)
+		}
+		f.Add(buf.Bytes()[:buf.Len()/2])
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, p); err != nil {
+			t.Fatalf("re-encoding a decoded pool: %v", err)
+		}
+		q, err := Decode(buf.Bytes())
+		if err != nil {
+			t.Fatalf("re-decoding a re-encoded pool: %v", err)
+		}
+		checkEqual(t, q, p)
+		// DecodeNext must agree with Read on the same bytes.
+		if _, _, err := DecodeNext(data); err != nil {
+			t.Fatalf("DecodeNext rejects what Read accepted: %v", err)
+		}
+	})
+}

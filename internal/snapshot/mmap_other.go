@@ -1,0 +1,19 @@
+//go:build !linux
+
+package snapshot
+
+import "os"
+
+// mapFile on platforms without the mmap path reads the whole file into
+// memory; OpenFile then behaves identically, just without the zero-copy
+// property.
+func mapFile(f *os.File) ([]byte, func() error, error) {
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}
+
+// Mapped reports whether OpenFile maps files zero-copy on this platform.
+const Mapped = false
