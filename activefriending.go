@@ -71,6 +71,11 @@
 // is therefore purely a latency tier (loading a pool is ~25× faster than
 // resampling it).
 //
+// The p_max stopping rule (Algorithm 2) runs through the same chunked
+// engine: each Session and server pair keeps a resumable draw ledger, so
+// asking for a tighter ε₀ extends the existing draw sequence instead of
+// re-running the rule, and the ledger is persisted alongside the pools.
+//
 // Give a Server a ServerConfig.SpillDir and eviction under MaxPoolBytes
 // writes the victim's pools to disk instead of discarding them, with
 // re-admission restoring from bytes; Server.SpillAll flushes every live
@@ -525,9 +530,72 @@ func (s *Session) AcceptanceProbability(ctx context.Context, invited []Node, tri
 }
 
 // Pmax estimates p_max = f(V) from the session's evaluation pool: it is
-// the pool's type-1 fraction.
+// the pool's type-1 fraction over exactly trials draws. For an estimate
+// carrying the paper's (ε₀, 1/N) stopping-rule guarantee — and for
+// incremental refinement — use EstimatePmax.
 func (s *Session) Pmax(ctx context.Context, trials int64) (float64, error) {
 	return s.eval.FractionType1(ctx, trials)
+}
+
+// PmaxEstimate is the outcome of EstimatePmax: the Algorithm 2 estimate
+// together with its draw accounting.
+type PmaxEstimate struct {
+	// Value is the p_max estimate; with Truncated false it is within
+	// relative error eps0 of p_max with probability ≥ 1 − 1/N.
+	Value float64
+	// Draws is the number of stopping-rule draws the estimate consumed;
+	// Reused counts those answered from the session's retained ledger
+	// (draws paid for by earlier estimates), Sampled the net-new draws.
+	Draws   int64
+	Reused  int64
+	Sampled int64
+	// Truncated reports that the draw budget ran out before the rule
+	// converged; Value is then the plain Monte-Carlo mean over the budget
+	// and carries no relative-error guarantee.
+	Truncated bool
+}
+
+// EstimatePmax runs the paper's Algorithm 2 (the Dagum et al. stopping
+// rule) at relative error eps0 ∈ (0,1) (default 0.1) with failure
+// probability 1/n (default n = 100000), drawing at most maxDraws samples
+// (≤ 0 selects the default cap of 2000000). The session's estimator
+// retains its draw ledger, so repeated calls reuse every draw already
+// paid for and a tighter eps0 extends the sequence instead of
+// restarting — the refined estimate is identical to a cold estimate at
+// the tighter accuracy. Deterministic per seed, independent of the
+// worker count. Solve's internal p_max step shares the same ledger.
+func (s *Session) EstimatePmax(ctx context.Context, eps0, n float64, maxDraws int64) (*PmaxEstimate, error) {
+	e0, bigN, budget := pmaxDefaults(eps0, n, maxDraws)
+	res, err := s.core.EstimatePmax(ctx, e0, bigN, budget)
+	if err != nil {
+		return nil, err
+	}
+	return pmaxEstimateFrom(res), nil
+}
+
+// pmaxDefaults normalizes EstimatePmax parameters (shared by Session and
+// Server).
+func pmaxDefaults(eps0, n float64, maxDraws int64) (float64, float64, int64) {
+	if eps0 == 0 {
+		eps0 = 0.1
+	}
+	if n == 0 {
+		n = 100000
+	}
+	if maxDraws <= 0 {
+		maxDraws = 2000000
+	}
+	return eps0, n, maxDraws
+}
+
+func pmaxEstimateFrom(res engine.PmaxResult) *PmaxEstimate {
+	return &PmaxEstimate{
+		Value:     res.Estimate,
+		Draws:     res.Draws,
+		Reused:    res.Reused,
+		Sampled:   res.Sampled,
+		Truncated: res.Truncated,
+	}
 }
 
 // ServerConfig configures a Server.
@@ -656,9 +724,26 @@ func (sv *Server) AcceptanceProbability(ctx context.Context, s, t Node, invited 
 	return sv.sv.EstimateF(ctx, s, t, set, trials)
 }
 
-// Pmax estimates p_max for the pair (s, t) from its evaluation pool.
+// Pmax estimates p_max for the pair (s, t) from its evaluation pool (the
+// type-1 fraction over exactly trials draws); see EstimatePmax for the
+// stopping-rule estimate.
 func (sv *Server) Pmax(ctx context.Context, s, t Node, trials int64) (float64, error) {
 	return sv.sv.Pmax(ctx, s, t, trials)
+}
+
+// EstimatePmax runs Algorithm 2 for the pair (s, t) through its retained
+// estimator ledger (see Session.EstimatePmax for parameter defaults and
+// the refinement contract). The ledger survives eviction via the spill
+// tier, so a refined request after a restart reuses the draws a previous
+// process paid for; the cumulative reuse is ledgered in
+// ServerStats.PmaxDrawsReused.
+func (sv *Server) EstimatePmax(ctx context.Context, s, t Node, eps0, n float64, maxDraws int64) (*PmaxEstimate, error) {
+	e0, bigN, budget := pmaxDefaults(eps0, n, maxDraws)
+	res, err := sv.sv.PmaxEstimate(ctx, s, t, e0, bigN, budget)
+	if err != nil {
+		return nil, err
+	}
+	return pmaxEstimateFrom(res), nil
 }
 
 // ServerKindStats is the hit/miss tally for one query kind: a hit found
@@ -698,11 +783,16 @@ type ServerStats struct {
 	SpillDrawsSaved  int64
 	SpillLoadErrors  int64
 	SpillWriteErrors int64
+	// PmaxDrawsReused totals the Algorithm 2 stopping-rule draws that
+	// Solve and EstimatePmax answered from retained estimator ledgers
+	// instead of resampling — the p_max refinement win.
+	PmaxDrawsReused int64
 	// Per-query-kind hit/miss tallies.
 	Solve                 ServerKindStats
 	SolveMax              ServerKindStats
 	AcceptanceProbability ServerKindStats
 	Pmax                  ServerKindStats
+	EstimatePmax          ServerKindStats
 }
 
 // Stats returns a snapshot of the server's ledger.
@@ -723,10 +813,12 @@ func (sv *Server) Stats() ServerStats {
 		SpillDrawsSaved:       st.SpillDrawsSaved,
 		SpillLoadErrors:       st.SpillLoadErrors,
 		SpillWriteErrors:      st.SpillWriteErrors,
+		PmaxDrawsReused:       st.PmaxDrawsReused,
 		Solve:                 conv(server.KindSolve),
 		SolveMax:              conv(server.KindSolveMax),
 		AcceptanceProbability: conv(server.KindEstimateF),
 		Pmax:                  conv(server.KindPmax),
+		EstimatePmax:          conv(server.KindPmaxEst),
 	}
 }
 
@@ -735,10 +827,13 @@ func (sv *Server) Stats() ServerStats {
 // than sweeps × pool size.
 type SessionStats struct {
 	// PoolDraws is the number of realizations sampled into pools (solve
-	// and evaluation combined); TotalDraws additionally counts transient
-	// estimator draws (e.g. the p_max stopping rule runs outside the
-	// engine and is not included).
+	// and evaluation combined); PmaxDraws is the number of Bernoulli
+	// draws in the p_max estimator's retained ledger (each counted once,
+	// however many estimates consumed it); TotalDraws counts every draw
+	// made through the engine, including transient one-shot estimator
+	// draws belonging to neither ledger.
 	PoolDraws  int64
+	PmaxDraws  int64
 	TotalDraws int64
 	// SolvePoolSize and EvalPoolSize are the cached pool sizes.
 	SolvePoolSize int64
@@ -750,6 +845,7 @@ func (s *Session) Stats() SessionStats {
 	eng := s.core.Engine()
 	return SessionStats{
 		PoolDraws:     eng.PoolDraws(),
+		PmaxDraws:     eng.PmaxDraws(),
 		TotalDraws:    eng.Draws(),
 		SolvePoolSize: s.core.PoolSize(),
 		EvalPoolSize:  s.eval.Size(),

@@ -486,3 +486,76 @@ func TestServerFacade(t *testing.T) {
 		t.Errorf("warm restart resampled instead of loading: %+v", st)
 	}
 }
+
+// TestEstimatePmaxFacade drives the Algorithm 2 estimator through the
+// Session and Server facades: estimates land near the true p_max,
+// refinement to a tighter eps0 reuses the session's ledger, and the
+// server's answer is identical to the session's for the pair's derived
+// seed-independent parameters.
+func TestEstimatePmaxFacade(t *testing.T) {
+	g := lineGraph(4) // p_max = 1/2 exactly
+	p, err := NewProblem(g, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	sess := p.NewSession(1, 0)
+
+	coarse, err := sess.EstimatePmax(ctx, 0.3, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coarse.Truncated || math.Abs(coarse.Value-0.5) > 0.3*0.5+0.1 {
+		t.Errorf("coarse estimate %+v, want ~0.5 untruncated", coarse)
+	}
+	if coarse.Reused != 0 {
+		t.Errorf("cold estimate reused %d draws", coarse.Reused)
+	}
+	tight, err := sess.EstimatePmax(ctx, 0.05, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tight.Value-0.5) > 0.05*0.5+0.05 {
+		t.Errorf("tight estimate %v, want within ~eps0 of 0.5", tight.Value)
+	}
+	if tight.Reused == 0 || tight.Draws <= coarse.Draws {
+		t.Errorf("refinement did not extend the ledger: %+v after %+v", tight, coarse)
+	}
+	if st := sess.Stats(); st.PmaxDraws == 0 || st.PmaxDraws < tight.Draws {
+		t.Errorf("SessionStats.PmaxDraws = %d, want ≥ %d", st.PmaxDraws, tight.Draws)
+	}
+	// Repeating the tight request answers purely from the ledger.
+	again, err := sess.EstimatePmax(ctx, 0.05, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Sampled != 0 || again.Value != tight.Value || again.Draws != tight.Draws {
+		t.Errorf("repeat estimate resampled: %+v, want %+v with 0 sampled", again, tight)
+	}
+
+	// Server facade: deterministic per (seed, s, t), reuse ledgered.
+	sv := NewServer(g, ServerConfig{Seed: 1})
+	a, err := sv.EstimatePmax(ctx, 0, 3, 0.05, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sv.EstimatePmax(ctx, 0, 3, 0.05, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Value != b.Value || a.Draws != b.Draws || b.Sampled != 0 {
+		t.Errorf("server estimates diverged: %+v vs %+v", a, b)
+	}
+	if st := sv.Stats(); st.PmaxDrawsReused < b.Draws || st.EstimatePmax.Hits+st.EstimatePmax.Misses != 2 {
+		t.Errorf("server pmax ledger: %+v", st)
+	}
+	// Defaults: zero parameters select eps0 = 0.1, N = 1e5 and the draw
+	// cap — on this tiny graph the rule converges well inside the cap.
+	def, err := sess.EstimatePmax(ctx, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Truncated || math.Abs(def.Value-0.5) > 0.1 {
+		t.Errorf("default estimate %+v, want ~0.5", def)
+	}
+}

@@ -28,7 +28,9 @@ import (
 	"repro/internal/graph"
 	"repro/internal/ltm"
 	"repro/internal/maxaf"
+	"repro/internal/mc"
 	"repro/internal/realization"
+	"repro/internal/rng"
 	"repro/internal/setcover"
 	"repro/internal/snapshot"
 	"repro/internal/weights"
@@ -722,4 +724,77 @@ func BenchmarkSpillResample(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkPmaxSequentialVsChunked compares the paper's Algorithm 2 as a
+// one-at-a-time stopping rule (mc.StoppingRule over a single stream)
+// against the engine's chunked estimator at the same accuracy. The
+// chunked path samples in parallel chunks and finds the stopping point by
+// prefix scan; "chunked/1worker" isolates the single-thread overhead: the
+// doubling growth ladder oversamples past the stopping point by at most
+// 2× (≈1.5× on average) — the price of worker-parallel sampling, a
+// worker-count-independent result, and a resumable ledger (the surplus
+// draws are retained and pre-pay future refinements, see
+// BenchmarkPmaxRefine). With W workers the wall clock is ≈ oversample/W
+// of sequential, so the chunked path wins from 2 workers up.
+func BenchmarkPmaxSequentialVsChunked(b *testing.B) {
+	in := benchInstance(b)
+	ctx := context.Background()
+	const eps, bigN = 0.05, 100000.0
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sp := realization.NewSampler(in)
+			r := rng.DeriveStreamRand(7, 0x506D6178, 0)
+			if _, _, _, err := mc.StoppingRule(ctx, eps, bigN, 0, func() bool {
+				return sp.SampleTG(r).Outcome == realization.Type1
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for name, workers := range map[string]int{"chunked/1worker": 1, "chunked": 0} {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := engine.New(in).NewPmaxEstimator(7, workers).Estimate(ctx, eps, bigN, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPmaxRefine measures the resumable-estimator win: refining a
+// coarse ε₀ = 0.1 estimate to ε₀ = 0.05 against a retained ledger
+// ("refine") versus estimating at ε₀ = 0.05 from scratch ("cold"). The
+// refine path reuses every coarse draw — its marginal cost is only the
+// ledger extension beyond the coarse stopping region (the coarse pass
+// pre-pays ~Υ(0.1)/Υ(0.05) ≈ a quarter of the tight estimate's bill).
+func BenchmarkPmaxRefine(b *testing.B) {
+	in := benchInstance(b)
+	ctx := context.Background()
+	const bigN = 100000.0
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.New(in).NewPmaxEstimator(7, 0).Estimate(ctx, 0.05, bigN, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("refine", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			pe := engine.New(in).NewPmaxEstimator(7, 0)
+			if _, err := pe.Estimate(ctx, 0.1, bigN, 0); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := pe.Estimate(ctx, 0.05, bigN, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -5,13 +5,16 @@
 //
 //	afexp -exp table1 -scale 0.1
 //	afexp -exp fig3 -datasets Wiki,HepTh -pairs 30 -scale 0.05
-//	afexp -exp fig4 | -exp fig5 | -exp table2 | -exp fig6 | -exp warm | -exp all
+//	afexp -exp fig4 | -exp fig5 | -exp table2 | -exp fig6 | -exp warm | -exp refine | -exp all
 //
 // The warm experiment is this reproduction's restart story rather than a
 // paper artifact: it serves a pool-bound workload cold, flushes every
 // pool snapshot to disk, replays the workload on a server warmed from
 // those snapshots, and reports the timing gap plus a byte-identity check
-// of the answers.
+// of the answers. The refine experiment measures the resumable p_max
+// estimator the same way: a staged coarse → tight Algorithm 2 sequence
+// against a cold tight estimate, reporting the draws the retained ledger
+// saved and an identity check of the estimates.
 //
 // Scale, pair count and Monte-Carlo budgets default to laptop-friendly
 // values; raise them (e.g. -scale 1 -pairs 500) to match the paper's
@@ -67,7 +70,7 @@ type options struct {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("afexp", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: table1|fig3|fig4|fig5|table2|fig6|warm|all")
+	exp := fs.String("exp", "all", "experiment: table1|fig3|fig4|fig5|table2|fig6|warm|refine|all")
 	datasets := fs.String("datasets", "Wiki,HepTh,HepPh,Youtube", "comma-separated dataset analogs")
 	scale := fs.Float64("scale", 0.05, "dataset scale (1 = paper size)")
 	pairs := fs.Int("pairs", 20, "number of (s,t) pairs per dataset (paper: 500)")
@@ -112,7 +115,7 @@ func run(args []string) error {
 			return err
 		}
 	}
-	wantsPairs := map[string]bool{"fig3": true, "fig4": true, "fig5": true, "table2": true, "fig6": true, "warm": true, "all": true}
+	wantsPairs := map[string]bool{"fig3": true, "fig4": true, "fig5": true, "table2": true, "fig6": true, "warm": true, "refine": true, "all": true}
 	if !wantsPairs[o.exp] && o.exp != "table1" {
 		return fmt.Errorf("unknown experiment %q", o.exp)
 	}
@@ -206,6 +209,18 @@ func run(args []string) error {
 				return werr
 			}
 			if err := emit(eval.RenderWarmRestart(name, res)); err != nil {
+				return err
+			}
+		}
+		if o.exp == "refine" || o.exp == "all" {
+			// Refinement experiment: a staged coarse → tight p_max
+			// estimate against a cold tight one, per pair. 0.3 → 0.1 is
+			// the spread the paper's equation system typically lands in.
+			res, err := eval.PmaxRefinement(ctx, cfg, 0.3, 0.1)
+			if err != nil {
+				return err
+			}
+			if err := emit(eval.RenderPmaxRefine(name, res)); err != nil {
 				return err
 			}
 		}

@@ -16,13 +16,22 @@
 //	{"id":3,"op":"solvemax","s":3,"t":91,"budgets":[1,2,5,10]}
 //	{"id":4,"op":"acceptance","s":3,"t":91,"invited":[17,91],"trials":20000}
 //	{"id":5,"op":"pmax","s":3,"t":91,"trials":20000}
-//	{"id":6,"op":"stats"}
+//	{"id":6,"op":"pmaxest","s":3,"t":91,"eps":0.1,"n":100000,"trials":2000000}
+//	{"id":7,"op":"stats"}
 //
 // A solvemax with a "budgets" list answers the whole sweep in one
 // response: the pair's pool is folded into a set-cover family once, one
 // solver is reused across budgets, and the measurements are batched
 // coverage queries. -pprof serves net/http/pprof for profiling under
 // real traffic.
+//
+// pmax is the cheap fixed-budget estimate (the evaluation pool's type-1
+// fraction over "trials" draws); pmaxest runs the paper's Algorithm 2
+// stopping rule at relative error "eps" with failure probability 1/"n",
+// capped at "trials" draws (each defaulted when omitted). Repeated or
+// refined pmaxest queries for one pair reuse the pair's retained draw
+// ledger — the response reports the draws consumed, reused and newly
+// sampled — and the ledger survives restarts via -spill-dir.
 //
 // -spill-dir makes pool state survive both eviction and restarts:
 // evicted pairs are snapshotted to disk and restored from bytes on
@@ -269,6 +278,15 @@ func serve(ctx context.Context, sv *af.Server, req request) response {
 		var f float64
 		f, err = sv.Pmax(ctx, req.S, req.T, trials)
 		result = map[string]float64{"pmax": f}
+	case "pmaxest":
+		var est *af.PmaxEstimate
+		est, err = sv.EstimatePmax(ctx, req.S, req.T, req.Eps, req.N, req.Trials)
+		if err == nil {
+			result = map[string]any{
+				"pmax": est.Value, "draws": est.Draws, "reused": est.Reused,
+				"sampled": est.Sampled, "truncated": est.Truncated,
+			}
+		}
 	case "stats":
 		result = sv.Stats()
 	default:

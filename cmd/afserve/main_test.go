@@ -27,9 +27,10 @@ const queries = `{"id":1,"op":"pmax","s":0,"t":5,"trials":4000}
 {"id":3,"op":"acceptance","s":0,"t":5,"invited":[3,4,5],"trials":4000}
 {"id":4,"op":"solvemax","s":0,"t":5,"budget":2,"realizations":4000}
 {"id":5,"op":"pmax","s":0,"t":3,"trials":4000}
-{"id":6,"op":"stats"}
-{"id":7,"op":"solve","s":0,"t":1}
-{"id":8,"op":"bogus","s":0,"t":5}
+{"id":6,"op":"pmaxest","s":0,"t":4,"eps":0.2,"n":50,"trials":100000}
+{"id":7,"op":"stats"}
+{"id":8,"op":"solve","s":0,"t":1}
+{"id":9,"op":"bogus","s":0,"t":5}
 `
 
 type resp struct {
@@ -61,19 +62,19 @@ func runServe(t *testing.T, args []string, input string) []resp {
 func TestServeQueries(t *testing.T) {
 	path := graphFile(t)
 	got := runServe(t, []string{"-file", path, "-seed", "7"}, queries)
-	if len(got) != 8 {
-		t.Fatalf("got %d responses, want 8", len(got))
+	if len(got) != 9 {
+		t.Fatalf("got %d responses, want 9", len(got))
 	}
-	for _, r := range got[:6] {
+	for _, r := range got[:7] {
 		if !r.OK {
 			t.Errorf("id %d (%s): error %q", r.ID, r.Op, r.Error)
 		}
 	}
-	if got[6].OK || got[6].Error == "" {
-		t.Errorf("adjacent pair: %+v", got[6])
+	if got[7].OK || got[7].Error == "" {
+		t.Errorf("adjacent pair: %+v", got[7])
 	}
-	if got[7].OK || !strings.Contains(got[7].Error, "unknown op") {
-		t.Errorf("bogus op: %+v", got[7])
+	if got[8].OK || !strings.Contains(got[8].Error, "unknown op") {
+		t.Errorf("bogus op: %+v", got[8])
 	}
 	var pm struct {
 		Pmax float64 `json:"pmax"`
@@ -93,6 +94,17 @@ func TestServeQueries(t *testing.T) {
 	if len(sol.Invited) == 0 {
 		t.Errorf("solve returned empty invitation set: %s", got[1].Result)
 	}
+	var est struct {
+		Pmax      float64 `json:"pmax"`
+		Draws     int64   `json:"draws"`
+		Truncated bool    `json:"truncated"`
+	}
+	if err := json.Unmarshal(got[5].Result, &est); err != nil {
+		t.Fatal(err)
+	}
+	if est.Pmax <= 0 || est.Pmax > 1 || est.Draws <= 0 {
+		t.Errorf("pmaxest = %+v", est)
+	}
 
 	// Determinism across runs, budgets and concurrency: same seed, same
 	// answers for every query — eviction and out-of-order answering are
@@ -109,6 +121,23 @@ func TestServeQueries(t *testing.T) {
 		}
 		for i := range got {
 			if got[i].Op == "stats" {
+				continue
+			}
+			if got[i].Op == "pmaxest" {
+				// The estimate, its stopping point and the truncation flag
+				// are pure functions of the seed; reused/sampled legitimately
+				// vary with concurrency and eviction order.
+				var a struct {
+					Pmax      float64 `json:"pmax"`
+					Draws     int64   `json:"draws"`
+					Truncated bool    `json:"truncated"`
+				}
+				if err := json.Unmarshal(again[i].Result, &a); err != nil {
+					t.Fatal(err)
+				}
+				if a.Pmax != est.Pmax || a.Draws != est.Draws || a.Truncated != est.Truncated {
+					t.Errorf("%v: pmaxest diverged: %+v, want %+v", extra, a, est)
+				}
 				continue
 			}
 			if string(again[i].Result) != string(got[i].Result) || again[i].OK != got[i].OK {
@@ -137,6 +166,30 @@ func TestServeSpillWarmRestart(t *testing.T) {
 	}
 	for i := range first {
 		if first[i].Op == "stats" {
+			continue
+		}
+		if first[i].Op == "pmaxest" {
+			// The estimate itself must be byte-identical; the warm run
+			// answers it from the restored draw ledger, which is exactly
+			// what the reused/sampled accounting is supposed to show.
+			var cold, warm struct {
+				Pmax            float64 `json:"pmax"`
+				Draws           int64   `json:"draws"`
+				Reused, Sampled int64
+				Truncated       bool
+			}
+			if err := json.Unmarshal(first[i].Result, &cold); err != nil {
+				t.Fatal(err)
+			}
+			if err := json.Unmarshal(second[i].Result, &warm); err != nil {
+				t.Fatal(err)
+			}
+			if warm.Pmax != cold.Pmax || warm.Draws != cold.Draws || warm.Truncated != cold.Truncated {
+				t.Errorf("pmaxest diverged after warm restart: %+v, want %+v", warm, cold)
+			}
+			if cold.Reused != 0 || warm.Reused != warm.Draws || warm.Sampled != 0 {
+				t.Errorf("pmaxest ledger: cold %+v, warm %+v — warm run should reuse every draw", cold, warm)
+			}
 			continue
 		}
 		if string(second[i].Result) != string(first[i].Result) || second[i].OK != first[i].OK {

@@ -16,15 +16,8 @@ import (
 	"repro/internal/graph"
 	"repro/internal/ltm"
 	"repro/internal/mc"
-	"repro/internal/realization"
-	"repro/internal/rng"
 	"repro/internal/setcover"
 )
-
-// nsPmax namespaces the p_max stopping-rule stream (Algorithm 2) so it
-// never collides with the engine's pool or estimation streams for a
-// shared root seed.
-const nsPmax uint64 = 0x506D6178 // "Pmax"
 
 // ErrTargetUnreachable reports an instance whose p_max is (statistically
 // indistinguishable from) zero: no invitation strategy can work.
@@ -89,8 +82,14 @@ type Result struct {
 	Params Params
 	// PStar is the Algorithm 2 estimate of p_max.
 	PStar float64
-	// PmaxDraws is the number of stopping-rule samples spent on PStar.
-	PmaxDraws int64
+	// PmaxDraws is the number of stopping-rule draws PStar consumed.
+	// PmaxReused counts how many of them were already in the session's
+	// estimator ledger from earlier solves (the refinement win), and
+	// PmaxTruncated reports that the MaxPmaxDraws budget cut the rule
+	// short of its nominal accuracy.
+	PmaxDraws     int64
+	PmaxReused    int64
+	PmaxTruncated bool
 	// LTheory is the Eq. 16 threshold l* (possibly +Inf-like huge);
 	// LUsed is the pool size actually used after caps/overrides. A
 	// Session serves exactly this many draws even when its cache has
@@ -108,21 +107,20 @@ type Result struct {
 }
 
 // EstimatePmax runs Algorithm 2: the Dagum et al. stopping rule over
-// type-1 realization draws. It returns the estimate and the number of
-// draws used.
+// type-1 realization draws, sampled in worker-parallel chunks through
+// engine.PmaxEstimator (the result is a pure function of the seed). It
+// returns the estimate and the number of draws the rule consumed. For
+// repeated or refined estimates on one instance, use Session — its
+// estimator retains the draw ledger across solves.
 func EstimatePmax(ctx context.Context, in *ltm.Instance, eps0, n float64, maxDraws int64, seed int64) (float64, int64, error) {
-	sp := realization.NewSampler(in)
-	r := rng.DeriveStreamRand(seed, nsPmax, 0)
-	est, draws, err := mc.StoppingRule(ctx, eps0, n, maxDraws, func() bool {
-		return sp.SampleTG(r).Outcome == realization.Type1
-	})
+	res, err := engine.New(in).NewPmaxEstimator(seed, 0).Estimate(ctx, eps0, n, maxDraws)
 	if err != nil {
 		if errors.Is(err, mc.ErrZeroEstimate) {
-			return 0, draws, fmt.Errorf("%w: %v", ErrTargetUnreachable, err)
+			return 0, res.Draws, fmt.Errorf("%w: %v", ErrTargetUnreachable, err)
 		}
-		return 0, draws, err
+		return 0, res.Draws, err
 	}
-	return est, draws, nil
+	return res.Estimate, res.Draws, nil
 }
 
 // FrameworkFromPool runs the solve half of Algorithm 3 on an existing

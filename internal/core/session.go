@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -12,14 +13,17 @@ import (
 	"repro/internal/ltm"
 	"repro/internal/mc"
 	"repro/internal/setcover"
+	"repro/internal/snapshot"
 )
 
 // Session runs repeated RAF solves on one instance while reusing the
 // expensive cross-solve state: the realization pool (grown incrementally,
 // never resampled), the exact V_max computation, and the Algorithm 2
-// p_max estimate (reused whenever a later solve needs no more accuracy
-// than already bought). An α-sweep through a Session samples the pool
-// exactly once.
+// p_max draw ledger (engine.PmaxEstimator — a solve needing a tighter ε₀
+// or a bigger budget extends the existing draw sequence instead of
+// re-running the stopping rule from scratch). An α-sweep through a
+// Session samples the pool exactly once and the p_max stream at most up
+// to the tightest ε₀ requested.
 //
 // The session's seed and worker count govern every solve; Config.Seed and
 // Config.Workers are ignored by Session.RAF. Safe for concurrent use.
@@ -27,20 +31,12 @@ type Session struct {
 	in      *ltm.Instance
 	eng     *engine.Engine
 	pools   *engine.Session
+	pmax    *engine.PmaxEstimator
 	seed    int64
 	workers int
 
-	mu        sync.Mutex
-	vmax      *graph.NodeSet // cached V_max; nil until first computed
-	pStar     float64
-	pStarEps0 float64 // accuracy of the cached estimate; 0 = no estimate
-	pStarN    float64
-	pmaxDraws int64
-	// pStarTruncated records that the cached estimate hit its draw cap
-	// (pStarCap) before the stopping rule converged, so its nominal eps0
-	// accuracy was not actually achieved.
-	pStarTruncated bool
-	pStarCap       int64
+	mu   sync.Mutex
+	vmax *graph.NodeSet // cached V_max; nil until first computed
 }
 
 // NewSession returns a session for the instance. Seed fixes all
@@ -52,6 +48,7 @@ func NewSession(in *ltm.Instance, seed int64, workers int) *Session {
 		in:      in,
 		eng:     eng,
 		pools:   eng.NewSession(seed, workers),
+		pmax:    eng.NewPmaxEstimator(seed, workers),
 		seed:    seed,
 		workers: workers,
 	}
@@ -61,13 +58,18 @@ func NewSession(in *ltm.Instance, seed int64, workers int) *Session {
 // sampling diagnostics).
 func (s *Session) Engine() *engine.Engine { return s.eng }
 
+// PmaxEstimator returns the session's chunked Algorithm 2 estimator —
+// its draw ledger persists across solves, so refinement savings are
+// observable through it.
+func (s *Session) PmaxEstimator() *engine.PmaxEstimator { return s.pmax }
+
 // Instance returns the session's problem instance.
 func (s *Session) Instance() *ltm.Instance { return s.in }
 
 // MemBytes returns the bytes held by the session's cached realization
-// pool and regrow tables — the sizing input for memory-budgeted eviction
-// of cold sessions.
-func (s *Session) MemBytes() int64 { return s.pools.MemBytes() }
+// pool and regrow tables plus the p_max estimator's draw ledger — the
+// sizing input for memory-budgeted eviction of cold sessions.
+func (s *Session) MemBytes() int64 { return s.pools.MemBytes() + s.pmax.MemBytes() }
 
 // Pool returns the session's cached realization pool grown to at least l
 // draws.
@@ -75,18 +77,52 @@ func (s *Session) Pool(ctx context.Context, l int64) (*engine.Pool, error) {
 	return s.pools.Pool(ctx, l)
 }
 
-// Snapshot serializes the session's cached realization pool (see
-// engine.Session.Snapshot). The cached V_max and p_max estimate are not
-// written: both are deterministic in the instance and seed, so a
-// restored session re-derives them on demand with identical results.
-func (s *Session) Snapshot(w io.Writer) error { return s.pools.Snapshot(w) }
+// Snapshot serializes the session's cached realization pool followed by
+// the p_max estimator's draw ledger (see engine.Session.Snapshot and
+// engine.PmaxEstimator.Snapshot), so a restored session reuses both the
+// pooled draws and the stopping-rule draws instead of resampling them.
+// The cached V_max is not written: it is deterministic in the instance
+// and recomputed on demand with identical results.
+func (s *Session) Snapshot(w io.Writer) error {
+	if err := s.pools.Snapshot(w); err != nil {
+		return err
+	}
+	return s.pmax.Snapshot(w)
+}
 
-// Restore loads a pool snapshot into a freshly created session,
-// consuming exactly one snapshot from r. The snapshot's stream identity
-// must match the session's seed; on any mismatch or corruption the
-// session is left cold and resamples lazily — with byte-identical
-// results, since pools are pure functions of (seed, l).
-func (s *Session) Restore(r io.Reader) error { return s.pools.Restore(r) }
+// peeker is the subset of bufio.Reader Restore uses to detect an
+// optional p_max section without consuming stream bytes.
+type peeker interface {
+	Peek(int) ([]byte, error)
+}
+
+// Restore loads a session snapshot into a freshly created session,
+// consuming exactly one pool snapshot — plus the p_max section, when one
+// follows — from r. The pool snapshot's stream identity must match the
+// session's seed; on any mismatch or corruption the session is left cold
+// and resamples lazily, with byte-identical results, since pools and the
+// estimator ledger are pure functions of (seed, draws). The p_max
+// section is optional and best-effort: when r supports Peek (e.g. a
+// *bufio.Reader) a missing section is skipped cleanly, and an
+// identity-mismatched section leaves only the estimator cold.
+func (s *Session) Restore(r io.Reader) error {
+	if err := s.pools.Restore(r); err != nil {
+		return err
+	}
+	if p, ok := r.(peeker); ok {
+		b, err := p.Peek(8)
+		if err != nil || !snapshot.IsPmax(b) {
+			return nil // no p_max section; the estimator starts cold
+		}
+	}
+	if err := s.pmax.Restore(r); err != nil {
+		// The pool restored fine; an unreadable or mismatched estimator
+		// section just means the stopping-rule draws are resampled on the
+		// next solve — identically, so the fallback changes no answer.
+		s.pmax = s.eng.NewPmaxEstimator(s.seed, s.workers)
+	}
+	return nil
+}
 
 // PoolSize returns the cached pool size (0 before the first solve).
 func (s *Session) PoolSize() int64 { return s.pools.Size() }
@@ -105,27 +141,23 @@ func (s *Session) Vmax() (*graph.NodeSet, error) {
 	return s.vmax, nil
 }
 
-// estimatePmax returns the Algorithm 2 estimate at accuracy eps0 and
-// confidence n, reusing the cached estimate when it is at least as
-// tight. A cached estimate whose stopping rule was cut short by its draw
-// cap never satisfies a request with a larger (or unbounded) budget —
-// its nominal accuracy was not achieved, so it is re-estimated.
-func (s *Session) estimatePmax(ctx context.Context, eps0, n float64, maxDraws int64) (float64, int64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	budgetOK := !s.pStarTruncated ||
-		(maxDraws > 0 && s.pStarCap > 0 && s.pStarCap >= maxDraws)
-	if s.pStarEps0 > 0 && s.pStarEps0 <= eps0 && s.pStarN >= n && budgetOK {
-		return s.pStar, s.pmaxDraws, nil
-	}
-	pStar, draws, err := EstimatePmax(ctx, s.in, eps0, n, maxDraws, s.seed)
+// EstimatePmax returns the Algorithm 2 estimate at accuracy eps0 and
+// confidence n under a draw budget (0 = unbounded), through the
+// session's chunked estimator: draws already in the ledger are reused,
+// so a request no tighter than an earlier one samples nothing, and a
+// tighter or better-budgeted request extends the existing draw sequence
+// instead of restarting. The result — including whether the budget
+// truncated the rule — is a pure function of (seed, eps0, n, maxDraws),
+// independent of the worker count and of earlier requests.
+func (s *Session) EstimatePmax(ctx context.Context, eps0, n float64, maxDraws int64) (engine.PmaxResult, error) {
+	res, err := s.pmax.Estimate(ctx, eps0, n, maxDraws)
 	if err != nil {
-		return 0, draws, err
+		if errors.Is(err, mc.ErrZeroEstimate) {
+			return res, fmt.Errorf("%w: %v", ErrTargetUnreachable, err)
+		}
+		return res, err
 	}
-	s.pStar, s.pStarEps0, s.pStarN, s.pmaxDraws = pStar, eps0, n, draws
-	s.pStarCap = maxDraws
-	s.pStarTruncated = maxDraws > 0 && draws >= maxDraws
-	return pStar, draws, nil
+	return res, nil
 }
 
 // poolSizeFromTheory converts the Eq. 16 threshold l* to a draw count.
@@ -199,18 +231,22 @@ func (s *Session) RAF(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	res.Params = params
 
-	// Step 2: estimate p_max (Algorithm 2), reusing the session cache.
-	pStar, draws, err := s.estimatePmax(ctx, params.Eps0, cfg.N, cfg.MaxPmaxDraws)
+	// Step 2: estimate p_max (Algorithm 2) through the session's chunked
+	// estimator — a solve needing no more accuracy than an earlier one
+	// reuses its draws outright, a tighter one extends them.
+	pm, err := s.EstimatePmax(ctx, params.Eps0, cfg.N, cfg.MaxPmaxDraws)
 	if err != nil {
 		return nil, err
 	}
-	res.PStar = pStar
-	res.PmaxDraws = draws
+	res.PStar = pm.Estimate
+	res.PmaxDraws = pm.Draws
+	res.PmaxReused = pm.Reused
+	res.PmaxTruncated = pm.Truncated
 
 	// Step 3: size the pool (Eq. 16 with the |V_max| refinement), apply
 	// practical caps, and run the framework (Algorithm 3) on the shared
 	// pool.
-	lTheory, err := mc.RealizationThreshold(params.Eps0, params.Eps1, pStar, dim, cfg.N)
+	lTheory, err := mc.RealizationThreshold(params.Eps0, params.Eps1, pm.Estimate, dim, cfg.N)
 	if err != nil {
 		return nil, err
 	}

@@ -1,8 +1,12 @@
 package core
 
 import (
+	"bufio"
+	"bytes"
 	"context"
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 
 	"repro/internal/ltm"
@@ -195,6 +199,179 @@ func TestSessionPmaxTruncatedNotReused(t *testing.T) {
 	if third.PmaxDraws != second.PmaxDraws || third.PStar != second.PStar {
 		t.Errorf("converged estimate not reused: %v/%d vs %v/%d",
 			third.PStar, third.PmaxDraws, second.PStar, second.PmaxDraws)
+	}
+}
+
+// pmaxTestInstance is sessionTestInstance on a seed whose (0,23) pair is
+// never adjacent, so the estimator tests cannot skip.
+func pmaxTestInstance(t *testing.T) *ltm.Instance {
+	t.Helper()
+	return mustInstance(t, randomConnected(1, 24, 30), 0, 23)
+}
+
+// TestSessionPmaxRefinementReusesDraws: a solve needing a tighter ε₀
+// (here: a larger α tightens ε₀ through the equation system is not
+// guaranteed, so the estimator is driven directly) extends the session's
+// existing stopping-rule draw sequence instead of restarting, and the
+// refined estimate is identical to a cold session's estimate at the
+// tight accuracy.
+func TestSessionPmaxRefinementReusesDraws(t *testing.T) {
+	in := pmaxTestInstance(t)
+	ctx := context.Background()
+
+	cold := NewSession(in, 5, 4)
+	coldRes, err := cold.EstimatePmax(ctx, 0.1, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	staged := NewSession(in, 5, 1)
+	coarse, err := staged.EstimatePmax(ctx, 0.3, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := staged.EstimatePmax(ctx, 0.1, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refined.Estimate != coldRes.Estimate || refined.Draws != coldRes.Draws {
+		t.Errorf("refined %v/%d != cold %v/%d", refined.Estimate, refined.Draws, coldRes.Estimate, coldRes.Draws)
+	}
+	if refined.Reused == 0 || refined.Reused < coarse.Draws {
+		t.Errorf("refinement reused %d draws, want at least the coarse pass's %d", refined.Reused, coarse.Draws)
+	}
+	if refined.Sampled >= coldRes.Sampled {
+		t.Errorf("refinement sampled %d draws, cold sampled %d — prior draws were thrown away",
+			refined.Sampled, coldRes.Sampled)
+	}
+	// RAF's step 2 runs through the same ledger: a solve after the tight
+	// estimate samples nothing new for p_max.
+	before := staged.Engine().PmaxDraws()
+	res, err := staged.RAF(ctx, Config{Alpha: 0.3, Eps: 0.05, N: 100, OverrideL: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := staged.Engine().PmaxDraws(); got != before && res.PmaxReused == 0 {
+		t.Errorf("post-estimate solve resampled p_max draws: ledger %d → %d, reused %d", before, got, res.PmaxReused)
+	}
+}
+
+// TestSessionSnapshotCarriesPmaxState: Snapshot/Restore round-trips the
+// estimator ledger alongside the pool, so a restored session's solve
+// reuses the stopping-rule draws; a seed-mismatched snapshot leaves the
+// whole session cold with identical answers.
+func TestSessionSnapshotCarriesPmaxState(t *testing.T) {
+	in := pmaxTestInstance(t)
+	ctx := context.Background()
+	cfg := Config{Alpha: 0.3, Eps: 0.05, N: 100, OverrideL: 3000, MaxPmaxDraws: 500000}
+
+	writer := NewSession(in, 7, 2)
+	want, err := writer.RAF(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := writer.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded := NewSession(in, 7, 4)
+	if err := loaded.Restore(bufio.NewReader(bytes.NewReader(buf.Bytes()))); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := loaded.PmaxEstimator().Draws(), writer.PmaxEstimator().Draws(); got != want {
+		t.Fatalf("restored estimator ledger %d, want %d", got, want)
+	}
+	if got := loaded.Engine().PmaxDraws(); got != 0 {
+		t.Errorf("restore charged %d p_max draws to the engine ledger", got)
+	}
+	got, err := loaded.RAF(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PStar != want.PStar || got.PmaxDraws != want.PmaxDraws {
+		t.Errorf("restored solve p* = %v/%d, want %v/%d", got.PStar, got.PmaxDraws, want.PStar, want.PmaxDraws)
+	}
+	if got.PmaxReused != got.PmaxDraws {
+		t.Errorf("restored solve reused %d of %d p_max draws, want all of them", got.PmaxReused, got.PmaxDraws)
+	}
+	if loaded.Engine().PmaxDraws() != 0 {
+		t.Errorf("restored solve sampled %d p_max draws despite the warm ledger", loaded.Engine().PmaxDraws())
+	}
+
+	// Mismatched identity: the restore fails, the session stays cold, and
+	// answers still match — resampling is the fallback, not a failure.
+	mismatched := NewSession(in, 8, 2)
+	if err := mismatched.Restore(bufio.NewReader(bytes.NewReader(buf.Bytes()))); err == nil {
+		t.Fatal("seed-mismatched snapshot adopted")
+	}
+	if mismatched.PoolSize() != 0 || mismatched.PmaxEstimator().Draws() != 0 {
+		t.Fatal("mismatched restore left state behind")
+	}
+	reference, err := NewSession(in, 8, 2).RAF(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldAgain, err := mismatched.RAF(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldAgain.PStar != reference.PStar || coldAgain.PmaxDraws != reference.PmaxDraws {
+		t.Errorf("post-mismatch solve diverged: %v/%d vs %v/%d",
+			coldAgain.PStar, coldAgain.PmaxDraws, reference.PStar, reference.PmaxDraws)
+	}
+}
+
+// TestSessionPmaxConcurrentEstimates hammers one session's estimator
+// from many goroutines at mixed accuracies (alongside RAF solves that
+// share the ledger): run under -race in CI. Every answer must equal the
+// sequential answer at its accuracy — concurrency is a scheduling event,
+// never a correctness one.
+func TestSessionPmaxConcurrentEstimates(t *testing.T) {
+	in := pmaxTestInstance(t)
+	ctx := context.Background()
+	epss := []float64{0.3, 0.2, 0.15, 0.1}
+
+	ref := NewSession(in, 5, 2)
+	want := make(map[float64][2]float64)
+	for _, eps := range epss {
+		res, err := ref.EstimatePmax(ctx, eps, 1000, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[eps] = [2]float64{res.Estimate, float64(res.Draws)}
+	}
+
+	sess := NewSession(in, 5, 2)
+	var wg sync.WaitGroup
+	errs := make(chan error, 3*len(epss)+1)
+	for round := 0; round < 3; round++ {
+		for _, eps := range epss {
+			wg.Add(1)
+			go func(eps float64) {
+				defer wg.Done()
+				res, err := sess.EstimatePmax(ctx, eps, 1000, 0)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := [2]float64{res.Estimate, float64(res.Draws)}; got != want[eps] {
+					errs <- fmt.Errorf("eps=%v: concurrent estimate %v, want %v", eps, got, want[eps])
+				}
+			}(eps)
+		}
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := sess.RAF(ctx, Config{Alpha: 0.3, Eps: 0.05, N: 100, OverrideL: 2000}); err != nil {
+			errs <- err
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }
 

@@ -38,7 +38,10 @@ const ChunkSize = 2048
 
 // Stream namespaces (see rng.DeriveStream): every sampling call site gets
 // its own family of indexed streams so phases sharing one root seed never
-// consume identical randomness.
+// consume identical randomness. The p_max stopping-rule namespace nsPmax
+// lives in pmax.go next to the estimator; its draws follow the same
+// fixed-chunk layout as pools (chunk c reads stream (seed, ns, c) from
+// its start), so every stream family shares one determinism story.
 const (
 	nsPool     uint64 = 0x506F6F4C // solve pools ("PooL")
 	nsEstimate uint64 = 0x45737446 // one-shot reverse f-estimation ("EstF")
@@ -52,6 +55,7 @@ type Engine struct {
 	samplers  sync.Pool
 	draws     atomic.Int64 // every draw made through the engine
 	poolDraws atomic.Int64 // draws spent filling pools (subset of draws)
+	pmaxDraws atomic.Int64 // draws spent in p_max estimator ledgers (subset of draws)
 
 	fpOnce sync.Once
 	fp     uint64
@@ -111,6 +115,22 @@ func (e *Engine) Instance() *ltm.Instance { return e.in }
 // PoolDraws at exactly the pool size.
 func (e *Engine) Draws() int64     { return e.draws.Load() }
 func (e *Engine) PoolDraws() int64 { return e.poolDraws.Load() }
+
+// PmaxDraws counts the draws spent filling p_max estimator ledgers
+// (a subset of Draws, disjoint from PoolDraws). Each ledgered draw is
+// charged at most once — regrowing a partial trailing chunk charges only
+// the net growth — so after any estimate sequence PmaxDraws equals the
+// draws this process sampled into live estimator ledgers. Ledger content
+// restored from a snapshot is NOT counted (those draws were paid for in
+// a previous life), so a restored estimator's ledger can exceed the
+// counter; the gap is exactly the restart's sampling win.
+func (e *Engine) PmaxDraws() int64 { return e.pmaxDraws.Load() }
+
+// addPmaxDraws charges n p_max-ledger draws to the engine's ledger.
+func (e *Engine) addPmaxDraws(n int64) {
+	e.draws.Add(n)
+	e.pmaxDraws.Add(n)
+}
 
 // chunkPaths holds the type-1 paths of one sampled chunk in local CSR
 // form: path j is arena[offsets[j]:offsets[j+1]] and was produced by the

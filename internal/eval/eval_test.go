@@ -302,6 +302,16 @@ func TestRenderers(t *testing.T) {
 	if !strings.Contains(sb.String(), "pmax") {
 		t.Error("pairs render missing header")
 	}
+
+	sb.Reset()
+	refine := &RefineResult{EpsCoarse: 0.3, EpsTight: 0.1, Pairs: 3,
+		ColdDraws: 1000, CoarseDraws: 400, RefineDraws: 600, ReusedDraws: 400, SavedFrac: 0.4, Identical: true}
+	if err := RenderPmaxRefine("Wiki", refine).WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "refinement") {
+		t.Error("refinement render missing title")
+	}
 }
 
 func TestExperimentsCancellation(t *testing.T) {
@@ -387,5 +397,39 @@ func TestWarmRestart(t *testing.T) {
 	}
 	if _, err := WarmRestart(context.Background(), Config{Graph: g, Weights: cfg.Weights}, t.TempDir()); err == nil {
 		t.Fatal("no pairs accepted")
+	}
+}
+
+func TestPmaxRefinement(t *testing.T) {
+	g := testGraph(t)
+	pairs := samplePairsForTest(t, g, 3)
+	cfg := testConfig(t, g, pairs)
+	res, err := PmaxRefinement(context.Background(), cfg, 0.3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pairs == 0 {
+		t.Fatal("no pairs used")
+	}
+	if !res.Identical {
+		t.Error("refined estimates diverged from cold estimates")
+	}
+	if res.RefineDraws >= res.ColdDraws {
+		t.Errorf("refine sampled %d draws vs cold %d — coarse draws not reused", res.RefineDraws, res.ColdDraws)
+	}
+	if res.ReusedDraws == 0 {
+		t.Error("no reused draws ledgered")
+	}
+	if res.SavedFrac <= 0 || res.SavedFrac >= 1 {
+		t.Errorf("SavedFrac = %v, want in (0,1)", res.SavedFrac)
+	}
+	// Parameter validation.
+	if _, err := PmaxRefinement(context.Background(), cfg, 0.1, 0.3); err == nil {
+		t.Error("inverted eps spread accepted")
+	}
+	empty := cfg
+	empty.Pairs = nil
+	if _, err := PmaxRefinement(context.Background(), empty, 0.3, 0.1); !errors.Is(err, ErrNoPairs) {
+		t.Errorf("no pairs: err = %v", err)
 	}
 }

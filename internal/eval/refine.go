@@ -1,0 +1,112 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ltm"
+	"repro/internal/rng"
+	"repro/internal/tablewriter"
+)
+
+// RefineResult summarizes the p_max refinement experiment: for each pair,
+// a cold Algorithm 2 estimate at a tight ε₀ versus a staged session that
+// first estimates at a coarse ε₀ and then refines — the staged path must
+// reach the identical estimate while its refinement step resamples only
+// the draws the coarse pass had not already paid for.
+type RefineResult struct {
+	// EpsCoarse and EpsTight are the two accuracies of the staged path.
+	EpsCoarse, EpsTight float64
+	// Pairs contributed; Skipped were unreachable (p_max ≈ 0) or failed
+	// to build.
+	Pairs   int
+	Skipped int
+	// ColdDraws totals the draws the cold tight estimates sampled;
+	// CoarseDraws the staged sessions' coarse passes; RefineDraws the
+	// net-new draws their refinement steps added. ReusedDraws totals the
+	// ledgered draws the refinements consumed without resampling, and
+	// SavedFrac is 1 − RefineDraws/ColdDraws — the fraction of the tight
+	// estimate's sampling bill the coarse pass had pre-paid.
+	ColdDraws   int64
+	CoarseDraws int64
+	RefineDraws int64
+	ReusedDraws int64
+	SavedFrac   float64
+	// Identical reports that every pair's refined estimate — value and
+	// stopping point — equalled its cold counterpart.
+	Identical bool
+}
+
+// PmaxRefinement measures what the resumable estimator buys: for every
+// pair it runs a cold tight-ε₀ estimate on one session and a coarse →
+// tight staged sequence on a second session with the same seed, then
+// compares estimates (must be identical: the stopping point is a pure
+// function of (seed, ε₀, N)) and draw bills. cfg.MaxPmaxDraws caps each
+// estimate; cfg.Server is ignored — the experiment owns its sessions so
+// the ledgers are cleanly attributable.
+func PmaxRefinement(ctx context.Context, cfg Config, epsCoarse, epsTight float64) (*RefineResult, error) {
+	c := cfg.withDefaults()
+	if len(c.Pairs) == 0 {
+		return nil, fmt.Errorf("%w: no pairs", ErrNoPairs)
+	}
+	if !(epsCoarse > epsTight && epsTight > 0 && epsCoarse < 1) {
+		return nil, fmt.Errorf("eval: refinement needs 0 < epsTight < epsCoarse < 1, got %v, %v", epsTight, epsCoarse)
+	}
+	res := &RefineResult{EpsCoarse: epsCoarse, EpsTight: epsTight, Identical: true}
+	for pi, pair := range c.Pairs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		in, err := ltm.NewInstance(c.Graph, c.Weights, pair.S, pair.T)
+		if err != nil {
+			res.Skipped++
+			continue
+		}
+		seed := rng.Derive(c.Seed, uint64(pi))
+		cold, err := core.NewSession(in, seed, c.Workers).EstimatePmax(ctx, epsTight, c.N, c.MaxPmaxDraws)
+		if err != nil {
+			if errors.Is(err, core.ErrTargetUnreachable) {
+				res.Skipped++
+				continue
+			}
+			return nil, fmt.Errorf("eval: cold p_max on pair (%d,%d): %w", pair.S, pair.T, err)
+		}
+		staged := core.NewSession(in, seed, c.Workers)
+		coarse, err := staged.EstimatePmax(ctx, epsCoarse, c.N, c.MaxPmaxDraws)
+		if err != nil {
+			return nil, fmt.Errorf("eval: coarse p_max on pair (%d,%d): %w", pair.S, pair.T, err)
+		}
+		refined, err := staged.EstimatePmax(ctx, epsTight, c.N, c.MaxPmaxDraws)
+		if err != nil {
+			return nil, fmt.Errorf("eval: refined p_max on pair (%d,%d): %w", pair.S, pair.T, err)
+		}
+		res.Pairs++
+		res.ColdDraws += cold.Sampled
+		res.CoarseDraws += coarse.Sampled
+		res.RefineDraws += refined.Sampled
+		res.ReusedDraws += refined.Reused
+		if refined.Estimate != cold.Estimate || refined.Draws != cold.Draws || refined.Truncated != cold.Truncated {
+			res.Identical = false
+		}
+	}
+	if res.Pairs == 0 {
+		return nil, fmt.Errorf("%w: all pairs skipped", ErrNoPairs)
+	}
+	if res.ColdDraws > 0 {
+		res.SavedFrac = 1 - float64(res.RefineDraws)/float64(res.ColdDraws)
+	}
+	return res, nil
+}
+
+// RenderPmaxRefine renders the refinement experiment for one dataset.
+func RenderPmaxRefine(dataset string, res *RefineResult) *tablewriter.Table {
+	t := tablewriter.New(
+		fmt.Sprintf("p_max refinement (%s): cold eps0=%.2f vs staged %.2f → %.2f",
+			dataset, res.EpsTight, res.EpsCoarse, res.EpsTight),
+		"pairs", "cold draws", "coarse draws", "refine draws", "reused", "saved frac", "identical")
+	t.AddRow(res.Pairs, res.ColdDraws, res.CoarseDraws, res.RefineDraws,
+		res.ReusedDraws, res.SavedFrac, res.Identical)
+	return t
+}

@@ -32,12 +32,16 @@ func StoppingRuleThreshold(eps float64, n float64) float64 {
 }
 
 // ExpectedSimulations returns l₀ of Eq. 6: the asymptotic number of
-// simulations the stopping rule uses when the estimated mean is p.
+// simulations the stopping rule uses when the estimated mean is p. Its
+// log argument is the same ln(2N) as StoppingRuleThreshold — the rule
+// stops after ~Υ/p draws, so l₀ ≈ Υ/p (which the tests cross-check); the
+// paper's ln(N/2) print inherits the Alg. 2 sign typo and would
+// underestimate the expected cost.
 func ExpectedSimulations(eps, n, p float64) float64 {
 	if p <= 0 {
 		return math.Inf(1)
 	}
-	return (eps*eps + 4*e2*(1+eps)*math.Log(n/2)) / (eps * eps * p)
+	return (eps*eps + 4*e2*(1+eps)*math.Log(2*n)) / (eps * eps * p)
 }
 
 // StoppingRule runs the Dagum–Karp–Luby–Ross first-stage stopping rule on
@@ -47,38 +51,40 @@ func ExpectedSimulations(eps, n, p float64) float64 {
 //
 // sample reports one Bernoulli draw. maxDraws bounds the worst case (the
 // rule needs ~Υ/p draws; p ≈ 0 would never terminate): when positive and
-// exhausted, ErrZeroEstimate is returned if nothing succeeded, otherwise
-// the plain Monte-Carlo mean over the budget is returned with a wrapped
-// ErrBudgetExceeded-style diagnostic set to nil (the estimate is still
-// usable, only the stopping-rule guarantee is weakened; callers that need
-// the guarantee should pass maxDraws = 0 for unbounded sampling).
-func StoppingRule(ctx context.Context, eps float64, n float64, maxDraws int64, sample func() bool) (estimate float64, draws int64, err error) {
+// exhausted before the rule converges, ErrZeroEstimate is returned if
+// nothing succeeded, otherwise the plain Monte-Carlo mean over the budget
+// is returned with truncated = true — the estimate is still usable, only
+// the stopping-rule accuracy guarantee is weakened. A rule that converges
+// exactly on the last budgeted draw is a normal convergence, not a
+// truncation. Callers that need the guarantee unconditionally should pass
+// maxDraws = 0 for unbounded sampling.
+func StoppingRule(ctx context.Context, eps float64, n float64, maxDraws int64, sample func() bool) (estimate float64, draws int64, truncated bool, err error) {
 	if eps <= 0 || eps >= 1 {
-		return 0, 0, fmt.Errorf("%w: eps=%v not in (0,1)", ErrBadParam, eps)
+		return 0, 0, false, fmt.Errorf("%w: eps=%v not in (0,1)", ErrBadParam, eps)
 	}
 	if n <= 1 {
-		return 0, 0, fmt.Errorf("%w: N=%v must exceed 1", ErrBadParam, n)
+		return 0, 0, false, fmt.Errorf("%w: N=%v must exceed 1", ErrBadParam, n)
 	}
 	upsilon := StoppingRuleThreshold(eps, n)
 	var successes float64
 	for draws = 0; successes < upsilon; {
 		if draws%4096 == 0 {
 			if err := ctx.Err(); err != nil {
-				return 0, draws, err
+				return 0, draws, false, err
 			}
 		}
 		if maxDraws > 0 && draws >= maxDraws {
 			if successes == 0 {
-				return 0, draws, fmt.Errorf("%w (budget %d)", ErrZeroEstimate, maxDraws)
+				return 0, draws, true, fmt.Errorf("%w (budget %d)", ErrZeroEstimate, maxDraws)
 			}
-			return successes / float64(draws), draws, nil
+			return successes / float64(draws), draws, true, nil
 		}
 		if sample() {
 			successes++
 		}
 		draws++
 	}
-	return upsilon / float64(draws), draws, nil
+	return upsilon / float64(draws), draws, false, nil
 }
 
 // ChernoffDeviationBound returns the two-sided Chernoff bound (Eq. 9):

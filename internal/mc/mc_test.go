@@ -25,7 +25,7 @@ func TestStoppingRuleThresholdPositive(t *testing.T) {
 func TestStoppingRuleAccuracy(t *testing.T) {
 	for _, p := range []float64{0.5, 0.1, 0.03} {
 		rng := rand.New(rand.NewSource(int64(p * 1000)))
-		est, draws, err := StoppingRule(context.Background(), 0.05, 1000, 0, func() bool {
+		est, draws, _, err := StoppingRule(context.Background(), 0.05, 1000, 0, func() bool {
 			return rng.Float64() < p
 		})
 		if err != nil {
@@ -43,7 +43,7 @@ func TestStoppingRuleAccuracy(t *testing.T) {
 func TestStoppingRuleDrawCountNearOptimal(t *testing.T) {
 	p := 0.2
 	rng := rand.New(rand.NewSource(8))
-	_, draws, err := StoppingRule(context.Background(), 0.1, 100, 0, func() bool {
+	_, draws, _, err := StoppingRule(context.Background(), 0.1, 100, 0, func() bool {
 		return rng.Float64() < p
 	})
 	if err != nil {
@@ -59,24 +59,27 @@ func TestStoppingRuleDrawCountNearOptimal(t *testing.T) {
 func TestStoppingRuleValidation(t *testing.T) {
 	ctx := context.Background()
 	always := func() bool { return true }
-	if _, _, err := StoppingRule(ctx, 0, 10, 0, always); !errors.Is(err, ErrBadParam) {
+	if _, _, _, err := StoppingRule(ctx, 0, 10, 0, always); !errors.Is(err, ErrBadParam) {
 		t.Errorf("eps=0: err = %v", err)
 	}
-	if _, _, err := StoppingRule(ctx, 1, 10, 0, always); !errors.Is(err, ErrBadParam) {
+	if _, _, _, err := StoppingRule(ctx, 1, 10, 0, always); !errors.Is(err, ErrBadParam) {
 		t.Errorf("eps=1: err = %v", err)
 	}
-	if _, _, err := StoppingRule(ctx, 0.1, 1, 0, always); !errors.Is(err, ErrBadParam) {
+	if _, _, _, err := StoppingRule(ctx, 0.1, 1, 0, always); !errors.Is(err, ErrBadParam) {
 		t.Errorf("N=1: err = %v", err)
 	}
 }
 
 func TestStoppingRuleZeroMean(t *testing.T) {
-	_, draws, err := StoppingRule(context.Background(), 0.1, 10, 5000, func() bool { return false })
+	_, draws, truncated, err := StoppingRule(context.Background(), 0.1, 10, 5000, func() bool { return false })
 	if !errors.Is(err, ErrZeroEstimate) {
 		t.Fatalf("err = %v, want ErrZeroEstimate", err)
 	}
 	if draws != 5000 {
 		t.Errorf("draws = %d, want the full budget", draws)
+	}
+	if !truncated {
+		t.Error("budget-exhausted zero estimate not flagged truncated")
 	}
 }
 
@@ -84,7 +87,7 @@ func TestStoppingRuleBudgetFallback(t *testing.T) {
 	// Tiny p with small budget: should return the plain MC mean.
 	rng := rand.New(rand.NewSource(4))
 	p := 0.5
-	est, draws, err := StoppingRule(context.Background(), 0.001, 1e6, 2000, func() bool {
+	est, draws, truncated, err := StoppingRule(context.Background(), 0.001, 1e6, 2000, func() bool {
 		return rng.Float64() < p
 	})
 	if err != nil {
@@ -92,6 +95,9 @@ func TestStoppingRuleBudgetFallback(t *testing.T) {
 	}
 	if draws != 2000 {
 		t.Errorf("draws = %d, want budget 2000", draws)
+	}
+	if !truncated {
+		t.Error("budget fallback not flagged truncated")
 	}
 	if math.Abs(est-p) > 0.05 {
 		t.Errorf("fallback estimate %v too far from %v", est, p)
@@ -101,7 +107,7 @@ func TestStoppingRuleBudgetFallback(t *testing.T) {
 func TestStoppingRuleCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, _, err := StoppingRule(ctx, 0.1, 10, 0, func() bool { return false })
+	_, _, _, err := StoppingRule(ctx, 0.1, 10, 0, func() bool { return false })
 	if !errors.Is(err, context.Canceled) {
 		t.Errorf("err = %v, want context.Canceled", err)
 	}
@@ -116,6 +122,75 @@ func TestExpectedSimulations(t *testing.T) {
 	b := ExpectedSimulations(0.1, 100, 0.1)
 	if math.Abs(b/a-2) > 1e-9 {
 		t.Errorf("cost ratio = %v, want 2", b/a)
+	}
+}
+
+// TestExpectedSimulationsMatchesThreshold cross-checks Eq. 6 against the
+// stopping rule it describes: the rule stops after ~Υ/p draws, so l₀ must
+// agree with StoppingRuleThreshold(ε, N)/p up to the ε² additive term —
+// both use ln(2N). (With the paper's ln(N/2) print, l₀ would undershoot
+// Υ/p by a p-independent margin.)
+func TestExpectedSimulationsMatchesThreshold(t *testing.T) {
+	for _, eps := range []float64{0.05, 0.1, 0.3} {
+		for _, n := range []float64{100, 1e5} {
+			for _, p := range []float64{0.5, 0.05, 0.001} {
+				l0 := ExpectedSimulations(eps, n, p)
+				want := StoppingRuleThreshold(eps, n) / p
+				// l₀ = (ε² + (Υ−1)·ε²·…)/(ε²p) differs from Υ/p by
+				// exactly (ε²−1)/(ε²·p)·ε² ⇒ tiny relative to Υ/p.
+				if rel := math.Abs(l0-want) / want; rel > 1e-3 {
+					t.Errorf("eps=%v N=%v p=%v: l0=%v, Υ/p=%v (rel %v)", eps, n, p, l0, want, rel)
+				}
+				// The rule also empirically stops near l₀.
+				if p >= 0.05 && n == 100 {
+					rng := rand.New(rand.NewSource(int64(p*1e4) + int64(eps*100)))
+					_, draws, _, err := StoppingRule(context.Background(), eps, n, 0, func() bool {
+						return rng.Float64() < p
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if float64(draws) < l0/2 || float64(draws) > l0*2 {
+						t.Errorf("eps=%v N=%v p=%v: draws=%d, want within 2x of l0=%v", eps, n, p, draws, l0)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStoppingRuleConvergesOnLastBudgetedDraw pins the truncation
+// boundary: a rule whose Υ-th unit of success mass arrives exactly on the
+// final budgeted draw has converged — it must return the stopping-rule
+// estimate un-truncated, identical to the unbounded run. One draw less
+// and it is a genuine truncation.
+func TestStoppingRuleConvergesOnLastBudgetedDraw(t *testing.T) {
+	const eps, n, p = 0.2, 50.0, 0.3
+	run := func(maxDraws int64) (float64, int64, bool) {
+		rng := rand.New(rand.NewSource(11))
+		est, draws, truncated, err := StoppingRule(context.Background(), eps, n, maxDraws, func() bool {
+			return rng.Float64() < p
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est, draws, truncated
+	}
+	ref, d, truncated := run(0)
+	if truncated {
+		t.Fatal("unbounded run flagged truncated")
+	}
+	est, draws, truncated := run(d) // budget == exact convergence point
+	if truncated || est != ref || draws != d {
+		t.Errorf("budget %d (= convergence): est=%v draws=%d truncated=%v, want %v/%d/false",
+			d, est, draws, truncated, ref, d)
+	}
+	est, draws, truncated = run(d - 1)
+	if !truncated || draws != d-1 {
+		t.Errorf("budget %d (one short): draws=%d truncated=%v, want %d/true", d-1, draws, truncated, d-1)
+	}
+	if est == ref {
+		t.Errorf("truncated estimate %v should be the plain mean, not the stopping-rule value", est)
 	}
 }
 

@@ -19,8 +19,9 @@
 //
 // With Config.SpillDir set, eviction gains a second tier: instead of
 // discarding a victim's pools, the server snapshots them to disk
-// (internal/snapshot; atomic write-temp + rename), and a later query for
-// the pair restores the pools from bytes instead of resampling them.
+// (internal/snapshot; atomic write-temp + rename) — together with the
+// pair's Algorithm 2 p_max estimator ledger — and a later query for
+// the pair restores the state from bytes instead of resampling it.
 // Snapshots are checksummed and carry their stream identity, so a
 // corrupted, truncated or configuration-skewed file is rejected and the
 // pair silently falls back to resampling — with identical answers, by
@@ -95,6 +96,7 @@ const (
 	KindSolveMax
 	KindEstimateF
 	KindPmax
+	KindPmaxEst // Algorithm 2 stopping-rule estimates (PmaxEstimate)
 	KindAcquire // harness Pair() acquisitions
 	numKinds
 )
@@ -110,6 +112,8 @@ func (k Kind) String() string {
 		return "estimatef"
 	case KindPmax:
 		return "pmax"
+	case KindPmaxEst:
+		return "pmaxest"
 	case KindAcquire:
 		return "acquire"
 	}
@@ -157,6 +161,11 @@ type Stats struct {
 	SpillDrawsSaved  int64
 	SpillLoadErrors  int64
 	SpillWriteErrors int64
+	// PmaxDrawsReused totals the Algorithm 2 stopping-rule draws that
+	// queries (Solve step 2 and PmaxEstimate) answered from a pair's
+	// retained estimator ledger instead of resampling — the refinement
+	// win, the p_max analog of SpillDrawsSaved.
+	PmaxDrawsReused int64
 	// ByKind indexes hit/miss tallies by Kind.
 	ByKind [numKinds]KindCounts
 }
@@ -211,6 +220,7 @@ type Server struct {
 	spillDrawsSaved  atomic.Int64
 	spillLoadErrors  atomic.Int64
 	spillWriteErrors atomic.Int64
+	pmaxDrawsReused  atomic.Int64
 
 	// lruMu guards the recency list and the byte ledger. It is only ever
 	// held for O(1) bookkeeping plus eviction passes; pool sampling,
@@ -380,11 +390,11 @@ func (sv *Server) spillPath(k pairKey) string {
 func (sv *Server) writeSpill(e *entry) error {
 	sv.ensureRestored(e)
 	// A pair restored from disk and never grown since would rewrite a
-	// byte-identical file (pools are pure functions of (seed, l)):
-	// skip the redundant write — warming a spill dir larger than the
-	// byte budget would otherwise rewrite every over-budget file it
-	// just read.
-	if e.loaded && e.sess.PoolSize()+e.eval.Size() == e.loadedDraws {
+	// byte-identical file (pools and the p_max ledger are pure functions
+	// of (seed, draws)): skip the redundant write — warming a spill dir
+	// larger than the byte budget would otherwise rewrite every
+	// over-budget file it just read.
+	if e.loaded && e.sess.PoolSize()+e.eval.Size()+e.sess.PmaxEstimator().Draws() == e.loadedDraws {
 		return nil
 	}
 	n, err := snapshot.WriteFileFunc(sv.spillPath(e.key), func(w io.Writer) error {
@@ -435,7 +445,7 @@ func (sv *Server) restoreSpill(e *entry) {
 		return
 	}
 	e.loaded = true
-	e.loadedDraws = e.sess.PoolSize() + e.eval.Size()
+	e.loadedDraws = e.sess.PoolSize() + e.eval.Size() + e.sess.PmaxEstimator().Draws()
 	sv.spillLoads.Add(1)
 	if st, err := f.Stat(); err == nil {
 		sv.spillLoadBytes.Add(st.Size())
@@ -525,7 +535,12 @@ func (sv *Server) Solve(ctx context.Context, s, t graph.Node, cfg core.Config) (
 		return nil, err
 	}
 	defer sv.release(e)
-	return e.sess.RAF(ctx, cfg)
+	res, err := e.sess.RAF(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sv.pmaxDrawsReused.Add(res.PmaxReused)
+	return res, nil
 }
 
 // SolveMax runs the budgeted maximum variant for (s,t) against the
@@ -604,7 +619,10 @@ func (sv *Server) EstimateF(ctx context.Context, s, t graph.Node, invited *graph
 	return e.eval.EstimateF(ctx, invited, trials)
 }
 
-// Pmax estimates p_max for (s,t) from the pair's evaluation pool.
+// Pmax estimates p_max for (s,t) from the pair's evaluation pool — the
+// cheap fixed-budget estimate (the pool's type-1 fraction over exactly
+// trials draws). For an estimate with the paper's (ε₀, 1/N) stopping-rule
+// guarantee, use PmaxEstimate.
 func (sv *Server) Pmax(ctx context.Context, s, t graph.Node, trials int64) (float64, error) {
 	e, err := sv.acquire(KindPmax, s, t)
 	if err != nil {
@@ -612,6 +630,24 @@ func (sv *Server) Pmax(ctx context.Context, s, t graph.Node, trials int64) (floa
 	}
 	defer sv.release(e)
 	return e.eval.FractionType1(ctx, trials)
+}
+
+// PmaxEstimate runs the Algorithm 2 stopping rule for (s,t) at relative
+// error eps0 and failure probability 1/n under a draw budget (0 =
+// unbounded), through the pair's retained estimator ledger: repeated or
+// refined requests for one pair reuse every draw already paid for (the
+// reuse is ledgered in Stats().PmaxDrawsReused), and the estimator state
+// rides the spill tier across eviction and restarts. The result is a
+// pure function of (Seed, s, t, eps0, n, maxDraws).
+func (sv *Server) PmaxEstimate(ctx context.Context, s, t graph.Node, eps0, n float64, maxDraws int64) (engine.PmaxResult, error) {
+	e, err := sv.acquire(KindPmaxEst, s, t)
+	if err != nil {
+		return engine.PmaxResult{}, err
+	}
+	defer sv.release(e)
+	res, err := e.sess.EstimatePmax(ctx, eps0, n, maxDraws)
+	sv.pmaxDrawsReused.Add(res.Reused)
+	return res, err
 }
 
 // PairHandle exposes a pair's cached sessions for harness use (the eval
@@ -657,6 +693,7 @@ func (sv *Server) Stats() Stats {
 		SpillDrawsSaved:  sv.spillDrawsSaved.Load(),
 		SpillLoadErrors:  sv.spillLoadErrors.Load(),
 		SpillWriteErrors: sv.spillWriteErrors.Load(),
+		PmaxDrawsReused:  sv.pmaxDrawsReused.Load(),
 	}
 	for k := range st.ByKind {
 		st.ByKind[k] = KindCounts{Hits: sv.kinds[k].hits.Load(), Misses: sv.kinds[k].misses.Load()}

@@ -72,6 +72,12 @@ func queryAll(t *testing.T, sv *Server, pairs []pairKey, rounds int) []string {
 			} else {
 				out = append(out, fmt.Sprintf("smax(%d,%d)=%v|%.9f|%.9f", pk.s, pk.t, mres.Invited.Members(), mres.CoveredFraction, mf))
 			}
+			// Estimate/Draws/Truncated are pure functions of (seed, s, t,
+			// eps0, n, budget); Reused/Sampled legitimately vary with the
+			// eviction schedule and are excluded from the answer identity.
+			pe, err := sv.PmaxEstimate(ctx, pk.s, pk.t, 0.25, 50, 20000)
+			out = append(out, fmt.Sprintf("pmaxest(%d,%d)=%.9f|%d|%v/%v", pk.s, pk.t,
+				pe.Estimate, pe.Draws, pe.Truncated, err != nil))
 		}
 	}
 	return out
@@ -144,8 +150,9 @@ func TestConcurrentQueriesMatchSequential(t *testing.T) {
 		}(i, pk)
 	}
 	wg.Wait()
+	const perPair = 5 // answers queryAll emits per pair per round
 	for i := range pairs {
-		wantOne := fmt.Sprint(want[i*4 : i*4+4])
+		wantOne := fmt.Sprint(want[i*perPair : (i+1)*perPair])
 		if got[i] != wantOne {
 			t.Errorf("pair %v: concurrent answers diverged:\n got %s\nwant %s", pairs[i], got[i], wantOne)
 		}

@@ -249,3 +249,70 @@ func TestStatsSessionInvariant(t *testing.T) {
 		})
 	}
 }
+
+// TestPmaxEstimatorSpillCarry: the p_max estimator's draw ledger rides
+// the spill tier — a flushed pair's stopping-rule draws are restored by a
+// successor process, so a refined estimate after the restart reuses them
+// (ledgered in PmaxDrawsReused) instead of resampling, with answers
+// identical to an always-warm server.
+func TestPmaxEstimatorSpillCarry(t *testing.T) {
+	g := testGraph(40, 60)
+	pairs := validPairs(g, 3)
+	if len(pairs) < 2 {
+		t.Skip("not enough pairs")
+	}
+	pk := pairs[1]
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	first := newSpillServer(t, dir, 0)
+	coarse, err := first.PmaxEstimate(ctx, pk.s, pk.t, 0.3, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coarse.Reused != 0 || coarse.Sampled == 0 {
+		t.Fatalf("cold coarse estimate %+v, want fresh sampling", coarse)
+	}
+	// Always-warm reference for the refined request.
+	wantTight, err := first.PmaxEstimate(ctx, pk.s, pk.t, 0.12, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats().PmaxDrawsReused == 0 {
+		t.Error("refinement on a warm pair ledgered no reused draws")
+	}
+	if err := first.SpillAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restarted process: restore from disk, refine straight to the tight
+	// accuracy. Every stopping-rule draw the first process paid for must
+	// be reused.
+	second := newSpillServer(t, dir, 0)
+	if _, err := second.Warm(); err != nil {
+		t.Fatal(err)
+	}
+	tight, err := second.PmaxEstimate(ctx, pk.s, pk.t, 0.12, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Estimate != wantTight.Estimate || tight.Draws != wantTight.Draws || tight.Truncated != wantTight.Truncated {
+		t.Errorf("post-restart estimate %+v, want %+v", tight, wantTight)
+	}
+	if tight.Sampled != 0 {
+		t.Errorf("post-restart refinement sampled %d draws despite the spilled ledger", tight.Sampled)
+	}
+	if got := second.Stats().PmaxDrawsReused; got < tight.Draws {
+		t.Errorf("PmaxDrawsReused = %d, want at least the %d consumed draws", got, tight.Draws)
+	}
+
+	// A third process with a different seed must reject the files and
+	// still answer deterministically for its own streams.
+	third := New(g, weights.NewDegree(g), Config{Seed: 8, Workers: 2, SpillDir: dir})
+	if _, err := third.PmaxEstimate(ctx, pk.s, pk.t, 0.12, 100, 0); err != nil {
+		t.Fatalf("mismatched-seed server failed to fall back cold: %v", err)
+	}
+	if st := third.Stats(); st.SpillLoads != 0 {
+		t.Errorf("mismatched-seed server claimed %d spill loads", st.SpillLoads)
+	}
+}

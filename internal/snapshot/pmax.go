@@ -1,0 +1,182 @@
+package snapshot
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// This file adds the second blob type of the snapshot format: the p_max
+// estimator state. The engine's chunked stopping-rule estimator
+// (engine.PmaxEstimator) is, like a pool, a pure function of its (seed,
+// namespace) stream identity and a total draw count — the full ledger is
+// reconstructible from the global draw indices of the successful
+// (type-1) draws. A PmaxState blob therefore carries exactly that:
+// identity, total draws, and the ascending success indices.
+//
+// Layout (all fixed-width fields little-endian):
+//
+//	header (56 B): magic [8]B, version u32, flags u32,
+//	               seed i64, ns u64, fingerprint u64,
+//	               draws i64, numSucc i64
+//	successes: numSucc × i64
+//	footer (8 B): CRC-32C of everything before it, then 4 zero bytes
+//
+// Like pool blobs, the total size is a multiple of 8, so pool and p_max
+// sections concatenate freely in one spill file. The distinct magic is
+// what lets a reader peek whether an optional p_max section follows the
+// pools (see IsPmax).
+const (
+	// PmaxVersion is bumped on any incompatible PmaxState layout change.
+	PmaxVersion    = 1
+	pmaxHeaderSize = 56
+)
+
+var pmaxMagic = [8]byte{0x89, 'A', 'F', 'P', 'M', 'A', 'X', '\n'}
+
+// PmaxState is the serialized form of one chunked p_max estimator ledger:
+// Draws total Bernoulli draws from the (Seed, NS) stream family, of which
+// the draws at the strictly ascending global indices Successes were
+// type-1. Fingerprint identifies the problem instance, so a loader can
+// reject state sampled on a different graph.
+type PmaxState struct {
+	Seed        int64
+	NS          uint64
+	Fingerprint uint64
+	Draws       int64
+	Successes   []int64 // strictly ascending, in [0, Draws)
+}
+
+// EncodedSizePmax returns the exact byte size WritePmax produces for st.
+func EncodedSizePmax(st *PmaxState) int64 {
+	return encodedSizePmax(int64(len(st.Successes)))
+}
+
+func encodedSizePmax(numSucc int64) int64 {
+	return pmaxHeaderSize + numSucc*8 + footerSize
+}
+
+// IsPmax reports whether b begins with the PmaxState magic — the peek a
+// stream reader uses to decide whether an optional p_max section follows
+// the pool sections in a spill file.
+func IsPmax(b []byte) bool {
+	return len(b) >= 8 && [8]byte(b[:8]) == pmaxMagic
+}
+
+// WritePmax serializes st to w in the snapshot format.
+func WritePmax(w io.Writer, st *PmaxState) error {
+	if err := st.validate(); err != nil {
+		return fmt.Errorf("snapshot: malformed pmax state: %w", err)
+	}
+	cw := &crcWriter{w: w}
+	var hdr [pmaxHeaderSize]byte
+	copy(hdr[:8], pmaxMagic[:])
+	putU32(hdr[8:], PmaxVersion)
+	putU32(hdr[12:], 0) // flags, reserved
+	putU64(hdr[16:], uint64(st.Seed))
+	putU64(hdr[24:], st.NS)
+	putU64(hdr[32:], st.Fingerprint)
+	putU64(hdr[40:], uint64(st.Draws))
+	putU64(hdr[48:], uint64(len(st.Successes)))
+	if _, err := cw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if err := writeInt64s(cw, st.Successes); err != nil {
+		return err
+	}
+	var foot [footerSize]byte
+	putU32(foot[:], cw.crc)
+	_, err := w.Write(foot[:])
+	return err
+}
+
+// parsePmaxHeader validates the fixed-size prefix; the success count must
+// not exceed what the claimed draw total could have produced, bounding
+// every later allocation.
+func parsePmaxHeader(b []byte) (PmaxState, int64, error) {
+	var st PmaxState
+	if len(b) < pmaxHeaderSize {
+		return st, 0, fmt.Errorf("%w: %d-byte blob shorter than the %d-byte pmax header", ErrFormat, len(b), pmaxHeaderSize)
+	}
+	if !IsPmax(b) {
+		return st, 0, fmt.Errorf("%w: bad pmax magic", ErrFormat)
+	}
+	if v := getU32(b[8:]); v != PmaxVersion {
+		return st, 0, fmt.Errorf("%w: pmax version %d (want %d)", ErrVersion, v, PmaxVersion)
+	}
+	st.Seed = int64(getU64(b[16:]))
+	st.NS = getU64(b[24:])
+	st.Fingerprint = getU64(b[32:])
+	st.Draws = int64(getU64(b[40:]))
+	numSucc := int64(getU64(b[48:]))
+	switch {
+	case st.Draws < 0:
+		return st, 0, fmt.Errorf("%w: negative draws %d", ErrFormat, st.Draws)
+	case numSucc < 0 || numSucc > st.Draws || numSucc >= math.MaxInt32:
+		return st, 0, fmt.Errorf("%w: %d successes for %d draws", ErrFormat, numSucc, st.Draws)
+	}
+	return st, numSucc, nil
+}
+
+// DecodePmax parses one PmaxState at the start of data, which must
+// contain exactly one blob. On little-endian hosts the returned Successes
+// slice aliases data (keep it immutable and alive); on other hosts or
+// misaligned input it is copied.
+func DecodePmax(data []byte) (*PmaxState, error) {
+	st, numSucc, err := parsePmaxHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	size := encodedSizePmax(numSucc)
+	if size != int64(len(data)) {
+		return nil, fmt.Errorf("%w: pmax header claims %d bytes, have %d", ErrFormat, size, len(data))
+	}
+	body := data[:size-footerSize]
+	if crc32.Checksum(body, crcTable) != getU32(data[size-footerSize:]) {
+		return nil, fmt.Errorf("%w", ErrChecksum)
+	}
+	st.Successes = decodeInt64s(data, pmaxHeaderSize, numSucc)
+	if err := st.validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	return &st, nil
+}
+
+// ReadPmax reads exactly one PmaxState from r (leaving any following
+// bytes unread) and returns state owning freshly allocated sections.
+// Allocation is incremental and capped by the bytes actually read.
+func ReadPmax(r io.Reader) (*PmaxState, error) {
+	buf := make([]byte, pmaxHeaderSize)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("%w: reading pmax header: %v", ErrFormat, err)
+	}
+	_, numSucc, err := parsePmaxHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	size := encodedSizePmax(numSucc)
+	for int64(len(buf)) < size {
+		n := min(size-int64(len(buf)), maxReadChunk)
+		chunk := len(buf)
+		buf = append(buf, make([]byte, n)...)
+		if _, err := io.ReadFull(r, buf[chunk:]); err != nil {
+			return nil, fmt.Errorf("%w: reading %d-byte pmax payload: %v", ErrFormat, size, err)
+		}
+	}
+	// buf is function-local, so aliasing is ownership; nothing to copy.
+	return DecodePmax(buf)
+}
+
+// validate checks the semantic invariant the estimator relies on: success
+// indices strictly ascending within [0, Draws).
+func (st *PmaxState) validate() error {
+	prev := int64(-1)
+	for i, d := range st.Successes {
+		if d <= prev || d >= st.Draws {
+			return fmt.Errorf("success index %d out of order at %d (draws %d)", d, i, st.Draws)
+		}
+		prev = d
+	}
+	return nil
+}
