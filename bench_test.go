@@ -265,11 +265,11 @@ func benchInstance(b *testing.B) *ltm.Instance {
 func BenchmarkSampleTG(b *testing.B) {
 	in := benchInstance(b)
 	sp := realization.NewSampler(in)
-	rng := rand.New(rand.NewSource(1))
+	st := rng.NewStream(1)
 	b.ResetTimer()
 	type1 := 0
 	for i := 0; i < b.N; i++ {
-		if sp.SampleTG(rng).Outcome == realization.Type1 {
+		if sp.SampleTG(&st).Outcome == realization.Type1 {
 			type1++
 		}
 	}
@@ -284,10 +284,11 @@ func BenchmarkForwardSimulate(b *testing.B) {
 	in := benchInstance(b)
 	all := graph.NewNodeSet(in.Graph().NumNodes())
 	all.Fill()
-	rng := rand.New(rand.NewSource(1))
+	st := rng.NewStream(1)
+	sc := ltm.NewSimScratch(in)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		in.SimulateOnce(all, rng, nil)
+		in.SimulateOnce(all, &st, sc, nil)
 	}
 }
 
@@ -745,9 +746,9 @@ func BenchmarkPmaxSequentialVsChunked(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			sp := realization.NewSampler(in)
-			r := rng.DeriveStreamRand(7, 0x506D6178, 0)
+			st := rng.DerivedStream(7, 0x506D6178, 0)
 			if _, _, _, err := mc.StoppingRule(ctx, eps, bigN, 0, func() bool {
-				return sp.SampleTG(r).Outcome == realization.Type1
+				return sp.SampleTG(&st).Outcome == realization.Type1
 			}); err != nil {
 				b.Fatal(err)
 			}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/ltm"
 	"repro/internal/realization"
+	"repro/internal/rng"
 	"repro/internal/weights"
 )
 
@@ -23,13 +24,13 @@ func line(n int) *graph.Graph {
 }
 
 func randomConnected(seed int64, n, extra int) *graph.Graph {
-	rng := rand.New(rand.NewSource(seed))
+	r := rand.New(rand.NewSource(seed))
 	b := graph.NewBuilder(n)
 	for i := 1; i < n; i++ {
-		b.AddEdge(graph.Node(i), graph.Node(rng.Intn(i)))
+		b.AddEdge(graph.Node(i), graph.Node(r.Intn(i)))
 	}
 	for i := 0; i < extra; i++ {
-		b.AddEdge(graph.Node(rng.Intn(n)), graph.Node(rng.Intn(n)))
+		b.AddEdge(graph.Node(r.Intn(n)), graph.Node(r.Intn(n)))
 	}
 	return b.Build()
 }
@@ -170,9 +171,9 @@ func TestVmaxContainsAllSampledPaths(t *testing.T) {
 			return false
 		}
 		sp := realization.NewSampler(in)
-		rng := rand.New(rand.NewSource(seed))
+		st := rng.NewStream(seed)
 		for i := 0; i < 400; i++ {
-			tg := sp.SampleTG(rng)
+			tg := sp.SampleTG(&st)
 			if tg.Outcome != realization.Type1 {
 				continue
 			}
@@ -242,9 +243,9 @@ func TestVmaxMinimality(t *testing.T) {
 	// (witnessing that its removal loses coverage).
 	appeared := graph.NewNodeSet(g.NumNodes())
 	sp := realization.NewSampler(in)
-	rng := rand.New(rand.NewSource(9))
+	st := rng.NewStream(9)
 	for i := 0; i < 300000; i++ {
-		tg := sp.SampleTG(rng)
+		tg := sp.SampleTG(&st)
 		if tg.Outcome != realization.Type1 {
 			continue
 		}

@@ -53,6 +53,7 @@ const (
 type Engine struct {
 	in        *ltm.Instance
 	samplers  sync.Pool
+	chunkBufs sync.Pool    // *chunkBuf: recycled chunk arenas/tables
 	draws     atomic.Int64 // every draw made through the engine
 	poolDraws atomic.Int64 // draws spent filling pools (subset of draws)
 	pmaxDraws atomic.Int64 // draws spent in p_max estimator ledgers (subset of draws)
@@ -100,6 +101,7 @@ func (e *Engine) Fingerprint() uint64 {
 func New(in *ltm.Instance) *Engine {
 	e := &Engine{in: in}
 	e.samplers.New = func() any { return realization.NewSampler(in) }
+	e.chunkBufs.New = func() any { return new(chunkBuf) }
 	return e
 }
 
@@ -144,22 +146,57 @@ type chunkPaths struct {
 	drawIdx []int32
 }
 
+// chunkBuf carries the backing arrays a sampled chunk appends into.
+// Buffers cycle through the engine's chunkBufs pool: a sampling call
+// draws one per chunk, hands its (possibly regrown) arrays back after
+// pool assembly, and steady-state sampling stops allocating entirely —
+// the arenas are size-hinted by whatever previous chunks needed.
+type chunkBuf struct {
+	arena   []graph.Node
+	offsets []int32
+	drawIdx []int32
+}
+
+// getChunkBuf draws a recycled chunk buffer from the engine's pool.
+func (e *Engine) getChunkBuf() *chunkBuf { return e.chunkBufs.Get().(*chunkBuf) }
+
+// putChunkBuf returns cp's backing arrays to the pool through b (the
+// buffer cp was sampled into). keepTables leaves offsets/drawIdx with the
+// caller — Session retains them for regrowth and recycles only the
+// arena, whose contents it re-aliases into the assembled pool.
+func (e *Engine) putChunkBuf(b *chunkBuf, cp chunkPaths, keepTables bool) {
+	b.arena = cp.arena[:0]
+	if keepTables {
+		b.offsets, b.drawIdx = nil, nil
+	} else {
+		b.offsets = cp.offsets[:0]
+		b.drawIdx = cp.drawIdx[:0]
+	}
+	e.chunkBufs.Put(b)
+}
+
 // sampleChunk draws n realizations from the stream (seed, ns, chunk) and
-// accumulates the type-1 paths into a chunk-local arena — no per-path
-// allocation. A chunk's result depends only on (seed, ns, chunk, n), and
-// a shorter chunk's paths are a prefix of a longer one's, which is what
-// lets Session grow a partial trailing chunk consistently.
+// accumulates the type-1 paths into b's chunk-local arena — no per-path
+// allocation, and none at all once b's arrays are warm. A chunk's result
+// depends only on (seed, ns, chunk, n), and a shorter chunk's paths are
+// a prefix of a longer one's, which is what lets Session grow a partial
+// trailing chunk consistently.
 //
 // sampleChunk does not touch the draw ledger: the caller accounts for the
 // draws it is responsible for, so a Session that regrows a partial chunk
 // (re-deriving its already-counted prefix) can charge only the net-new
 // draws and keep PoolDraws equal to the pool size.
-func (e *Engine) sampleChunk(seed int64, ns uint64, chunk, n int64) chunkPaths {
-	r := rng.DeriveStreamRand(seed, ns, uint64(chunk))
+func (e *Engine) sampleChunk(seed int64, ns uint64, chunk, n int64, b *chunkBuf) chunkPaths {
+	st := rng.DerivedStream(seed, ns, uint64(chunk))
 	sp := e.samplers.Get().(*realization.Sampler)
-	cp := chunkPaths{draws: n, offsets: make([]int32, 1, n/4+1)}
+	cp := chunkPaths{
+		draws:   n,
+		arena:   b.arena[:0],
+		offsets: append(b.offsets[:0], 0),
+		drawIdx: b.drawIdx[:0],
+	}
 	for i := int64(0); i < n; i++ {
-		tg := sp.SampleTGView(r)
+		tg := sp.SampleTGView(&st)
 		if tg.Outcome == realization.Type1 {
 			cp.arena = append(cp.arena, tg.Path...)
 			cp.offsets = append(cp.offsets, int32(len(cp.arena)))
@@ -242,14 +279,24 @@ func (e *Engine) samplePoolNS(ctx context.Context, l int64, workers int, seed in
 		return nil, err
 	}
 	chunks := make([]chunkPaths, (l+ChunkSize-1)/ChunkSize)
+	bufs := make([]*chunkBuf, len(chunks))
 	err := parallel.ForChunks(ctx, l, ChunkSize, workers, func(c int, _, n int64) {
-		chunks[c] = e.sampleChunk(seed, ns, int64(c), n)
+		bufs[c] = e.getChunkBuf()
+		chunks[c] = e.sampleChunk(seed, ns, int64(c), n, bufs[c])
 	})
 	if err != nil {
 		return nil, err
 	}
 	e.addPoolDraws(l)
-	return assemblePool(chunks, e.in.Graph().NumNodes())
+	pool, err := assemblePool(chunks, e.in.Graph().NumNodes())
+	if err != nil {
+		return nil, err
+	}
+	// Assembly copied everything out; the chunk arrays go back to the pool.
+	for c := range chunks {
+		e.putChunkBuf(bufs[c], chunks[c], false)
+	}
+	return pool, nil
 }
 
 // EstimateF estimates f(invited) with trials independent reverse samples
@@ -262,11 +309,11 @@ func (e *Engine) EstimateF(ctx context.Context, invited *graph.NodeSet, trials i
 	}
 	hits := make([]int64, (trials+ChunkSize-1)/ChunkSize)
 	err := parallel.ForChunks(ctx, trials, ChunkSize, workers, func(c int, _, n int64) {
-		r := rng.DeriveStreamRand(seed, nsEstimate, uint64(c))
+		st := rng.DerivedStream(seed, nsEstimate, uint64(c))
 		sp := e.samplers.Get().(*realization.Sampler)
 		var h int64
 		for i := int64(0); i < n; i++ {
-			if sp.SampleTGView(r).Covered(invited) {
+			if sp.SampleTGView(&st).Covered(invited) {
 				h++
 			}
 		}

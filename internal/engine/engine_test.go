@@ -135,10 +135,10 @@ func perPathPool(in *ltm.Instance, l, seed int64) [][]graph.Node {
 		if rem := l - chunk*ChunkSize; rem < n {
 			n = rem
 		}
-		r := rng.DeriveStreamRand(seed, nsPool, uint64(chunk))
+		st := rng.DerivedStream(seed, nsPool, uint64(chunk))
 		sp := realization.NewSampler(in)
 		for i := int64(0); i < n; i++ {
-			if tg := sp.SampleTG(r); tg.Outcome == realization.Type1 {
+			if tg := sp.SampleTG(&st); tg.Outcome == realization.Type1 {
 				paths = append(paths, tg.Path)
 			}
 		}
@@ -439,10 +439,10 @@ func TestLemma1UnderSubStochasticWeights(t *testing.T) {
 	// The ℵ₀ branch must actually fire: a backward walk selects no one
 	// with probability 0.3 at the first step alone.
 	sp := realization.NewSampler(in)
-	r := rand.New(rand.NewSource(7))
+	st := rng.NewStream(7)
 	type0 := 0
 	for i := 0; i < 2000; i++ {
-		if sp.SampleTG(r).Outcome == realization.Type0 {
+		if sp.SampleTG(&st).Outcome == realization.Type0 {
 			type0++
 		}
 	}

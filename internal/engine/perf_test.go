@@ -1,0 +1,221 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/snapshot"
+)
+
+// sink defeats dead-code elimination in the allocation tests.
+var sink int64
+
+// TestStaleStreamEpochPoolSnapshotRejected: a pool blob written under an
+// older draw protocol (stream epoch 0 was the retired math/rand kernel)
+// must be rejected on load — by OpenSession and by Restore — and the
+// resample fallback must rebuild the exact same pool.
+func TestStaleStreamEpochPoolSnapshotRejected(t *testing.T) {
+	in := testInstance(t)
+	e := New(in)
+	s := e.NewSession(7, 0)
+	ctx := context.Background()
+	if _, err := s.Pool(ctx, 3000); err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := s.Snapshot(&want); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := snapshot.Read(bytes.NewReader(want.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.StreamEpoch = rng.StreamEpoch - 1
+	var stale bytes.Buffer
+	if err := snapshot.Write(&stale, sp); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := OpenSession(e, bytes.NewReader(stale.Bytes()), 0); err == nil {
+		t.Error("OpenSession accepted a stale stream-epoch snapshot")
+	}
+	fresh := New(in).NewSession(7, 0)
+	if err := fresh.Restore(bytes.NewReader(stale.Bytes())); err == nil {
+		t.Error("Restore accepted a stale stream-epoch snapshot")
+	}
+	// The serving layer's fallback after a rejected restore is plain
+	// resampling; it must produce a byte-identical pool.
+	if _, err := fresh.Pool(ctx, 3000); err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := fresh.Snapshot(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Error("resample fallback pool differs from the rejected snapshot's")
+	}
+}
+
+// TestStaleStreamEpochPmaxSnapshotRejected is the p_max-ledger twin: a
+// pre-epoch PmaxState is rejected by Restore and the estimator, left
+// cold, resamples to the identical estimate.
+func TestStaleStreamEpochPmaxSnapshotRejected(t *testing.T) {
+	in := testInstance(t)
+	pe := New(in).NewPmaxEstimator(7, 0)
+	ctx := context.Background()
+	want, err := pe.Estimate(ctx, 0.2, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pe.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st, err := snapshot.ReadPmax(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.StreamEpoch = rng.StreamEpoch - 1
+	var stale bytes.Buffer
+	if err := snapshot.WritePmax(&stale, st); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := New(in).NewPmaxEstimator(7, 0)
+	if err := fresh.Restore(bytes.NewReader(stale.Bytes())); err == nil {
+		t.Error("pmax Restore accepted a stale stream-epoch snapshot")
+	}
+	if fresh.Draws() != 0 {
+		t.Fatalf("rejected restore left %d draws in the ledger", fresh.Draws())
+	}
+	got, err := fresh.Estimate(ctx, 0.2, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("resample fallback estimate %+v differs from %+v", got, want)
+	}
+}
+
+// TestSampleChunkZeroAlloc pins the steady-state sampling contract: once
+// the engine's sampler and chunk-buffer pools are warm, drawing a chunk
+// allocates nothing.
+func TestSampleChunkZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is not meaningful under the race detector")
+	}
+	in := testInstance(t)
+	e := New(in)
+	run := func() {
+		b := e.getChunkBuf()
+		cp := e.sampleChunk(7, nsPool, 0, ChunkSize, b)
+		sink += int64(len(cp.offsets))
+		e.putChunkBuf(b, cp, false)
+	}
+	run() // warm the sampler and size the chunk arrays
+	if allocs := testing.AllocsPerRun(20, run); allocs != 0 {
+		t.Errorf("warmed sampleChunk allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestCoverageCountZeroAlloc pins the positive-side query paths — both
+// the bit-plane tally for heavy sets and the epoch scatter for light
+// ones — to zero allocations per query.
+func TestCoverageCountZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is not meaningful under the race detector")
+	}
+	in := testInstance(t)
+	pool, err := New(in).SamplePool(context.Background(), 50000, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := pool.Index()
+	if len(ix.nodes) == 0 {
+		t.Skip("empty pool")
+	}
+	byPostings := append([]graph.Node(nil), ix.nodes...)
+	sort.Slice(byPostings, func(i, j int) bool {
+		pi := ix.off[byPostings[i]+1] - ix.off[byPostings[i]]
+		pj := ix.off[byPostings[j]+1] - ix.off[byPostings[j]]
+		return pi > pj
+	})
+	total := int64(len(ix.ids))
+
+	// Heavy positive side: popular nodes until the planes path engages,
+	// while staying on the positive (invited) side of the postings split.
+	heavy := graph.NewNodeSet(pool.universe)
+	var inv int64
+	for _, v := range byPostings {
+		if p := int64(ix.off[v+1] - ix.off[v]); inv+p <= total/2 {
+			heavy.Add(v)
+			inv += p
+		}
+		if ix.planesWorthIt(inv) {
+			break
+		}
+	}
+	// Light positive side: the single least-popular pool node.
+	lightNode := byPostings[len(byPostings)-1]
+	light := graph.NewNodeSetOf(pool.universe, lightNode)
+
+	cases := []struct {
+		name    string
+		set     *graph.NodeSet
+		planes  bool
+		skipMsg string
+	}{
+		{"planes", heavy, true, "graph too small to engage the planes path"},
+		{"scatter", light, false, "least-popular node still crosses the planes cutoff"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var p int64
+			ix.forEachInvited(tc.set, func(v graph.Node) {
+				p += int64(ix.off[v+1] - ix.off[v])
+			})
+			if ix.planesWorthIt(p) != tc.planes || p > total-p {
+				t.Skip(tc.skipMsg)
+			}
+			set := tc.set
+			sink = ix.CoverageCount(set) // warm
+			if allocs := testing.AllocsPerRun(20, func() {
+				sink += ix.CoverageCount(set)
+			}); allocs != 0 {
+				t.Errorf("positive-side CoverageCount allocates %v per query, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestPmaxRepeatEstimateZeroAlloc pins the refine fast path: once the
+// ledger covers a request, answering it again is a pure prefix scan with
+// no allocation.
+func TestPmaxRepeatEstimateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is not meaningful under the race detector")
+	}
+	in := testInstance(t)
+	pe := New(in).NewPmaxEstimator(7, 0)
+	ctx := context.Background()
+	if _, err := pe.Estimate(ctx, 0.2, 1000, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pe.Estimate(ctx, 0.1, 1000, 0); err != nil { // refine
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(20, func() {
+		r, err := pe.Estimate(ctx, 0.1, 1000, 0)
+		if err != nil {
+			panic(err)
+		}
+		sink += r.Draws
+	}); allocs != 0 {
+		t.Errorf("ledger-covered Estimate allocates %v per call, want 0", allocs)
+	}
+}

@@ -286,11 +286,11 @@ func (pe *PmaxEstimator) growLocked(ctx context.Context, l int64) error {
 // successes. Like sampleChunk, it does not touch the draw ledger — the
 // caller charges the net-new draws it is responsible for.
 func (e *Engine) samplePmaxChunk(seed int64, chunk, n int64) pmaxChunk {
-	r := rng.DeriveStreamRand(seed, nsPmax, uint64(chunk))
+	st := rng.DerivedStream(seed, nsPmax, uint64(chunk))
 	sp := e.samplers.Get().(*realization.Sampler)
 	c := pmaxChunk{draws: n}
 	for i := int64(0); i < n; i++ {
-		if sp.SampleTGView(r).Outcome == realization.Type1 {
+		if sp.SampleTGView(&st).Outcome == realization.Type1 {
 			c.succ = append(c.succ, int32(i))
 		}
 	}
@@ -312,6 +312,7 @@ func (pe *PmaxEstimator) Snapshot(w io.Writer) error {
 		Seed:        pe.seed,
 		NS:          nsPmax,
 		Fingerprint: pe.eng.Fingerprint(),
+		StreamEpoch: rng.StreamEpoch,
 		Draws:       pe.draws,
 		Successes:   make([]int64, 0, pe.succ),
 	}
@@ -341,6 +342,10 @@ func (pe *PmaxEstimator) Restore(r io.Reader) error {
 	defer pe.mu.Unlock()
 	if pe.draws != 0 {
 		return fmt.Errorf("engine: pmax restore into an estimator holding %d draws", pe.draws)
+	}
+	if st.StreamEpoch != rng.StreamEpoch {
+		return fmt.Errorf("engine: pmax snapshot stream epoch %d does not match the current epoch %d (resample required)",
+			st.StreamEpoch, rng.StreamEpoch)
 	}
 	if st.Seed != pe.seed || st.NS != nsPmax {
 		return fmt.Errorf("engine: pmax snapshot stream (seed %d, ns %#x) does not match estimator (seed %d, ns %#x)",

@@ -25,9 +25,9 @@ func TestPmaxEstimatorMatchesSequentialRule(t *testing.T) {
 	const eps, n, seed = 0.2, 10.0, 7
 
 	sp := realization.NewSampler(in)
-	r := rng.DeriveStreamRand(seed, nsPmax, 0)
+	st := rng.DerivedStream(seed, nsPmax, 0)
 	want, wantDraws, truncated, err := mc.StoppingRule(context.Background(), eps, n, 0, func() bool {
-		return sp.SampleTG(r).Outcome == realization.Type1
+		return sp.SampleTG(&st).Outcome == realization.Type1
 	})
 	if err != nil || truncated {
 		t.Fatalf("sequential reference: %v (truncated %v)", err, truncated)

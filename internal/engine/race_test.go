@@ -1,0 +1,8 @@
+//go:build race
+
+package engine
+
+// raceEnabled gates the AllocsPerRun pins in perf_test.go: the race
+// runtime allocates shadow state inside otherwise alloc-free code, so
+// the zero-alloc contracts are only checkable without -race.
+const raceEnabled = true

@@ -105,13 +105,15 @@ func (s *Session) Pool(ctx context.Context, l int64) (*Pool, error) {
 	chunks := make([]chunkPaths, nchunks)
 	copy(chunks, s.chunks[:keep])
 	missing := nchunks - keep
+	bufs := make([]*chunkBuf, missing)
 	err := parallel.For(ctx, missing, s.workers, func(i int) {
 		c := keep + i
 		n := int64(ChunkSize)
 		if start := int64(c) * ChunkSize; start+n > l {
 			n = l - start
 		}
-		chunks[c] = s.eng.sampleChunk(s.seed, s.ns, int64(c), n)
+		bufs[i] = s.eng.getChunkBuf()
+		chunks[c] = s.eng.sampleChunk(s.seed, s.ns, int64(c), n, bufs[i])
 	})
 	if err != nil {
 		return nil, err
@@ -127,9 +129,14 @@ func (s *Session) Pool(ctx context.Context, l int64) (*Pool, error) {
 	// Re-alias each chunk's arena to its segment of the assembled pool
 	// arena: the cache then holds one copy of the path data (plus the
 	// small per-chunk offset tables needed to reassemble on growth).
+	// The original chunk arenas are then dead and go back to the buffer
+	// pool; the offset tables stay with the retained chunks.
 	var base int32
 	for c := range chunks {
 		n := int32(len(chunks[c].arena))
+		if c >= keep {
+			s.eng.putChunkBuf(bufs[c-keep], chunks[c], true)
+		}
 		chunks[c].arena = pool.arena[base : base+n]
 		base += n
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/rng"
 	"repro/internal/snapshot"
 )
 
@@ -22,6 +23,7 @@ func (s *Session) Snapshot(w io.Writer) error {
 		Seed:        s.seed,
 		NS:          uint64(s.ns),
 		Fingerprint: s.eng.Fingerprint(),
+		StreamEpoch: rng.StreamEpoch,
 		Universe:    int64(s.eng.in.Graph().NumNodes()),
 		Total:       s.draws,
 		Offsets:     []int32{0},
@@ -127,6 +129,14 @@ func (s *Session) adoptSnapshot(sp *snapshot.Pool) error {
 // nothing to the engine's draw ledger: the whole point of a snapshot is
 // that its draws were paid for in a previous life.
 func (s *Session) adoptSnapshotLocked(sp *snapshot.Pool) error {
+	// The stream epoch is part of the pool's identity: bytes sampled
+	// under another draw protocol are correct for that protocol only, so
+	// adopting them would silently mix generations. Rejecting here sends
+	// every caller down its resample fallback, which is answer-identical.
+	if sp.StreamEpoch != rng.StreamEpoch {
+		return fmt.Errorf("engine: snapshot stream epoch %d does not match the current epoch %d (resample required)",
+			sp.StreamEpoch, rng.StreamEpoch)
+	}
 	if n := int64(s.eng.in.Graph().NumNodes()); sp.Universe != n {
 		return fmt.Errorf("engine: snapshot universe %d does not match the %d-node instance", sp.Universe, n)
 	}

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/rng"
 	"repro/internal/weights"
 )
 
@@ -71,11 +72,12 @@ func TestSimulateLineExactProbability(t *testing.T) {
 	g := line(4)
 	in := mustInstance(t, g, 0, 3)
 	invited := graph.NewNodeSetOf(4, 2, 3)
-	rng := rand.New(rand.NewSource(7))
+	st := rng.NewStream(7)
+	sc := NewSimScratch(in)
 	const trials = 200000
 	wins := 0
 	for i := 0; i < trials; i++ {
-		if in.SimulateOnce(invited, rng, nil) {
+		if in.SimulateOnce(invited, &st, sc, nil) {
 			wins++
 		}
 	}
@@ -90,9 +92,9 @@ func TestSimulateRequiresInvitedTarget(t *testing.T) {
 	in := mustInstance(t, g, 0, 3)
 	// Invite everything except t: must always fail.
 	invited := graph.NewNodeSetOf(4, 1, 2)
-	rng := rand.New(rand.NewSource(1))
+	st := rng.NewStream(1)
 	for i := 0; i < 1000; i++ {
-		if in.SimulateOnce(invited, rng, nil) {
+		if in.SimulateOnce(invited, &st, nil, nil) {
 			t.Fatal("succeeded without inviting the target")
 		}
 	}
@@ -102,9 +104,9 @@ func TestSimulateEmptyInvitation(t *testing.T) {
 	g := line(4)
 	in := mustInstance(t, g, 0, 3)
 	invited := graph.NewNodeSet(4)
-	rng := rand.New(rand.NewSource(1))
+	st := rng.NewStream(1)
 	for i := 0; i < 100; i++ {
-		if in.SimulateOnce(invited, rng, nil) {
+		if in.SimulateOnce(invited, &st, nil, nil) {
 			t.Fatal("succeeded with empty invitation set")
 		}
 	}
@@ -118,9 +120,9 @@ func TestSimulateDisconnected(t *testing.T) {
 	in := mustInstance(t, g, 0, 4)
 	invited := graph.NewNodeSet(5)
 	invited.Fill()
-	rng := rand.New(rand.NewSource(1))
+	st := rng.NewStream(1)
 	for i := 0; i < 200; i++ {
-		if in.SimulateOnce(invited, rng, nil) {
+		if in.SimulateOnce(invited, &st, nil, nil) {
 			t.Fatal("succeeded across disconnected components")
 		}
 	}
@@ -132,17 +134,18 @@ func TestSimulateScratchFriends(t *testing.T) {
 	g := line(4)
 	in := mustInstance(t, g, 0, 3)
 	invited := graph.NewNodeSetOf(4, 2, 3)
-	scratch := graph.NewNodeSet(4)
-	rng := rand.New(rand.NewSource(3))
+	friends := graph.NewNodeSet(4)
+	st := rng.NewStream(3)
+	sc := NewSimScratch(in)
 	sawSuccess := false
 	for i := 0; i < 500 && !sawSuccess; i++ {
-		if in.SimulateOnce(invited, rng, scratch) {
+		if in.SimulateOnce(invited, &st, sc, friends) {
 			sawSuccess = true
-			if !scratch.Contains(2) || !scratch.Contains(3) {
-				t.Errorf("friend set = %v, want {2,3}", scratch.Members())
+			if !friends.Contains(2) || !friends.Contains(3) {
+				t.Errorf("friend set = %v, want {2,3}", friends.Members())
 			}
-			if scratch.Contains(0) || scratch.Contains(1) {
-				t.Errorf("friend set contains s or N_s: %v", scratch.Members())
+			if friends.Contains(0) || friends.Contains(1) {
+				t.Errorf("friend set contains s or N_s: %v", friends.Members())
 			}
 		}
 	}
@@ -154,10 +157,10 @@ func TestSimulateScratchFriends(t *testing.T) {
 // Monotonicity property: enlarging the invitation set cannot decrease the
 // acceptance probability.
 func TestEstimateFMonotone(t *testing.T) {
-	rng := rand.New(rand.NewSource(11))
+	r := rand.New(rand.NewSource(11))
 	b := graph.NewBuilder(12)
 	for i := 0; i < 30; i++ {
-		b.AddEdge(graph.Node(rng.Intn(12)), graph.Node(rng.Intn(12)))
+		b.AddEdge(graph.Node(r.Intn(12)), graph.Node(r.Intn(12)))
 	}
 	b.AddEdge(0, 1)
 	b.AddEdge(10, 11)
@@ -200,6 +203,43 @@ func TestEstimateFDeterministic(t *testing.T) {
 	}
 	if a != b {
 		t.Errorf("same seed gave %v and %v", a, b)
+	}
+}
+
+// TestEstimateFWorkerIndependence pins the fixed-chunk contract: the
+// estimate is a pure function of (seed, trials), bit-identical for any
+// worker count — including a trial count that ends on a partial chunk.
+func TestEstimateFWorkerIndependence(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	b := graph.NewBuilder(20)
+	for i := 1; i < 20; i++ {
+		b.AddEdge(graph.Node(i), graph.Node(r.Intn(i)))
+	}
+	for i := 0; i < 25; i++ {
+		b.AddEdge(graph.Node(r.Intn(20)), graph.Node(r.Intn(20)))
+	}
+	g := b.Build()
+	if g.HasEdge(0, 19) {
+		t.Skip("random graph made s,t adjacent")
+	}
+	in := mustInstance(t, g, 0, 19)
+	invited := graph.NewNodeSet(20)
+	invited.Fill()
+	ctx := context.Background()
+	for _, trials := range []int64{simChunk * 3, simChunk*2 + 777} {
+		want, err := in.EstimateF(ctx, invited, trials, 1, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 8} {
+			got, err := in.EstimateF(ctx, invited, trials, workers, 99)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("trials=%d: %d workers gave %v, 1 worker gave %v", trials, workers, got, want)
+			}
+		}
 	}
 }
 

@@ -1,10 +1,9 @@
 package realization
 
 import (
-	"math/rand"
-
 	"repro/internal/graph"
 	"repro/internal/ltm"
+	"repro/internal/rng"
 )
 
 // NoSelection is the encoding of the artificial user ℵ₀ in a full
@@ -22,12 +21,12 @@ type Full struct {
 
 // SampleFull draws a complete realization: every node independently
 // selects per Definition 1.
-func SampleFull(in *ltm.Instance, rand *rand.Rand) *Full {
+func SampleFull(in *ltm.Instance, st *rng.Stream) *Full {
 	g := in.Graph()
 	w := in.Weights()
 	sel := make([]graph.Node, g.NumNodes())
 	for v := range sel {
-		if u, ok := w.SampleInfluencer(graph.Node(v), rand); ok {
+		if u, ok := w.SampleInfluencer(graph.Node(v), st); ok {
 			sel[v] = u
 		} else {
 			sel[v] = NoSelection

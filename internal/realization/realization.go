@@ -16,10 +16,10 @@
 package realization
 
 import (
-	"math/rand"
-
 	"repro/internal/graph"
 	"repro/internal/ltm"
+	"repro/internal/rng"
+	"repro/internal/weights"
 )
 
 // Outcome classifies a sampled realization.
@@ -45,9 +45,11 @@ type TG struct {
 }
 
 // Sampler draws t(g) paths for one instance. Not safe for concurrent use;
-// derive one per goroutine (NewSampler is cheap: two O(n) arrays).
+// derive one per goroutine (NewSampler is cheap: two O(n) arrays; the
+// instance's sampling plan is shared, built once).
 type Sampler struct {
-	in *ltm.Instance
+	in   *ltm.Instance
+	plan *weights.Plan
 	// visitedEpoch implements an O(1)-reset visited set for cycle
 	// detection.
 	visitedEpoch []uint32
@@ -55,10 +57,13 @@ type Sampler struct {
 	buf          []graph.Node
 }
 
-// NewSampler returns a sampler for the instance.
+// NewSampler returns a sampler for the instance. Influencer draws go
+// through the instance's compiled weights.Plan, so the per-step loop
+// carries no interface dispatch or per-call InSum/prefix work.
 func NewSampler(in *ltm.Instance) *Sampler {
 	return &Sampler{
 		in:           in,
+		plan:         in.Plan(),
 		visitedEpoch: make([]uint32, in.Graph().NumNodes()),
 	}
 }
@@ -66,8 +71,8 @@ func NewSampler(in *ltm.Instance) *Sampler {
 // SampleTG draws one realization lazily (only nodes on the backward walk
 // select an influencer — Remark 3) and returns its t(g). The returned
 // Path is freshly allocated for Type1 outcomes.
-func (sp *Sampler) SampleTG(rand *rand.Rand) TG {
-	tg := sp.SampleTGView(rand)
+func (sp *Sampler) SampleTG(st *rng.Stream) TG {
+	tg := sp.SampleTGView(st)
 	if tg.Outcome == Type1 {
 		path := make([]graph.Node, len(tg.Path))
 		copy(path, tg.Path)
@@ -80,7 +85,7 @@ func (sp *Sampler) SampleTG(rand *rand.Rand) TG {
 // aliases the sampler's internal buffer and is valid only until the next
 // draw. It consumes the random stream identically to SampleTG. Callers
 // that retain paths (the engine's arena writer) must copy the contents.
-func (sp *Sampler) SampleTGView(rand *rand.Rand) TG {
+func (sp *Sampler) SampleTGView(st *rng.Stream) TG {
 	sp.epoch++
 	if sp.epoch == 0 { // wrapped: clear and restart
 		for i := range sp.visitedEpoch {
@@ -89,7 +94,6 @@ func (sp *Sampler) SampleTGView(rand *rand.Rand) TG {
 		sp.epoch = 1
 	}
 	in := sp.in
-	w := in.Weights()
 	nsSet := in.InitialFriendSet()
 	s := in.S()
 
@@ -98,7 +102,7 @@ func (sp *Sampler) SampleTGView(rand *rand.Rand) TG {
 	sp.buf = append(sp.buf, cur)
 	sp.visitedEpoch[cur] = sp.epoch
 	for {
-		u, ok := w.SampleInfluencer(cur, rand)
+		u, ok := sp.plan.Sample(cur, st)
 		switch {
 		case !ok:
 			// v selected no one: ℵ₀ (line 5 of Alg. 1).

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/ltm"
+	"repro/internal/rng"
 	"repro/internal/weights"
 )
 
@@ -20,13 +21,13 @@ func line(n int) *graph.Graph {
 }
 
 func randomConnected(seed int64, n, extra int) *graph.Graph {
-	rng := rand.New(rand.NewSource(seed))
+	r := rand.New(rand.NewSource(seed))
 	b := graph.NewBuilder(n)
 	for i := 1; i < n; i++ {
-		b.AddEdge(graph.Node(i), graph.Node(rng.Intn(i)))
+		b.AddEdge(graph.Node(i), graph.Node(r.Intn(i)))
 	}
 	for i := 0; i < extra; i++ {
-		b.AddEdge(graph.Node(rng.Intn(n)), graph.Node(rng.Intn(n)))
+		b.AddEdge(graph.Node(r.Intn(n)), graph.Node(r.Intn(n)))
 	}
 	return b.Build()
 }
@@ -48,11 +49,11 @@ func TestSampleTGLine(t *testing.T) {
 	g := line(4)
 	in := mustInstance(t, g, 0, 3)
 	sp := NewSampler(in)
-	rng := rand.New(rand.NewSource(5))
+	st := rng.NewStream(5)
 	type1 := 0
 	const trials = 100000
 	for i := 0; i < trials; i++ {
-		tg := sp.SampleTG(rng)
+		tg := sp.SampleTG(&st)
 		switch tg.Outcome {
 		case Type1:
 			type1++
@@ -87,9 +88,9 @@ func TestSampleTGStarAlwaysType1(t *testing.T) {
 	g := b.Build()
 	in := mustInstance(t, g, 0, 2)
 	sp := NewSampler(in)
-	rng := rand.New(rand.NewSource(1))
+	st := rng.NewStream(1)
 	for i := 0; i < 1000; i++ {
-		tg := sp.SampleTG(rng)
+		tg := sp.SampleTG(&st)
 		if tg.Outcome != Type1 {
 			t.Fatal("walk must terminate at the hub ∈ N_s immediately")
 		}
@@ -116,10 +117,10 @@ func TestSampleTGPathInvariants(t *testing.T) {
 			return true
 		}
 		sp := NewSampler(in)
-		rng := rand.New(rand.NewSource(seed))
+		st := rng.NewStream(seed)
 		nsSet := in.InitialFriendSet()
 		for i := 0; i < 300; i++ {
-			tg := sp.SampleTG(rng)
+			tg := sp.SampleTG(&st)
 			if tg.Outcome != Type1 {
 				continue
 			}
@@ -178,25 +179,25 @@ func TestSampleTGViewAliasing(t *testing.T) {
 	g := line(4)
 	in := mustInstance(t, g, 0, 3)
 	sp := NewSampler(in)
-	rng := rand.New(rand.NewSource(9))
+	st := rng.NewStream(9)
 	var view []graph.Node
 	for view == nil {
-		if tg := sp.SampleTGView(rng); tg.Outcome == Type1 {
+		if tg := sp.SampleTGView(&st); tg.Outcome == Type1 {
 			view = tg.Path
 		}
 	}
 	// A later view draw may rewrite the same backing array.
 	for i := 0; i < 50; i++ {
-		sp.SampleTGView(rng)
+		sp.SampleTGView(&st)
 	}
 	var copied []graph.Node
 	for copied == nil {
-		if tg := sp.SampleTG(rng); tg.Outcome == Type1 {
+		if tg := sp.SampleTG(&st); tg.Outcome == Type1 {
 			copied = tg.Path
 		}
 	}
 	for i := 0; i < 50; i++ {
-		sp.SampleTGView(rng)
+		sp.SampleTGView(&st)
 	}
 	if copied[0] != 3 || copied[1] != 2 {
 		t.Errorf("copied path %v corrupted by later draws", copied)
@@ -212,18 +213,18 @@ func TestLazyMatchesFullSampler(t *testing.T) {
 	}
 	in := mustInstance(t, g, 0, 15)
 	const trials = 60000
-	rng1 := rand.New(rand.NewSource(101))
-	rng2 := rand.New(rand.NewSource(202))
+	st1 := rng.NewStream(101)
+	st2 := rng.NewStream(202)
 	sp := NewSampler(in)
 	lazy1 := 0
 	for i := 0; i < trials; i++ {
-		if sp.SampleTG(rng1).Outcome == Type1 {
+		if sp.SampleTG(&st1).Outcome == Type1 {
 			lazy1++
 		}
 	}
 	full1 := 0
 	for i := 0; i < trials; i++ {
-		f := SampleFull(in, rng2)
+		f := SampleFull(in, &st2)
 		if f.TGOf(in).Outcome == Type1 {
 			full1++
 		}
@@ -238,8 +239,9 @@ func TestLazyMatchesFullSampler(t *testing.T) {
 // realization g and any invitation set I, Process 2 succeeds iff t(g) ⊆ I.
 func TestLemma2(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
-		n := 6 + rng.Intn(12)
+		r := rand.New(rand.NewSource(seed))
+		st := rng.NewStream(seed)
+		n := 6 + r.Intn(12)
 		g := randomConnected(seed, n, n)
 		s := graph.Node(0)
 		tt := graph.Node(n - 1)
@@ -251,17 +253,17 @@ func TestLemma2(t *testing.T) {
 			return true
 		}
 		for trial := 0; trial < 20; trial++ {
-			full := SampleFull(in, rng)
+			full := SampleFull(in, &st)
 			tg := full.TGOf(in)
 			// Random invitation set, biased to include the path when one
 			// exists so both outcomes are exercised.
 			invited := graph.NewNodeSet(n)
 			for v := 0; v < n; v++ {
-				if rng.Intn(2) == 0 {
+				if r.Intn(2) == 0 {
 					invited.Add(graph.Node(v))
 				}
 			}
-			if tg.Outcome == Type1 && rng.Intn(2) == 0 {
+			if tg.Outcome == Type1 && r.Intn(2) == 0 {
 				for _, v := range tg.Path {
 					invited.Add(v)
 				}
@@ -286,9 +288,9 @@ func TestEpochWraparound(t *testing.T) {
 	in := mustInstance(t, g, 0, 3)
 	sp := NewSampler(in)
 	sp.epoch = ^uint32(0) - 3
-	rng := rand.New(rand.NewSource(1))
+	st := rng.NewStream(1)
 	for i := 0; i < 10; i++ {
-		tg := sp.SampleTG(rng)
+		tg := sp.SampleTG(&st)
 		if tg.Outcome != Type0 && tg.Outcome != Type1 {
 			t.Fatal("invalid outcome after wraparound")
 		}

@@ -2,6 +2,23 @@
 // that every stochastic component of the library (realization sampling,
 // threshold draws, generators, experiment pair selection) is reproducible
 // for a fixed seed, independent of goroutine scheduling.
+//
+// Two kinds of source coexist:
+//
+//   - Stream, a value-type xoshiro256++ generator used by every sampling
+//     hot path (chunk kernels, threshold draws). Streams are derived per
+//     (seed, namespace, chunk index) via DerivedStream, so results are
+//     pure functions of the seed regardless of worker count.
+//   - *math/rand.Rand wrappers (DeriveRand, DeriveStreamRand, NextRand)
+//     for cold paths — generators, experiment pair selection — where the
+//     heavyweight seeding cost is irrelevant.
+//
+// The exact draw protocol of Stream is versioned by StreamEpoch (see
+// stream.go): artifacts whose bytes depend on stream contents — pool and
+// p_max snapshots — record the epoch they were sampled under, and loaders
+// reject blobs from another epoch so two protocol generations are never
+// silently mixed. Rejection degrades to resampling, never to a wrong
+// answer.
 package rng
 
 import (

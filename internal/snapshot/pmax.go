@@ -17,7 +17,7 @@ import (
 //
 // Layout (all fixed-width fields little-endian):
 //
-//	header (56 B): magic [8]B, version u32, flags u32,
+//	header (56 B): magic [8]B, version u32, streamEpoch u32,
 //	               seed i64, ns u64, fingerprint u64,
 //	               draws i64, numSucc i64
 //	successes: numSucc × i64
@@ -44,6 +44,11 @@ type PmaxState struct {
 	Seed        int64
 	NS          uint64
 	Fingerprint uint64
+	// StreamEpoch records the rng draw-protocol generation the ledger
+	// was sampled under; part of the stream identity like Seed and NS.
+	// Pre-epoch blobs carry 0 (the slot used to be written as reserved
+	// zero) and are rejected by loaders.
+	StreamEpoch uint32
 	Draws       int64
 	Successes   []int64 // strictly ascending, in [0, Draws)
 }
@@ -73,7 +78,7 @@ func WritePmax(w io.Writer, st *PmaxState) error {
 	var hdr [pmaxHeaderSize]byte
 	copy(hdr[:8], pmaxMagic[:])
 	putU32(hdr[8:], PmaxVersion)
-	putU32(hdr[12:], 0) // flags, reserved
+	putU32(hdr[12:], st.StreamEpoch)
 	putU64(hdr[16:], uint64(st.Seed))
 	putU64(hdr[24:], st.NS)
 	putU64(hdr[32:], st.Fingerprint)
@@ -105,6 +110,7 @@ func parsePmaxHeader(b []byte) (PmaxState, int64, error) {
 	if v := getU32(b[8:]); v != PmaxVersion {
 		return st, 0, fmt.Errorf("%w: pmax version %d (want %d)", ErrVersion, v, PmaxVersion)
 	}
+	st.StreamEpoch = getU32(b[12:])
 	st.Seed = int64(getU64(b[16:]))
 	st.NS = getU64(b[24:])
 	st.Fingerprint = getU64(b[32:])

@@ -14,7 +14,7 @@
 //
 // Layout (all fixed-width fields little-endian):
 //
-//	header (72 B): magic [8]B, version u32, flags u32,
+//	header (72 B): magic [8]B, version u32, streamEpoch u32,
 //	               seed i64, ns u64, fingerprint u64,
 //	               universe i64, total i64,
 //	               numPaths i64, arenaLen i64
@@ -80,6 +80,13 @@ type Pool struct {
 	Seed        int64
 	NS          uint64
 	Fingerprint uint64
+	// StreamEpoch records the rng draw-protocol generation the pool was
+	// sampled under (rng.StreamEpoch at write time); it is part of the
+	// stream identity, like Seed and NS. Blobs written before the field
+	// existed carry 0 (the header slot was written as reserved zero), the
+	// epoch of the retired math/rand protocol — exactly what makes
+	// loaders reject them.
+	StreamEpoch uint32
 	Universe    int64
 	Total       int64
 	Offsets     []int32 // len numPaths+1, Offsets[0] == 0
@@ -162,7 +169,7 @@ func Write(w io.Writer, p *Pool) error {
 	var hdr [headerSize]byte
 	copy(hdr[:8], magic[:])
 	putU32(hdr[8:], Version)
-	putU32(hdr[12:], 0) // flags, reserved
+	putU32(hdr[12:], p.StreamEpoch)
 	putU64(hdr[16:], uint64(p.Seed))
 	putU64(hdr[24:], p.NS)
 	putU64(hdr[32:], p.Fingerprint)
@@ -235,6 +242,7 @@ func writeInt64s(cw *crcWriter, s []int64) error {
 
 // header is the decoded fixed-size prefix of a snapshot.
 type header struct {
+	streamEpoch uint32
 	seed        int64
 	ns          uint64
 	fingerprint uint64
@@ -258,6 +266,7 @@ func parseHeader(b []byte) (header, error) {
 	if v := getU32(b[8:]); v != Version {
 		return h, fmt.Errorf("%w: version %d (want %d)", ErrVersion, v, Version)
 	}
+	h.streamEpoch = getU32(b[12:])
 	h.seed = int64(getU64(b[16:]))
 	h.ns = getU64(b[24:])
 	h.fingerprint = getU64(b[32:])
@@ -325,7 +334,7 @@ func DecodeNext(data []byte) (*Pool, int64, error) {
 	if crc32.Checksum(body, crcTable) != getU32(data[size-footerSize:]) {
 		return nil, 0, fmt.Errorf("%w", ErrChecksum)
 	}
-	p := &Pool{Seed: h.seed, NS: h.ns, Fingerprint: h.fingerprint, Universe: h.universe, Total: h.total}
+	p := &Pool{Seed: h.seed, NS: h.ns, Fingerprint: h.fingerprint, StreamEpoch: h.streamEpoch, Universe: h.universe, Total: h.total}
 	off := int64(headerSize)
 	p.Offsets = decodeInt32s(data, off, h.numPaths+1)
 	off += pad8((h.numPaths + 1) * 4)

@@ -1,0 +1,129 @@
+package weights
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// opaque hides the concrete scheme type from NewPlan's type switch, so
+// the plan is forced onto the generic alias-table fallback.
+type opaque struct{ Scheme }
+
+// planFracs draws trials samples for v and returns each neighbor's
+// selection frequency plus the no-influencer frequency.
+func planFracs(p *Plan, v graph.Node, trials int, seed int64) (map[graph.Node]float64, float64) {
+	st := rng.NewStream(seed)
+	counts := map[graph.Node]int{}
+	none := 0
+	for i := 0; i < trials; i++ {
+		if u, ok := p.Sample(v, &st); ok {
+			counts[u]++
+		} else {
+			none++
+		}
+	}
+	fr := make(map[graph.Node]float64, len(counts))
+	for u, c := range counts {
+		fr[u] = float64(c) / float64(trials)
+	}
+	return fr, float64(none) / float64(trials)
+}
+
+func TestPlanDegreeUniformPick(t *testing.T) {
+	g := star(4) // hub 0, leaves 1..3
+	p := NewPlan(g, NewDegree(g))
+	fr, none := planFracs(p, 0, 30000, 42)
+	if none != 0 {
+		t.Errorf("degree plan returned no-influencer with frequency %v, want 0", none)
+	}
+	for v := graph.Node(1); v <= 3; v++ {
+		if math.Abs(fr[v]-1.0/3) > 0.02 {
+			t.Errorf("neighbor %d frequency = %v, want ~1/3", v, fr[v])
+		}
+	}
+}
+
+func TestPlanUniformResidual(t *testing.T) {
+	g := star(2) // single edge; leaf InSum = c
+	u, err := NewUniform(g, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlan(g, u)
+	fr, none := planFracs(p, 1, 50000, 9)
+	if math.Abs(none-0.7) > 0.01 {
+		t.Errorf("no-influencer frequency = %v, want ~0.7", none)
+	}
+	if math.Abs(fr[0]-0.3) > 0.01 {
+		t.Errorf("selection frequency = %v, want ~0.3", fr[0])
+	}
+}
+
+// explicitFixture is the TestExplicitSampleDistribution instance: node 2
+// selects 0 with probability 0.2, 1 with 0.5, no one with 0.3.
+func explicitFixture(t *testing.T) (*graph.Graph, *Explicit) {
+	t.Helper()
+	g := graph.FromEdges(3, []graph.Edge{{U: 0, V: 2}, {U: 1, V: 2}})
+	e, err := NewExplicit(g, func(u, v graph.Node) float64 {
+		if v != 2 {
+			return 0.1
+		}
+		if u == 0 {
+			return 0.2
+		}
+		return 0.5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, e
+}
+
+func checkExplicitFracs(t *testing.T, fr map[graph.Node]float64, none float64) {
+	t.Helper()
+	check := func(name string, got, want float64) {
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("%s frequency = %v, want ~%v", name, got, want)
+		}
+	}
+	check("neighbor 0", fr[0], 0.2)
+	check("neighbor 1", fr[1], 0.5)
+	check("none", none, 0.3)
+}
+
+func TestPlanExplicitAliasDistribution(t *testing.T) {
+	g, e := explicitFixture(t)
+	fr, none := planFracs(NewPlan(g, e), 2, 100000, 5)
+	checkExplicitFracs(t, fr, none)
+}
+
+// The generic fallback must reproduce the same distribution from nothing
+// but the Scheme interface (W and InSum answers).
+func TestPlanGenericFallbackDistribution(t *testing.T) {
+	g, e := explicitFixture(t)
+	fr, none := planFracs(NewPlan(g, opaque{e}), 2, 100000, 5)
+	checkExplicitFracs(t, fr, none)
+}
+
+func TestPlanIsolatedNode(t *testing.T) {
+	g := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}})
+	schemes := []Scheme{NewDegree(g)}
+	if u, err := NewUniform(g, 0.4); err == nil {
+		schemes = append(schemes, u)
+	}
+	if e, err := NewExplicit(g, func(u, v graph.Node) float64 { return 0.5 }); err == nil {
+		schemes = append(schemes, e, opaque{e})
+	}
+	for _, s := range schemes {
+		p := NewPlan(g, s)
+		st := rng.NewStream(1)
+		for i := 0; i < 100; i++ {
+			if _, ok := p.Sample(2, &st); ok {
+				t.Fatalf("%T plan sampled an influencer for an isolated node", s)
+			}
+		}
+	}
+}

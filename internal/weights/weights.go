@@ -10,9 +10,9 @@ package weights
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 
 	"repro/internal/graph"
+	"repro/internal/rng"
 )
 
 // ErrInvalidWeight reports a weight outside the legal range or a node whose
@@ -32,8 +32,9 @@ type Scheme interface {
 	InSum(v graph.Node) float64
 	// SampleInfluencer draws v's selected influencer per Definition 1:
 	// neighbor u with probability w(u,v), no one (ok=false) with the
-	// residual probability 1 − InSum(v).
-	SampleInfluencer(v graph.Node, rng *rand.Rand) (u graph.Node, ok bool)
+	// residual probability 1 − InSum(v). Hot loops should prefer a Plan,
+	// which devirtualizes this call.
+	SampleInfluencer(v graph.Node, st *rng.Stream) (u graph.Node, ok bool)
 }
 
 // Degree is the paper's experimental convention w(u,v) = 1/|N_v|
@@ -67,12 +68,12 @@ func (d *Degree) InSum(v graph.Node) float64 {
 }
 
 // SampleInfluencer picks a uniformly random neighbor.
-func (d *Degree) SampleInfluencer(v graph.Node, rng *rand.Rand) (graph.Node, bool) {
+func (d *Degree) SampleInfluencer(v graph.Node, st *rng.Stream) (graph.Node, bool) {
 	ns := d.g.Neighbors(v)
 	if len(ns) == 0 {
 		return -1, false
 	}
-	return ns[rng.Intn(len(ns))], true
+	return ns[st.Intn(len(ns))], true
 }
 
 // Uniform assigns the same weight c to every incoming edge of v, capped so
@@ -111,15 +112,15 @@ func (u *Uniform) InSum(v graph.Node) float64 {
 
 // SampleInfluencer selects a uniformly random neighbor with probability
 // InSum(v), no one otherwise.
-func (u *Uniform) SampleInfluencer(v graph.Node, rng *rand.Rand) (graph.Node, bool) {
+func (u *Uniform) SampleInfluencer(v graph.Node, st *rng.Stream) (graph.Node, bool) {
 	ns := u.g.Neighbors(v)
 	if len(ns) == 0 {
 		return -1, false
 	}
-	if s := u.InSum(v); s < 1 && rng.Float64() >= s {
+	if s := u.InSum(v); s < 1 && st.Float64() >= s {
 		return -1, false
 	}
-	return ns[rng.Intn(len(ns))], true
+	return ns[st.Intn(len(ns))], true
 }
 
 // Explicit stores an arbitrary per-edge weight table. It is the general
@@ -190,12 +191,12 @@ func (e *Explicit) InSum(v graph.Node) float64 { return e.inSum[v] }
 
 // SampleInfluencer draws the influencer by inverse-CDF over the per-node
 // prefix sums.
-func (e *Explicit) SampleInfluencer(v graph.Node, rng *rand.Rand) (graph.Node, bool) {
+func (e *Explicit) SampleInfluencer(v graph.Node, st *rng.Stream) (graph.Node, bool) {
 	lo, hi := e.offset[v], e.offset[v+1]
 	if lo == hi {
 		return -1, false
 	}
-	x := rng.Float64()
+	x := st.Float64()
 	if x >= e.inSum[v] {
 		return -1, false
 	}

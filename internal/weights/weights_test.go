@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/graph"
+	"repro/internal/rng"
 )
 
 func star(n int) *graph.Graph {
@@ -19,10 +20,10 @@ func star(n int) *graph.Graph {
 }
 
 func randomGraph(seed int64, n, m int) *graph.Graph {
-	rng := rand.New(rand.NewSource(seed))
+	r := rand.New(rand.NewSource(seed))
 	b := graph.NewBuilder(n)
 	for i := 0; i < m; i++ {
-		b.AddEdge(graph.Node(rng.Intn(n)), graph.Node(rng.Intn(n)))
+		b.AddEdge(graph.Node(r.Intn(n)), graph.Node(r.Intn(n)))
 	}
 	return b.Build()
 }
@@ -53,7 +54,8 @@ func TestDegreeIsolated(t *testing.T) {
 	if d.W(0, 2) != 0 {
 		t.Errorf("isolated W = %v, want 0", d.W(0, 2))
 	}
-	if _, ok := d.SampleInfluencer(2, rand.New(rand.NewSource(1))); ok {
+	st := rng.NewStream(1)
+	if _, ok := d.SampleInfluencer(2, &st); ok {
 		t.Error("isolated node sampled an influencer")
 	}
 	_ = b
@@ -62,11 +64,11 @@ func TestDegreeIsolated(t *testing.T) {
 func TestDegreeSampleUniform(t *testing.T) {
 	g := star(4) // hub 0, leaves 1..3
 	d := NewDegree(g)
-	rng := rand.New(rand.NewSource(42))
+	st := rng.NewStream(42)
 	counts := map[graph.Node]int{}
 	const trials = 30000
 	for i := 0; i < trials; i++ {
-		u, ok := d.SampleInfluencer(0, rng)
+		u, ok := d.SampleInfluencer(0, &st)
 		if !ok {
 			t.Fatal("hub must always select (InSum=1)")
 		}
@@ -119,11 +121,11 @@ func TestUniformSampleResidual(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(9))
+	st := rng.NewStream(9)
 	selected := 0
 	const trials = 50000
 	for i := 0; i < trials; i++ {
-		if _, ok := u.SampleInfluencer(1, rng); ok {
+		if _, ok := u.SampleInfluencer(1, &st); ok {
 			selected++
 		}
 	}
@@ -184,12 +186,12 @@ func TestExplicitSampleDistribution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(5))
+	st := rng.NewStream(5)
 	counts := map[graph.Node]int{}
 	none := 0
 	const trials = 100000
 	for i := 0; i < trials; i++ {
-		u, ok := e.SampleInfluencer(2, rng)
+		u, ok := e.SampleInfluencer(2, &st)
 		if !ok {
 			none++
 			continue

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# benchcmp.sh — diff two BENCH_*.json perf-trajectory points (written by
+# scripts/bench.sh) and print per-benchmark ns/op and allocs/op ratios.
+#
+# Usage:
+#   scripts/benchcmp.sh old.json new.json
+#   scripts/benchcmp.sh new.json          # old = latest committed BENCH_pr*.json
+#
+# Exit status is always 0: the trajectory is a review signal, not a hard
+# gate — set BENCHCMP_MAX_RATIO to fail when any benchmark's ns/op ratio
+# (new/old) exceeds it, e.g. BENCHCMP_MAX_RATIO=1.5 in a strict CI lane.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ "$#" -eq 2 ]; then
+  old="$1" new="$2"
+elif [ "$#" -eq 1 ]; then
+  new="$1"
+  old="$(ls BENCH_pr*.json 2>/dev/null | sort -t r -k 2 -n | tail -1 || true)"
+  if [ -z "$old" ]; then
+    echo "benchcmp: no committed BENCH_pr*.json to compare against" >&2
+    exit 1
+  fi
+else
+  echo "usage: $0 [old.json] new.json" >&2
+  exit 1
+fi
+[ -r "$old" ] || { echo "benchcmp: cannot read $old" >&2; exit 1; }
+[ -r "$new" ] || { echo "benchcmp: cannot read $new" >&2; exit 1; }
+echo "benchcmp: $old -> $new" >&2
+
+# The JSON is the flat one-object-per-line array bench.sh emits; pull
+# (name, ns_per_op, allocs_per_op) per line without needing jq.
+extract() {
+  sed -n 's/.*"name": *"\([^"]*\)", *"ns_per_op": *\([0-9.eE+-]*\), *"allocs_per_op": *\([0-9]*\|null\).*/\1 \2 \3/p' "$1"
+}
+
+extract "$old" | sort >/tmp/benchcmp_old.$$
+extract "$new" | sort >/tmp/benchcmp_new.$$
+trap 'rm -f /tmp/benchcmp_old.$$ /tmp/benchcmp_new.$$' EXIT
+
+join /tmp/benchcmp_old.$$ /tmp/benchcmp_new.$$ | awk -v maxratio="${BENCHCMP_MAX_RATIO:-0}" '
+BEGIN {
+  printf "%-50s %14s %14s %8s %10s\n", "benchmark", "old ns/op", "new ns/op", "ratio", "allocs"
+  bad = 0
+}
+{
+  name = $1; ons = $2; oal = $3; nns = $4; nal = $5
+  ratio = (ons > 0) ? nns / ons : 0
+  alloc = (oal == "null" || nal == "null") ? "-" : sprintf("%s->%s", oal, nal)
+  printf "%-50s %14.1f %14.1f %7.2fx %10s\n", name, ons, nns, ratio, alloc
+  if (maxratio + 0 > 0 && ratio > maxratio + 0) {
+    printf "REGRESSION: %s ns/op ratio %.2f exceeds %.2f\n", name, ratio, maxratio > "/dev/stderr"
+    bad = 1
+  }
+}
+END { exit bad }
+'
+
+# Benchmarks present on only one side are new or retired — list them so a
+# silently dropped benchmark cannot read as "no regression".
+join -v 1 /tmp/benchcmp_old.$$ /tmp/benchcmp_new.$$ | awk '{print "only in old: " $1}'
+join -v 2 /tmp/benchcmp_old.$$ /tmp/benchcmp_new.$$ | awk '{print "only in new: " $1}'
