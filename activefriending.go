@@ -53,6 +53,19 @@
 //	sol, _ := sv.Solve(ctx, s, t, activefriending.Options{Alpha: 0.3})
 //	f, _ := sv.AcceptanceProbability(ctx, s, t, sol.Invited, 20000)
 //
+// The served graph may mutate: Server.ApplyDelta adds and removes edges
+// atomically, producing the next epoch, and migrates every cached pair
+// across it by repair — pool chunks whose sampled walks never consulted
+// a changed node keep their bytes; only damaged chunks are resampled —
+// so a sparse mutation costs a small fraction of rebuilding the cache,
+// and answers afterwards are byte-identical to a server built fresh on
+// the mutated graph:
+//
+//	res, _ := sv.ApplyDelta(ctx, &activefriending.Delta{
+//		Add: []activefriending.Edge{{U: 3, V: 17}},
+//	})
+//	fmt.Println(res.PairsMigrated, res.RepairDrawsSaved)
+//
 // cmd/afserve exposes the server over line-delimited JSON on
 // stdin/stdout.
 //
@@ -641,14 +654,13 @@ type ServerConfig struct {
 //	f, _ := sv.AcceptanceProbability(ctx, s, t, sol.Invited, 20000)
 //	fmt.Println(sv.Stats().BytesHeld)
 type Server struct {
-	g  *Graph
 	sv *server.Server
 }
 
 // NewServer returns a server for g with the paper's degree-normalized
 // weight convention.
 func NewServer(g *Graph, cfg ServerConfig) *Server {
-	return &Server{g: g, sv: server.New(g, weights.NewDegree(g), server.Config{
+	return &Server{sv: server.New(g, weights.NewDegree(g), server.Config{
 		MaxPoolBytes: cfg.MaxPoolBytes,
 		Shards:       cfg.Shards,
 		Seed:         cfg.Seed,
@@ -717,11 +729,87 @@ func (sv *Server) SolveMaxBudgets(ctx context.Context, s, t Node, budgets []int,
 // AcceptanceProbability estimates f(invited) for the pair (s, t) against
 // its cached evaluation pool.
 func (sv *Server) AcceptanceProbability(ctx context.Context, s, t Node, invited []Node, trials int64) (float64, error) {
-	set, err := nodeSetOf(sv.g, invited)
+	set, err := nodeSetOf(sv.sv.Graph(), invited)
 	if err != nil {
 		return 0, err
 	}
 	return sv.sv.EstimateF(ctx, s, t, set, trials)
+}
+
+// Graph returns the served graph at the current epoch (the result of
+// the last ApplyDelta, or the construction graph before any delta).
+func (sv *Server) Graph() *Graph { return sv.sv.Graph() }
+
+// Epochs returns the number of graph epochs the server has served: 1 at
+// construction, +1 per effective ApplyDelta.
+func (sv *Server) Epochs() int { return sv.sv.Epochs() }
+
+// Edge is one undirected edge (U, V) of the social graph.
+type Edge = graph.Edge
+
+// Delta is a batch graph mutation: edges to add and edges to remove,
+// applied atomically by Server.ApplyDelta to produce the next epoch's
+// graph. Adding a present edge or removing an absent one is a no-op
+// that dirties nothing; listing one edge in both sets is an error.
+type Delta = graph.Delta
+
+// DeltaSummary reports what one ApplyDelta did.
+type DeltaSummary struct {
+	// Dirty is the sorted set of nodes whose edges actually changed;
+	// empty for a no-op delta, which advances no epoch.
+	Dirty []Node
+	// NumNodes and NumEdges describe the new epoch's graph.
+	NumNodes int
+	NumEdges int64
+	// PairsMigrated counts cached pairs carried across the epoch by
+	// repair; PairsDropped those dissolved because s and t became
+	// adjacent (their friending problem is solved).
+	PairsMigrated int
+	PairsDropped  int
+	// RepairChunksResampled and RepairDrawsResampled are the pool chunks
+	// and draws the migration re-drew; RepairDrawsSaved the draws
+	// adopted verbatim — what discarding every pool would have cost on
+	// top.
+	RepairChunksResampled int
+	RepairDrawsResampled  int64
+	RepairDrawsSaved      int64
+}
+
+// ApplyDelta mutates the served graph: the delta's edges are added and
+// removed atomically, producing the next epoch, and every cached pair
+// is migrated across it by repair — pool chunks whose sampled walks
+// never consulted a changed node keep their bytes, only damaged chunks
+// are resampled — so queries after ApplyDelta are byte-identical to a
+// server built fresh on the mutated graph, at a fraction of the
+// resampling bill (ServerStats ledgers both sides). Pairs whose (s, t)
+// become adjacent are dropped; spill files from earlier epochs are
+// adopted and repaired when loaded. In-flight queries finish at the
+// epoch they started on; queries issued after ApplyDelta returns see
+// the new epoch.
+//
+//	sv := activefriending.NewServer(g, activefriending.ServerConfig{Seed: 1})
+//	sol, _ := sv.Solve(ctx, s, t, activefriending.Options{Alpha: 0.3})
+//	res, _ := sv.ApplyDelta(ctx, &activefriending.Delta{
+//		Add:    []activefriending.Edge{{U: 3, V: 17}},
+//		Remove: []activefriending.Edge{{U: 4, V: 9}},
+//	})
+//	fmt.Println(res.RepairDrawsSaved)           // draws kept across the mutation
+//	sol2, _ := sv.Solve(ctx, s, t, activefriending.Options{Alpha: 0.3}) // new epoch
+func (sv *Server) ApplyDelta(ctx context.Context, d *Delta) (*DeltaSummary, error) {
+	res, err := sv.sv.ApplyDelta(ctx, d, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &DeltaSummary{
+		Dirty:                 res.Dirty,
+		NumNodes:              res.NumNodes,
+		NumEdges:              res.NumEdges,
+		PairsMigrated:         res.PairsMigrated,
+		PairsDropped:          res.PairsDropped,
+		RepairChunksResampled: res.Repair.Resampled,
+		RepairDrawsResampled:  res.Repair.DrawsResampled,
+		RepairDrawsSaved:      res.Repair.DrawsSaved,
+	}, nil
 }
 
 // Pmax estimates p_max for the pair (s, t) from its evaluation pool (the
@@ -773,16 +861,36 @@ type ServerStats struct {
 	// (SpillLoadBytes read) instead of resampled, and SpillDrawsSaved
 	// totals the pool draws those loads avoided — the load-vs-resample
 	// win. SpillLoadErrors counts rejected or unreadable spill files,
+	// split by cause — checksum failures, format-version skew,
+	// stream-identity mismatches (wrong Seed), instance mismatches (a
+	// graph the epoch lineage doesn't know), and everything else —
 	// SpillWriteErrors failed snapshot writes (the previous file, if
 	// any, survives); the affected pairs resampled, which changes no
 	// answer.
-	Spills           int64
-	SpillBytes       int64
-	SpillLoads       int64
-	SpillLoadBytes   int64
-	SpillDrawsSaved  int64
-	SpillLoadErrors  int64
-	SpillWriteErrors int64
+	Spills               int64
+	SpillBytes           int64
+	SpillLoads           int64
+	SpillLoadBytes       int64
+	SpillDrawsSaved      int64
+	SpillLoadErrors      int64
+	SpillLoadErrChecksum int64
+	SpillLoadErrVersion  int64
+	SpillLoadErrStream   int64
+	SpillLoadErrInstance int64
+	SpillLoadErrOther    int64
+	SpillWriteErrors     int64
+	// DeltasApplied counts effective ApplyDelta calls; PairsDropped the
+	// pairs deltas dissolved. PoolsRepaired counts pair migrations and
+	// stale-spill loads carried across epochs by repair, re-drawing
+	// RepairChunksResampled chunks (RepairDrawsResampled draws) while
+	// adopting RepairDrawsSaved draws verbatim — the repair-vs-discard
+	// win.
+	DeltasApplied         int64
+	PairsDropped          int64
+	PoolsRepaired         int64
+	RepairChunksResampled int64
+	RepairDrawsResampled  int64
+	RepairDrawsSaved      int64
 	// PmaxDrawsReused totals the Algorithm 2 stopping-rule draws that
 	// Solve and EstimatePmax answered from retained estimator ledgers
 	// instead of resampling — the p_max refinement win.
@@ -812,8 +920,19 @@ func (sv *Server) Stats() ServerStats {
 		SpillLoadBytes:        st.SpillLoadBytes,
 		SpillDrawsSaved:       st.SpillDrawsSaved,
 		SpillLoadErrors:       st.SpillLoadErrors,
+		SpillLoadErrChecksum:  st.SpillLoadErrChecksum,
+		SpillLoadErrVersion:   st.SpillLoadErrVersion,
+		SpillLoadErrStream:    st.SpillLoadErrStream,
+		SpillLoadErrInstance:  st.SpillLoadErrInstance,
+		SpillLoadErrOther:     st.SpillLoadErrOther,
 		SpillWriteErrors:      st.SpillWriteErrors,
 		PmaxDrawsReused:       st.PmaxDrawsReused,
+		DeltasApplied:         st.DeltasApplied,
+		PairsDropped:          st.PairsDropped,
+		PoolsRepaired:         st.PoolsRepaired,
+		RepairChunksResampled: st.RepairChunksResampled,
+		RepairDrawsResampled:  st.RepairDrawsResampled,
+		RepairDrawsSaved:      st.RepairDrawsSaved,
 		Solve:                 conv(server.KindSolve),
 		SolveMax:              conv(server.KindSolveMax),
 		AcceptanceProbability: conv(server.KindEstimateF),

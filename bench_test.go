@@ -799,3 +799,101 @@ func BenchmarkPmaxRefine(b *testing.B) {
 		}
 	})
 }
+
+// --- PR 7: dynamic-graph repair benchmarks -----------------------------------
+
+// benchDeltaSetup builds a sparse instance with a warm 20k-draw session
+// and a sparse delta: one edge added between the two lowest-degree
+// non-adjacent nodes. On a sparse graph such endpoints sit in few
+// chunks' touch sets, which is the regime delta repair is for — most
+// chunks adopt, few resample.
+func benchDeltaSetup(b *testing.B) (*engine.Session, *ltm.Instance, []graph.Node) {
+	b.Helper()
+	g, err := gen.ErdosRenyi(3000, 4500, rand.New(rand.NewSource(17)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := weights.NewDegree(g)
+	pairs, err := eval.SamplePairs(context.Background(), g, w, eval.PairConfig{
+		Count: 1, MinPmax: 0.01, ScreenTrials: 2000, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, t := pairs[0].S, pairs[0].T
+	in, err := ltm.NewInstance(g, w, s, t)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess := engine.New(in).NewSession(7, 0)
+	if _, err := sess.Pool(context.Background(), 20000); err != nil {
+		b.Fatal(err)
+	}
+	var u, v graph.Node = -1, -1
+	for cand := graph.Node(0); cand < graph.Node(g.NumNodes()); cand++ {
+		if g.Degree(cand) == 0 || cand == s || cand == t {
+			continue
+		}
+		switch {
+		case u < 0 || g.Degree(cand) < g.Degree(u):
+			if u >= 0 && !g.HasEdge(u, cand) {
+				v = u
+			}
+			u = cand
+		case (v < 0 || g.Degree(cand) < g.Degree(v)) && !g.HasEdge(u, cand):
+			v = cand
+		}
+	}
+	if v < 0 {
+		b.Fatal("no sparse node pair found")
+	}
+	d := &graph.Delta{Add: []graph.Edge{{U: u, V: v}}}
+	g2, dirty, err := d.Apply(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in2, err := in.ApplyDelta(g2, dirty, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sess, in2, dirty
+}
+
+// BenchmarkDeltaRepairVsResample compares carrying a warm pool across a
+// sparse graph delta by repair (only damaged chunks resampled under
+// their original streams) against the discard strategy (the full pool
+// redrawn on the new instance). Both produce byte-identical pools; the
+// draws/op metric is the bill. Repair must resample strictly fewer
+// draws than discard — the benchmark fails otherwise.
+func BenchmarkDeltaRepairVsResample(b *testing.B) {
+	ctx := context.Background()
+	sess, in2, dirty := benchDeltaSetup(b)
+	const l = 20000
+	b.Run("repair", func(b *testing.B) {
+		b.ReportAllocs()
+		var draws int64
+		for i := 0; i < b.N; i++ {
+			repaired, st, err := sess.RepairTo(ctx, engine.New(in2), dirty)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.DrawsSaved <= 0 || st.DrawsResampled >= l {
+				b.Fatalf("sparse delta did not beat discard: %+v", st)
+			}
+			if _, err := repaired.Pool(ctx, l); err != nil {
+				b.Fatal(err)
+			}
+			draws = st.DrawsResampled
+		}
+		b.ReportMetric(float64(draws), "draws/op")
+	})
+	b.Run("resample", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := engine.New(in2).NewSession(7, 0).Pool(ctx, l); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(l), "draws/op")
+	})
+}

@@ -5,7 +5,7 @@
 //
 //	afexp -exp table1 -scale 0.1
 //	afexp -exp fig3 -datasets Wiki,HepTh -pairs 30 -scale 0.05
-//	afexp -exp fig4 | -exp fig5 | -exp table2 | -exp fig6 | -exp warm | -exp refine | -exp all
+//	afexp -exp fig4 | -exp fig5 | -exp table2 | -exp fig6 | -exp warm | -exp refine | -exp churn | -exp all
 //
 // The warm experiment is this reproduction's restart story rather than a
 // paper artifact: it serves a pool-bound workload cold, flushes every
@@ -14,7 +14,10 @@
 // of the answers. The refine experiment measures the resumable p_max
 // estimator the same way: a staged coarse → tight Algorithm 2 sequence
 // against a cold tight estimate, reporting the draws the retained ledger
-// saved and an identity check of the estimates.
+// saved and an identity check of the estimates. The churn experiment is
+// the dynamic-graph story: sparse random deltas mutate the graph epoch
+// by epoch while warm pools migrate across each one by repair, and the
+// repair draw bill is compared against discard-and-resample.
 //
 // Scale, pair count and Monte-Carlo budgets default to laptop-friendly
 // values; raise them (e.g. -scale 1 -pairs 500) to match the paper's
@@ -70,7 +73,7 @@ type options struct {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("afexp", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: table1|fig3|fig4|fig5|table2|fig6|warm|refine|all")
+	exp := fs.String("exp", "all", "experiment: table1|fig3|fig4|fig5|table2|fig6|warm|refine|churn|all")
 	datasets := fs.String("datasets", "Wiki,HepTh,HepPh,Youtube", "comma-separated dataset analogs")
 	scale := fs.Float64("scale", 0.05, "dataset scale (1 = paper size)")
 	pairs := fs.Int("pairs", 20, "number of (s,t) pairs per dataset (paper: 500)")
@@ -115,7 +118,7 @@ func run(args []string) error {
 			return err
 		}
 	}
-	wantsPairs := map[string]bool{"fig3": true, "fig4": true, "fig5": true, "table2": true, "fig6": true, "warm": true, "refine": true, "all": true}
+	wantsPairs := map[string]bool{"fig3": true, "fig4": true, "fig5": true, "table2": true, "fig6": true, "warm": true, "refine": true, "churn": true, "all": true}
 	if !wantsPairs[o.exp] && o.exp != "table1" {
 		return fmt.Errorf("unknown experiment %q", o.exp)
 	}
@@ -209,6 +212,20 @@ func run(args []string) error {
 				return werr
 			}
 			if err := emit(eval.RenderWarmRestart(name, res)); err != nil {
+				return err
+			}
+		}
+		if o.exp == "churn" || o.exp == "all" {
+			// Mutation-churn experiment: mutate the graph epoch by epoch
+			// while serving a pool-bound workload, migrating warm pools
+			// across each delta by repair, and compare the repair draw bill
+			// against discard-and-resample plus a byte-identity check
+			// against a cold server on the final graph.
+			res, err := eval.MutationChurn(ctx, cfg, 3, 2)
+			if err != nil {
+				return err
+			}
+			if err := emit(eval.RenderChurn(name, res)); err != nil {
 				return err
 			}
 		}

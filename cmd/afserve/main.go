@@ -87,6 +87,10 @@ type request struct {
 	Realizations int64     `json:"realizations,omitempty"`
 	Trials       int64     `json:"trials,omitempty"`
 	Invited      []af.Node `json:"invited,omitempty"`
+	// Add / Remove are the "delta" op's edge lists, each edge a [u, v]
+	// pair.
+	Add    [][2]af.Node `json:"add,omitempty"`
+	Remove [][2]af.Node `json:"remove,omitempty"`
 }
 
 type response struct {
@@ -287,6 +291,18 @@ func serve(ctx context.Context, sv *af.Server, req request) response {
 				"sampled": est.Sampled, "truncated": est.Truncated,
 			}
 		}
+	case "delta":
+		// Mutate the served graph in place: cached pairs are migrated
+		// across the new epoch by repair, not discarded. Requests already
+		// in flight answer at the epoch they started on.
+		d := &af.Delta{}
+		for _, e := range req.Add {
+			d.Add = append(d.Add, af.Edge{U: e[0], V: e[1]})
+		}
+		for _, e := range req.Remove {
+			d.Remove = append(d.Remove, af.Edge{U: e[0], V: e[1]})
+		}
+		result, err = sv.ApplyDelta(ctx, d)
 	case "stats":
 		result = sv.Stats()
 	default:

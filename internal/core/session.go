@@ -58,6 +58,41 @@ func NewSession(in *ltm.Instance, seed int64, workers int) *Session {
 // sampling diagnostics).
 func (s *Session) Engine() *engine.Engine { return s.eng }
 
+// RepairTo carries the session's sampled state across a graph delta:
+// given the epoch-N+1 instance (same (s, t); see ltm.Instance.ApplyDelta
+// / RebindTo) and the delta's dirty node set, it returns a new session
+// whose realization pool and p_max ledger adopt every chunk the delta
+// left undamaged and resample only the rest — byte-identical to a cold
+// session on the new instance, at a fraction of the draw bill (see
+// engine.Session.RepairTo). The new session's engine is bound to lin and
+// graphFP (both may be zero when the caller keeps no lineage), so stale
+// spill blobs restored into it later are adopted and repaired too. The
+// receiver is not mutated; the cached V_max is dropped — it is cheap to
+// recompute and the delta may have changed it.
+func (s *Session) RepairTo(ctx context.Context, in2 *ltm.Instance, lin *engine.Lineage, graphFP uint64, dirty []graph.Node) (*Session, engine.RepairStats, error) {
+	ne := engine.New(in2)
+	if lin != nil {
+		ne.Bind(lin, graphFP)
+	}
+	pools, st, err := s.pools.RepairTo(ctx, ne, dirty)
+	if err != nil {
+		return nil, engine.RepairStats{}, err
+	}
+	pmax, pst, err := s.pmax.RepairTo(ctx, ne, dirty)
+	if err != nil {
+		return nil, engine.RepairStats{}, err
+	}
+	st.Add(pst)
+	return &Session{
+		in:      in2,
+		eng:     ne,
+		pools:   pools,
+		pmax:    pmax,
+		seed:    s.seed,
+		workers: s.workers,
+	}, st, nil
+}
+
 // PmaxEstimator returns the session's chunked Algorithm 2 estimator —
 // its draw ledger persists across solves, so refinement savings are
 // observable through it.

@@ -21,6 +21,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"slices"
 	"sync/atomic"
 
 	"repro/internal/graph"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/realization"
 	"repro/internal/rng"
+	"repro/internal/weights"
 	"sync"
 )
 
@@ -58,42 +60,93 @@ type Engine struct {
 	poolDraws atomic.Int64 // draws spent filling pools (subset of draws)
 	pmaxDraws atomic.Int64 // draws spent in p_max estimator ledgers (subset of draws)
 
-	fpOnce sync.Once
-	fp     uint64
+	// Delta-repair accounting (subsets of draws; see repair.go): draws
+	// re-made resampling damaged chunks, draws adopted across a delta
+	// without resampling, and the damaged chunk count.
+	repairDraws  atomic.Int64
+	repairSaved  atomic.Int64
+	repairChunks atomic.Int64
+
+	// lineage, when bound, lets snapshot adoption resolve fingerprints of
+	// ancestor epochs of the same evolving graph (see lineage.go). gfp is
+	// the graph-level fingerprint; fp mixes in (s, t).
+	lineage *Lineage
+	gfpOnce sync.Once
+	gfp     uint64
+	fpOnce  sync.Once
+	fp      uint64
+}
+
+// fpFinalize is the murmur3 finalizer used to restore avalanche after the
+// word-wise FNV mixing in the fingerprint functions.
+func fpFinalize(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// GraphFingerprint returns a content hash of a (graph, weights) pair —
+// structure and edge weights, but no (s, t) binding, so one O(V+E) pass
+// serves every pair session on the graph (instance fingerprints mix the
+// endpoints in afterwards, O(1) each). It identifies one graph *epoch*:
+// applying a delta changes it, and the lineage of these values is what
+// lets a restore recognize a snapshot from an earlier epoch of the same
+// evolving graph (see Lineage).
+func GraphFingerprint(g *graph.Graph, w weights.Scheme) uint64 {
+	// Word-wise FNV-1a (whole uint64 per round, not per byte — this runs
+	// on server construction and every delta, so it must stay a small
+	// fraction of a reload) with a murmur3 finalizer.
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	mix := func(v uint64) { h = (h ^ v) * prime64 }
+	mix(uint64(g.NumNodes()))
+	for v := graph.Node(0); v < graph.Node(g.NumNodes()); v++ {
+		nb := g.Neighbors(v)
+		mix(uint64(len(nb)))
+		for _, u := range nb {
+			mix(uint64(u))
+			mix(math.Float64bits(w.W(u, v)))
+		}
+	}
+	return fpFinalize(h)
+}
+
+// instanceFingerprint derives the per-instance fingerprint from a graph
+// epoch's fingerprint and the (s, t) endpoints.
+func instanceFingerprint(graphFP uint64, s, t graph.Node) uint64 {
+	const prime64 = 1099511628211
+	h := graphFP
+	h = (h ^ uint64(uint32(s))) * prime64
+	h = (h ^ uint64(uint32(t))) * prime64
+	return fpFinalize(h)
+}
+
+// Bind attaches the engine to a graph-epoch lineage and pins its graph
+// fingerprint, sparing the O(V+E) hash when the caller (a serving layer
+// that computed it once per epoch) already knows it. Call before the
+// first Fingerprint use; an engine that already hashed on its own keeps
+// its value (identical, since GraphFingerprint is deterministic).
+func (e *Engine) Bind(lin *Lineage, graphFP uint64) {
+	e.lineage = lin
+	e.gfpOnce.Do(func() { e.gfp = graphFP })
+}
+
+// GraphFP returns the engine's graph-epoch fingerprint (computing it on
+// first use unless Bind supplied it).
+func (e *Engine) GraphFP() uint64 {
+	e.gfpOnce.Do(func() { e.gfp = GraphFingerprint(e.in.Graph(), e.in.Weights()) })
+	return e.gfp
 }
 
 // Fingerprint returns a content hash of the engine's problem instance —
 // graph structure, edge weights, initiator and target. Snapshots embed
 // it so a restore can reject pools sampled on a *different* instance
 // that happens to share a node count (same-seed restarts against a
-// modified graph must resample, not silently adopt stale draws).
-// Computed once per engine, O(V+E).
+// modified graph must resample — or, when the mismatch resolves to an
+// ancestor epoch in a bound lineage, adopt and repair).
 func (e *Engine) Fingerprint() uint64 {
-	e.fpOnce.Do(func() {
-		// Word-wise FNV-1a (whole uint64 per round, not per byte — this
-		// runs on every pair-session creation and spill load, so it must
-		// stay a small fraction of a reload) with a murmur3 finalizer to
-		// restore avalanche.
-		const offset64, prime64 = 14695981039346656037, 1099511628211
-		h := uint64(offset64)
-		mix := func(v uint64) { h = (h ^ v) * prime64 }
-		g, w := e.in.Graph(), e.in.Weights()
-		mix(uint64(g.NumNodes()))
-		mix(uint64(e.in.S()))
-		mix(uint64(e.in.T()))
-		for v := graph.Node(0); v < graph.Node(g.NumNodes()); v++ {
-			nb := g.Neighbors(v)
-			mix(uint64(len(nb)))
-			for _, u := range nb {
-				mix(uint64(u))
-				mix(math.Float64bits(w.W(u, v)))
-			}
-		}
-		h ^= h >> 33
-		h *= 0xff51afd7ed558ccd
-		h ^= h >> 33
-		e.fp = h
-	})
+	e.fpOnce.Do(func() { e.fp = instanceFingerprint(e.GraphFP(), e.in.S(), e.in.T()) })
 	return e.fp
 }
 
@@ -128,6 +181,16 @@ func (e *Engine) PoolDraws() int64 { return e.poolDraws.Load() }
 // counter; the gap is exactly the restart's sampling win.
 func (e *Engine) PmaxDraws() int64 { return e.pmaxDraws.Load() }
 
+// RepairDrawsResampled, RepairDrawsSaved and RepairChunksResampled expose
+// the engine's delta-repair accounting: draws re-made resampling damaged
+// chunks (charged to Draws but to neither PoolDraws nor PmaxDraws — the
+// repaired pool's size was paid for at the old epoch), draws whose chunks
+// were adopted across a delta without resampling (the repair-vs-discard
+// win), and the damaged chunk count.
+func (e *Engine) RepairDrawsResampled() int64  { return e.repairDraws.Load() }
+func (e *Engine) RepairDrawsSaved() int64      { return e.repairSaved.Load() }
+func (e *Engine) RepairChunksResampled() int64 { return e.repairChunks.Load() }
+
 // addPmaxDraws charges n p_max-ledger draws to the engine's ledger.
 func (e *Engine) addPmaxDraws(n int64) {
 	e.draws.Add(n)
@@ -144,6 +207,14 @@ type chunkPaths struct {
 	arena   []graph.Node
 	offsets []int32
 	drawIdx []int32
+	// touched is the sorted distinct set of nodes the chunk's draws
+	// consulted (see realization.Sampler.BeginTouches) — the delta-repair
+	// damage test: a chunk whose touched set is disjoint from a delta's
+	// dirty nodes replays byte-identically on the post-delta graph. nil
+	// means unknown (e.g. restored from a snapshot without a touch
+	// section), which repair treats as damaged — always correct, just
+	// slower.
+	touched []graph.Node
 }
 
 // chunkBuf carries the backing arrays a sampled chunk appends into.
@@ -155,6 +226,7 @@ type chunkBuf struct {
 	arena   []graph.Node
 	offsets []int32
 	drawIdx []int32
+	touched []graph.Node
 }
 
 // getChunkBuf draws a recycled chunk buffer from the engine's pool.
@@ -167,10 +239,11 @@ func (e *Engine) getChunkBuf() *chunkBuf { return e.chunkBufs.Get().(*chunkBuf) 
 func (e *Engine) putChunkBuf(b *chunkBuf, cp chunkPaths, keepTables bool) {
 	b.arena = cp.arena[:0]
 	if keepTables {
-		b.offsets, b.drawIdx = nil, nil
+		b.offsets, b.drawIdx, b.touched = nil, nil, nil
 	} else {
 		b.offsets = cp.offsets[:0]
 		b.drawIdx = cp.drawIdx[:0]
+		b.touched = cp.touched[:0]
 	}
 	e.chunkBufs.Put(b)
 }
@@ -189,6 +262,7 @@ func (e *Engine) putChunkBuf(b *chunkBuf, cp chunkPaths, keepTables bool) {
 func (e *Engine) sampleChunk(seed int64, ns uint64, chunk, n int64, b *chunkBuf) chunkPaths {
 	st := rng.DerivedStream(seed, ns, uint64(chunk))
 	sp := e.samplers.Get().(*realization.Sampler)
+	sp.BeginTouches()
 	cp := chunkPaths{
 		draws:   n,
 		arena:   b.arena[:0],
@@ -203,6 +277,8 @@ func (e *Engine) sampleChunk(seed int64, ns uint64, chunk, n int64, b *chunkBuf)
 			cp.drawIdx = append(cp.drawIdx, int32(i))
 		}
 	}
+	cp.touched = append(b.touched[:0], sp.Touches()...)
+	slices.Sort(cp.touched)
 	e.samplers.Put(sp)
 	return cp
 }

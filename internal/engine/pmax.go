@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"slices"
 	"sort"
 	"sync"
 
+	"repro/internal/graph"
 	"repro/internal/mc"
 	"repro/internal/parallel"
 	"repro/internal/realization"
@@ -25,6 +27,17 @@ import (
 // chunk's draws are therefore a prefix of the regrown chunk's, and the
 // whole draw sequence — hence every estimate computed from it — is a pure
 // function of the seed, for any worker count and any growth schedule.
+//
+// Epoch semantics: a stream (seed, ns, chunk) names a draw *schedule*,
+// not a result — what each draw produces also depends on the graph
+// epoch the engine is bound to. A graph delta advances the epoch
+// (engine.Lineage) and RepairTo replays exactly the damaged chunks'
+// streams from their start against the new epoch, so chunk c's draws
+// at epoch N+1 are what a cold epoch-N+1 engine would have produced
+// under the same stream; undamaged chunks' outputs are epoch-invariant
+// by the touch-set damage test and are adopted verbatim. Estimates
+// recomputed after a repair are therefore pure functions of
+// (seed, epoch), still for any worker count.
 const nsPmax uint64 = 0x506D6178 // "Pmax"
 
 // pmaxInitialDraws is the first growth target of a cold estimator. Growth
@@ -40,6 +53,11 @@ const pmaxInitialDraws = 2 * ChunkSize
 type pmaxChunk struct {
 	draws int64
 	succ  []int32
+	// touched is the chunk's delta-repair damage-test input (see
+	// chunkPaths.touched); nil when unknown (snapshot-restored ledgers —
+	// touch sets are not persisted for p_max, so ancestor-epoch ledgers
+	// reset to a full re-draw, which is answer-identical).
+	touched []graph.Node
 }
 
 // PmaxEstimator is the chunked, resumable form of the paper's Algorithm 2
@@ -102,9 +120,9 @@ func (pe *PmaxEstimator) MemBytes() int64 {
 	defer pe.mu.Unlock()
 	var b int64
 	for _, c := range pe.chunks {
-		b += int64(cap(c.succ)) * 4
+		b += int64(cap(c.succ))*4 + int64(cap(c.touched))*4
 	}
-	return b + int64(cap(pe.chunks))*24
+	return b + int64(cap(pe.chunks))*56
 }
 
 // PmaxResult is the outcome of one Estimate call.
@@ -288,12 +306,15 @@ func (pe *PmaxEstimator) growLocked(ctx context.Context, l int64) error {
 func (e *Engine) samplePmaxChunk(seed int64, chunk, n int64) pmaxChunk {
 	st := rng.DerivedStream(seed, nsPmax, uint64(chunk))
 	sp := e.samplers.Get().(*realization.Sampler)
+	sp.BeginTouches()
 	c := pmaxChunk{draws: n}
 	for i := int64(0); i < n; i++ {
 		if sp.SampleTGView(&st).Outcome == realization.Type1 {
 			c.succ = append(c.succ, int32(i))
 		}
 	}
+	c.touched = append([]graph.Node(nil), sp.Touches()...)
+	slices.Sort(c.touched)
 	e.samplers.Put(sp)
 	return c
 }
@@ -344,15 +365,18 @@ func (pe *PmaxEstimator) Restore(r io.Reader) error {
 		return fmt.Errorf("engine: pmax restore into an estimator holding %d draws", pe.draws)
 	}
 	if st.StreamEpoch != rng.StreamEpoch {
-		return fmt.Errorf("engine: pmax snapshot stream epoch %d does not match the current epoch %d (resample required)",
-			st.StreamEpoch, rng.StreamEpoch)
+		return fmt.Errorf("%w: pmax snapshot stream epoch %d does not match the current epoch %d (resample required)",
+			ErrStreamMismatch, st.StreamEpoch, rng.StreamEpoch)
 	}
 	if st.Seed != pe.seed || st.NS != nsPmax {
-		return fmt.Errorf("engine: pmax snapshot stream (seed %d, ns %#x) does not match estimator (seed %d, ns %#x)",
-			st.Seed, st.NS, pe.seed, nsPmax)
+		return fmt.Errorf("%w: pmax snapshot stream (seed %d, ns %#x) does not match estimator (seed %d, ns %#x)",
+			ErrStreamMismatch, st.Seed, st.NS, pe.seed, nsPmax)
 	}
+	// Unlike pools, ancestor-epoch ledgers are not adopted: touch sets are
+	// not persisted for p_max, so every chunk would fail the damage test
+	// anyway — resetting cold re-draws the same chunks, answer-identically.
 	if fp := pe.eng.Fingerprint(); st.Fingerprint != fp {
-		return fmt.Errorf("engine: pmax snapshot instance fingerprint %#x does not match %#x", st.Fingerprint, fp)
+		return fmt.Errorf("%w: pmax snapshot instance fingerprint %#x does not match %#x", ErrInstanceMismatch, st.Fingerprint, fp)
 	}
 	if st.Draws == 0 {
 		return nil // empty snapshot: the estimator starts cold, as written

@@ -1,0 +1,187 @@
+package engine
+
+import (
+	"context"
+
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// This file is the engine half of delta repair. A graph delta dirties a
+// set of nodes (changed edges' endpoints and re-weighted rows); a sampled
+// chunk is *damaged* iff its touched set (the nodes whose influencer rows
+// or N_s membership its draws consulted — see chunkPaths.touched)
+// intersects the dirty set. Undamaged chunks replay byte-identically on
+// the post-delta graph, so repair adopts their bytes verbatim and
+// resamples only damaged chunks under the original (seed, ns, chunk)
+// streams — making a repaired pool byte-identical to a cold pool sampled
+// at the new epoch, at a fraction of the draw bill for sparse deltas.
+
+// RepairStats accounts one repair pass.
+type RepairStats struct {
+	// Chunks is the number of chunks examined; Resampled of them were
+	// damaged (or carried no touch information) and were re-drawn.
+	Chunks    int
+	Resampled int
+	// DrawsResampled is the draw bill of the resampled chunks;
+	// DrawsSaved the draws adopted without resampling — what a
+	// discard-and-resample would have paid on top.
+	DrawsResampled int64
+	DrawsSaved     int64
+}
+
+// Add accumulates another pass's stats.
+func (r *RepairStats) Add(o RepairStats) {
+	r.Chunks += o.Chunks
+	r.Resampled += o.Resampled
+	r.DrawsResampled += o.DrawsResampled
+	r.DrawsSaved += o.DrawsSaved
+}
+
+// touchedIntersects reports whether any touched node is dirty.
+func touchedIntersects(touched []graph.Node, dirty *graph.NodeSet) bool {
+	for _, v := range touched {
+		if dirty.Contains(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// repairChunks adopts the undamaged chunks of old and resamples the rest
+// on engine e (the post-delta engine) under the original stream identity.
+// Adopted chunkPaths share their backing arrays with old — callers must
+// treat old's tables as immutable, which they are (growth replaces them
+// wholesale). Resampled chunks' buffers are returned in bufs (nil for
+// adopted chunks) for recycling after pool assembly. The resampled draws
+// are charged to e's Draws and repair ledgers, but not to PoolDraws: the
+// repaired pool's size was paid for at the old epoch.
+func repairChunks(ctx context.Context, e *Engine, seed int64, ns uint64, old []chunkPaths, dirty []graph.Node, workers int) ([]chunkPaths, []*chunkBuf, RepairStats, error) {
+	ds := graph.NewNodeSet(e.in.Graph().NumNodes())
+	for _, v := range dirty {
+		ds.Add(v)
+	}
+	chunks := make([]chunkPaths, len(old))
+	copy(chunks, old)
+	var damaged []int
+	st := RepairStats{Chunks: len(old)}
+	for i, c := range old {
+		if c.touched == nil || touchedIntersects(c.touched, ds) {
+			damaged = append(damaged, i)
+			st.DrawsResampled += c.draws
+		} else {
+			st.DrawsSaved += c.draws
+		}
+	}
+	st.Resampled = len(damaged)
+	bufs := make([]*chunkBuf, len(old))
+	err := parallel.For(ctx, len(damaged), workers, func(j int) {
+		i := damaged[j]
+		bufs[i] = e.getChunkBuf()
+		chunks[i] = e.sampleChunk(seed, ns, int64(i), old[i].draws, bufs[i])
+	})
+	if err != nil {
+		return nil, nil, RepairStats{}, err
+	}
+	e.draws.Add(st.DrawsResampled)
+	e.repairDraws.Add(st.DrawsResampled)
+	e.repairSaved.Add(st.DrawsSaved)
+	e.repairChunks.Add(int64(st.Resampled))
+	return chunks, bufs, st, nil
+}
+
+// RepairTo builds a session on engine ne — created for the post-delta
+// instance, same (s, t) — that adopts this session's cached pool across
+// the delta whose dirty node set is given: undamaged chunks keep their
+// bytes, damaged chunks are resampled under the original (seed, ns,
+// chunk) streams, and the reassembled pool is byte-identical to the one
+// a cold session on ne would sample at the same size. The receiver is
+// not mutated; in-flight queries on it finish at the old epoch.
+func (s *Session) RepairTo(ctx context.Context, ne *Engine, dirty []graph.Node) (*Session, RepairStats, error) {
+	s.mu.Lock()
+	old := make([]chunkPaths, len(s.chunks))
+	copy(old, s.chunks)
+	draws := s.draws
+	s.mu.Unlock()
+	out := &Session{eng: ne, seed: s.seed, workers: s.workers, ns: s.ns}
+	if draws == 0 {
+		return out, RepairStats{}, nil
+	}
+	chunks, bufs, st, err := repairChunks(ctx, ne, s.seed, s.ns, old, dirty, s.workers)
+	if err != nil {
+		return nil, RepairStats{}, err
+	}
+	pool, err := assemblePool(chunks, ne.in.Graph().NumNodes())
+	if err != nil {
+		return nil, RepairStats{}, err
+	}
+	// Re-alias chunk arenas into the assembled pool arena (as Session.Pool
+	// does) so the new session holds one copy of the path data and no
+	// reference to the old session's arena.
+	var base int32
+	for c := range chunks {
+		n := int32(len(chunks[c].arena))
+		if bufs[c] != nil {
+			ne.putChunkBuf(bufs[c], chunks[c], true)
+		}
+		chunks[c].arena = pool.arena[base : base+n]
+		base += n
+	}
+	out.chunks, out.draws, out.pool = chunks, pool.total, pool
+	return out, st, nil
+}
+
+// RepairTo builds a p_max estimator on engine ne that adopts this
+// estimator's draw ledger across the delta: chunks whose touched sets
+// miss the dirty nodes keep their success positions, damaged chunks are
+// re-drawn under the original (seed, nsPmax, chunk) streams. The result
+// is byte-identical to a cold estimator's ledger at the same size on the
+// post-delta instance, so every stopping-rule answer is preserved or
+// correctly revised. Chunks restored from a snapshot carry no touch
+// information and are conservatively re-drawn (touch sets are not
+// persisted for the p_max ledger).
+func (pe *PmaxEstimator) RepairTo(ctx context.Context, ne *Engine, dirty []graph.Node) (*PmaxEstimator, RepairStats, error) {
+	pe.mu.Lock()
+	old := make([]pmaxChunk, len(pe.chunks))
+	copy(old, pe.chunks)
+	pe.mu.Unlock()
+	out := ne.NewPmaxEstimator(pe.seed, pe.workers)
+	if len(old) == 0 {
+		return out, RepairStats{}, nil
+	}
+	ds := graph.NewNodeSet(ne.in.Graph().NumNodes())
+	for _, v := range dirty {
+		ds.Add(v)
+	}
+	chunks := make([]pmaxChunk, len(old))
+	copy(chunks, old)
+	var damaged []int
+	st := RepairStats{Chunks: len(old)}
+	for i, c := range old {
+		if c.touched == nil || touchedIntersects(c.touched, ds) {
+			damaged = append(damaged, i)
+			st.DrawsResampled += c.draws
+		} else {
+			st.DrawsSaved += c.draws
+		}
+	}
+	st.Resampled = len(damaged)
+	err := parallel.For(ctx, len(damaged), pe.workers, func(j int) {
+		i := damaged[j]
+		chunks[i] = ne.samplePmaxChunk(pe.seed, int64(i), old[i].draws)
+	})
+	if err != nil {
+		return nil, RepairStats{}, err
+	}
+	ne.draws.Add(st.DrawsResampled)
+	ne.repairDraws.Add(st.DrawsResampled)
+	ne.repairSaved.Add(st.DrawsSaved)
+	ne.repairChunks.Add(int64(st.Resampled))
+	var draws, succ int64
+	for _, c := range chunks {
+		draws += c.draws
+		succ += int64(len(c.succ))
+	}
+	out.chunks, out.draws, out.succ = chunks, draws, succ
+	return out, st, nil
+}

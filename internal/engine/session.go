@@ -67,7 +67,7 @@ func (s *Session) MemBytes() int64 {
 	defer s.mu.Unlock()
 	var b int64
 	for _, c := range s.chunks {
-		b += int64(cap(c.offsets))*4 + int64(cap(c.drawIdx))*4
+		b += int64(cap(c.offsets))*4 + int64(cap(c.drawIdx))*4 + int64(cap(c.touched))*4
 	}
 	if s.pool != nil {
 		b += s.pool.MemBytes()

@@ -1,11 +1,26 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 
+	"repro/internal/graph"
 	"repro/internal/rng"
 	"repro/internal/snapshot"
+)
+
+// Sentinel causes for snapshot rejection, wrapped into the returned
+// errors so serving layers can ledger rejections by kind (errors.Is).
+var (
+	// ErrStreamMismatch: the blob was sampled under a different stream
+	// identity — seed, namespace, or rng.StreamEpoch draw protocol.
+	ErrStreamMismatch = errors.New("engine: snapshot stream identity mismatch")
+	// ErrInstanceMismatch: the blob belongs to a different problem
+	// instance — a fingerprint that is neither the current instance nor,
+	// when a lineage is bound, any ancestor epoch of it.
+	ErrInstanceMismatch = errors.New("engine: snapshot instance mismatch")
 )
 
 // Snapshot serializes the session's cached pool — arena, offsets,
@@ -16,6 +31,12 @@ import (
 // solve or estimate computed from it returns identical results: spilling
 // to disk is a latency decision, never a correctness one. A session that
 // has not sampled yet writes a valid empty snapshot.
+// When every cached chunk carries touch information, the pool blob is
+// followed by a touch section (snapshot.TouchSet) recording the per-chunk
+// damage-test sets, so a later process can adopt-and-repair the blob
+// across graph deltas instead of resampling it wholesale. The section is
+// optional on read; a session restored without one still answers
+// identically, it just repairs more conservatively.
 func (s *Session) Snapshot(w io.Writer) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -33,7 +54,42 @@ func (s *Session) Snapshot(w io.Writer) error {
 		sp.PathDraw = s.pool.pathDraw
 		sp.Arena = s.pool.arena[:s.pool.offsets[s.pool.NumType1()]]
 	}
-	return snapshot.Write(w, sp)
+	if err := snapshot.Write(w, sp); err != nil {
+		return err
+	}
+	ts := s.touchSetLocked()
+	if ts == nil {
+		return nil
+	}
+	return snapshot.WriteTouch(w, ts)
+}
+
+// touchSetLocked flattens the per-chunk touch lists into a serializable
+// TouchSet, or nil when the session has no chunks or any chunk lacks
+// touch information (all-or-nothing: a partially-informed section could
+// not distinguish "untouched" from "unknown"). Caller holds s.mu.
+func (s *Session) touchSetLocked() *snapshot.TouchSet {
+	if len(s.chunks) == 0 {
+		return nil
+	}
+	total := 0
+	for _, c := range s.chunks {
+		if c.touched == nil {
+			return nil
+		}
+		total += len(c.touched)
+	}
+	ts := &snapshot.TouchSet{
+		StreamEpoch: rng.StreamEpoch,
+		Universe:    int64(s.eng.in.Graph().NumNodes()),
+		Offsets:     make([]int32, 1, len(s.chunks)+1),
+		Nodes:       make([]int32, 0, total),
+	}
+	for _, c := range s.chunks {
+		ts.Nodes = append(ts.Nodes, c.touched...)
+		ts.Offsets = append(ts.Offsets, int32(len(ts.Nodes)))
+	}
+	return ts
 }
 
 // SnapshotSize returns the exact byte size Snapshot would write now.
@@ -43,53 +99,127 @@ func (s *Session) SnapshotSize() int64 {
 	if s.pool == nil {
 		return snapshot.EncodedSize(&snapshot.Pool{Offsets: []int32{0}})
 	}
-	return snapshot.EncodedSize(&snapshot.Pool{
+	sz := snapshot.EncodedSize(&snapshot.Pool{
 		Offsets: s.pool.offsets,
 		Arena:   s.pool.arena[:s.pool.offsets[s.pool.NumType1()]],
 	})
+	var nodes int64
+	complete := len(s.chunks) > 0
+	for _, c := range s.chunks {
+		if c.touched == nil {
+			complete = false
+			break
+		}
+		nodes += int64(len(c.touched))
+	}
+	if complete {
+		sz += snapshot.EncodedSizeTouchFor(int64(len(s.chunks)), nodes)
+	}
+	return sz
 }
 
 // Seed returns the seed the session's streams derive from.
 func (s *Session) Seed() int64 { return s.seed }
 
+// peeker is the subset of bufio.Reader used to detect an optional touch
+// section without consuming stream bytes.
+type peeker interface {
+	io.Reader
+	Peek(int) ([]byte, error)
+}
+
+// readSnapshotAndTouch reads one pool blob from r plus, when the next
+// bytes carry the touch magic, the touch section that follows it. The
+// lookahead needs a reader that can un-consume 8 bytes — Peek (e.g. a
+// *bufio.Reader) or Seek (bytes.Reader, *os.File); any other reader
+// leaves a touch section unread, which is harmless: repair then treats
+// every chunk as damaged.
+func readSnapshotAndTouch(r io.Reader) (*snapshot.Pool, *snapshot.TouchSet, error) {
+	sp, err := snapshot.Read(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	hasTouch := false
+	switch rr := r.(type) {
+	case peeker:
+		b, err := rr.Peek(8)
+		hasTouch = err == nil && snapshot.IsTouch(b)
+	case io.ReadSeeker:
+		var hdr [8]byte
+		n, err := io.ReadFull(rr, hdr[:])
+		if n > 0 {
+			if _, serr := rr.Seek(int64(-n), io.SeekCurrent); serr != nil {
+				return nil, nil, serr
+			}
+		}
+		hasTouch = err == nil && snapshot.IsTouch(hdr[:])
+	}
+	if !hasTouch {
+		return sp, nil, nil
+	}
+	ts, err := snapshot.ReadTouch(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sp, ts, nil
+}
+
 // OpenSession loads a session from a snapshot written by Snapshot: the
 // pool, its per-chunk regrow tables, and the (seed, namespace) identity
 // all come from the snapshot, so the loaded session behaves exactly like
 // the one that wrote it — including growth past the snapshotted size,
-// which resamples only the missing chunks. Reading consumes exactly one
-// snapshot from r, leaving any following bytes unread.
+// which resamples only the missing chunks. Reading consumes the pool
+// blob plus its touch section when one follows — r should support Peek
+// (e.g. a *bufio.Reader; a plain reader loads the pool but leaves the
+// touch bytes unread).
 func OpenSession(e *Engine, r io.Reader, workers int) (*Session, error) {
-	sp, err := snapshot.Read(r)
+	sp, ts, err := readSnapshotAndTouch(r)
 	if err != nil {
 		return nil, err
 	}
-	return sessionFromSnapshot(e, sp, workers)
+	return sessionFromSnapshot(e, sp, ts, workers)
 }
 
 // OpenSessionBytes is OpenSession over an in-memory or mmap'd blob
-// holding exactly one snapshot. On little-endian hosts the session's
-// pool aliases data zero-copy: the caller must keep data immutable and
-// alive (for an mmap'd file, mapped) as long as the session or any pool
-// view derived from it is in use.
+// holding exactly one snapshot (optionally followed by its touch
+// section). On little-endian hosts the session's pool aliases data
+// zero-copy: the caller must keep data immutable and alive (for an
+// mmap'd file, mapped) as long as the session or any pool view derived
+// from it is in use.
 func OpenSessionBytes(e *Engine, data []byte, workers int) (*Session, error) {
-	sp, err := snapshot.Decode(data)
+	sp, n, err := snapshot.DecodeNext(data)
 	if err != nil {
 		return nil, err
 	}
-	return sessionFromSnapshot(e, sp, workers)
+	rest := data[n:]
+	var ts *snapshot.TouchSet
+	if len(rest) > 0 && snapshot.IsTouch(rest) {
+		t, m, err := snapshot.DecodeTouchNext(rest)
+		if err != nil {
+			return nil, err
+		}
+		ts, rest = t, rest[m:]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", snapshot.ErrFormat, len(rest))
+	}
+	return sessionFromSnapshot(e, sp, ts, workers)
 }
 
 // OpenSessionData builds a session directly from an already-decoded
 // snapshot — the zero-copy mmap path: pair it with snapshot.OpenFile,
 // whose pools alias the mapped region (keep the file open for the
-// session's lifetime).
+// session's lifetime). No touch section rides along on this path, so a
+// later delta repair resamples every chunk.
 func OpenSessionData(e *Engine, sp *snapshot.Pool, workers int) (*Session, error) {
-	return sessionFromSnapshot(e, sp, workers)
+	return sessionFromSnapshot(e, sp, nil, workers)
 }
 
-func sessionFromSnapshot(e *Engine, sp *snapshot.Pool, workers int) (*Session, error) {
+func sessionFromSnapshot(e *Engine, sp *snapshot.Pool, ts *snapshot.TouchSet, workers int) (*Session, error) {
 	s := &Session{eng: e, seed: sp.Seed, workers: workers, ns: sp.NS}
-	if err := s.adoptSnapshot(sp); err != nil {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.adoptSnapshotLocked(sp, ts); err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -99,10 +229,13 @@ func sessionFromSnapshot(e *Engine, sp *snapshot.Pool, workers int) (*Session, e
 // session. Unlike OpenSession it validates that the snapshot's stream
 // identity matches the session's own (seed and namespace), so a serving
 // layer restoring spilled pair state cannot adopt bytes sampled under a
-// different configuration — a mismatch returns an error and the caller
-// falls back to resampling, which yields the same answers.
+// different configuration — a mismatch returns an error (wrapping
+// ErrStreamMismatch or ErrInstanceMismatch) and the caller falls back to
+// resampling, which yields the same answers. When the engine is bound to
+// a lineage, a snapshot from an ancestor graph epoch is adopted and
+// repaired instead of rejected (see adoptSnapshotLocked).
 func (s *Session) Restore(r io.Reader) error {
-	sp, err := snapshot.Read(r)
+	sp, ts, err := readSnapshotAndTouch(r)
 	if err != nil {
 		return err
 	}
@@ -112,38 +245,65 @@ func (s *Session) Restore(r io.Reader) error {
 		return fmt.Errorf("engine: restore into a session holding %d draws", s.draws)
 	}
 	if sp.Seed != s.seed || sp.NS != s.ns {
-		return fmt.Errorf("engine: snapshot stream (seed %d, ns %#x) does not match session (seed %d, ns %#x)",
-			sp.Seed, sp.NS, s.seed, s.ns)
+		return fmt.Errorf("%w: snapshot stream (seed %d, ns %#x) does not match session (seed %d, ns %#x)",
+			ErrStreamMismatch, sp.Seed, sp.NS, s.seed, s.ns)
 	}
-	return s.adoptSnapshotLocked(sp)
+	return s.adoptSnapshotLocked(sp, ts)
 }
 
-func (s *Session) adoptSnapshot(sp *snapshot.Pool) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.adoptSnapshotLocked(sp)
+// attachTouch hands each rebuilt chunk its persisted touch list when the
+// touch section matches the pool's stream epoch and geometry; on any
+// mismatch the lists stay nil and a later repair degrades to resampling
+// every chunk (correct, just slower).
+func attachTouch(chunks []chunkPaths, ts *snapshot.TouchSet, sp *snapshot.Pool) {
+	if ts == nil || ts.StreamEpoch != sp.StreamEpoch || ts.Universe != sp.Universe || ts.NumChunks() != len(chunks) {
+		return
+	}
+	for c := range chunks {
+		nodes := ts.Nodes[ts.Offsets[c]:ts.Offsets[c+1]]
+		if len(nodes) == 0 {
+			continue // a sampled chunk always touches t; empty means unknown
+		}
+		chunks[c].touched = nodes
+	}
 }
 
 // adoptSnapshotLocked installs the snapshot's pool and rebuilds the
 // per-chunk tables growth needs. Caller holds s.mu. Loading charges
 // nothing to the engine's draw ledger: the whole point of a snapshot is
-// that its draws were paid for in a previous life.
-func (s *Session) adoptSnapshotLocked(sp *snapshot.Pool) error {
+// that its draws were paid for in a previous life. (Draws re-made
+// repairing an ancestor-epoch blob ARE charged, to the repair ledger.)
+//
+// A fingerprint (or universe) mismatch is terminal unless the engine's
+// bound lineage resolves the snapshot's fingerprint to an ancestor epoch
+// of this same instance; then the blob is adopted and repaired — chunks
+// untouched by the epochs' accumulated dirty set keep their bytes,
+// damaged chunks are resampled — leaving the session byte-identical to
+// one sampled cold at the current epoch.
+func (s *Session) adoptSnapshotLocked(sp *snapshot.Pool, ts *snapshot.TouchSet) error {
 	// The stream epoch is part of the pool's identity: bytes sampled
 	// under another draw protocol are correct for that protocol only, so
 	// adopting them would silently mix generations. Rejecting here sends
 	// every caller down its resample fallback, which is answer-identical.
 	if sp.StreamEpoch != rng.StreamEpoch {
-		return fmt.Errorf("engine: snapshot stream epoch %d does not match the current epoch %d (resample required)",
-			sp.StreamEpoch, rng.StreamEpoch)
+		return fmt.Errorf("%w: snapshot stream epoch %d does not match the current epoch %d (resample required)",
+			ErrStreamMismatch, sp.StreamEpoch, rng.StreamEpoch)
 	}
-	if n := int64(s.eng.in.Graph().NumNodes()); sp.Universe != n {
-		return fmt.Errorf("engine: snapshot universe %d does not match the %d-node instance", sp.Universe, n)
-	}
-	// Same node count is not same instance: a restart against a modified
-	// graph or weight scheme must resample rather than adopt stale pools.
-	if fp := s.eng.Fingerprint(); sp.Fingerprint != fp {
-		return fmt.Errorf("engine: snapshot instance fingerprint %#x does not match %#x", sp.Fingerprint, fp)
+	n := int64(s.eng.in.Graph().NumNodes())
+	var repairDirty []graph.Node
+	repair := false
+	if fp := s.eng.Fingerprint(); sp.Fingerprint != fp || sp.Universe != n {
+		// Same node count is not same instance: a restart against a
+		// modified graph or weight scheme must not silently adopt stale
+		// pools. An ancestor epoch of this instance's own lineage is the
+		// one exception — its blob is adopted and repaired below. (Deltas
+		// only grow the universe, so an ancestor universe never exceeds n.)
+		dirty, ok := s.eng.ancestorDirty(sp.Fingerprint)
+		if !ok || sp.Universe > n {
+			return fmt.Errorf("%w: snapshot instance fingerprint %#x (universe %d) matches neither %#x (universe %d) nor a lineage ancestor",
+				ErrInstanceMismatch, sp.Fingerprint, sp.Universe, fp, n)
+		}
+		repair, repairDirty = true, dirty
 	}
 	if sp.Total == 0 {
 		return nil // empty snapshot: the session starts cold, as written
@@ -158,9 +318,31 @@ func (s *Session) adoptSnapshotLocked(sp *snapshot.Pool) error {
 		total:    sp.Total,
 		universe: int(sp.Universe),
 	}
+	chunks := chunksFromPool(pool)
+	attachTouch(chunks, ts, sp)
+	if repair {
+		rchunks, bufs, _, err := repairChunks(context.Background(), s.eng, s.seed, s.ns, chunks, repairDirty, s.workers)
+		if err != nil {
+			return err
+		}
+		rpool, err := assemblePool(rchunks, int(n))
+		if err != nil {
+			return err
+		}
+		var base int32
+		for c := range rchunks {
+			cn := int32(len(rchunks[c].arena))
+			if bufs[c] != nil {
+				s.eng.putChunkBuf(bufs[c], rchunks[c], true)
+			}
+			rchunks[c].arena = rpool.arena[base : base+cn]
+			base += cn
+		}
+		pool, chunks = rpool, rchunks
+	}
 	s.pool = pool
 	s.draws = pool.total
-	s.chunks = chunksFromPool(pool)
+	s.chunks = chunks
 	s.views = nil
 	return nil
 }

@@ -433,3 +433,38 @@ func TestPmaxRefinement(t *testing.T) {
 		t.Errorf("no pairs: err = %v", err)
 	}
 }
+
+func TestMutationChurn(t *testing.T) {
+	// A larger, sparser graph than testGraph: repair only saves draws
+	// when random delta endpoints are rare in the pools' touch sets,
+	// which needs many more nodes than a chunk's walks can visit.
+	g, err := gen.ErdosRenyi(3000, 4500, rand.New(rand.NewSource(17)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := samplePairsForTest(t, g, 3)
+	cfg := testConfig(t, g, pairs)
+	res, err := MutationChurn(context.Background(), cfg, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Identical {
+		t.Fatal("repaired answers diverged from a cold server on the final graph")
+	}
+	if res.Pairs != len(pairs) || res.Epochs != 3 {
+		t.Fatalf("shape: %+v", res)
+	}
+	// Deltas avoid the tested pairs' own edges, so every pair survives
+	// every epoch.
+	if res.PairsDropped != 0 || res.PairsMigrated != 3*len(pairs) {
+		t.Fatalf("migration ledger: %+v", res)
+	}
+	// Sparse deltas must leave most draws adopted: repair pays strictly
+	// less than discard.
+	if res.AdoptedDraws == 0 || res.RepairDraws >= res.DiscardDraws {
+		t.Fatalf("repair saved nothing: %+v", res)
+	}
+	if _, err := MutationChurn(context.Background(), Config{Graph: g, Weights: cfg.Weights}, 1, 1); err == nil {
+		t.Fatal("no pairs accepted")
+	}
+}

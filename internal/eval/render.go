@@ -82,6 +82,15 @@ func RenderWarmRestart(dataset string, res *WarmRestartResult) *tablewriter.Tabl
 	return t
 }
 
+// RenderChurn renders the mutation-churn experiment for one dataset.
+func RenderChurn(dataset string, res *ChurnResult) *tablewriter.Table {
+	t := tablewriter.New(fmt.Sprintf("Mutation churn (%s): repair vs discard-and-resample", dataset),
+		"pairs", "epochs", "migrated", "dropped", "repair draws", "discard draws", "saved frac", "identical")
+	t.AddRow(res.Pairs, res.Epochs, res.PairsMigrated, res.PairsDropped,
+		res.RepairDraws, res.DiscardDraws, res.SavedFraction, res.Identical)
+	return t
+}
+
 // RenderPairs summarizes a sampled pair set.
 func RenderPairs(dataset string, pairs []Pair) *tablewriter.Table {
 	t := tablewriter.New(fmt.Sprintf("Sampled pairs (%s)", dataset),

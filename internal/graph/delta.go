@@ -1,0 +1,95 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDeltaConflict reports a Delta listing the same edge as both an add
+// and a remove — the intent is ambiguous, so the apply path refuses it.
+var ErrDeltaConflict = errors.New("graph: edge both added and removed in one delta")
+
+// Delta is a batch graph mutation: a set of undirected edges to add and a
+// set to remove, applied atomically to produce the next epoch's graph.
+// Edges are canonicalized (U < V) on apply; self-loops are rejected, and
+// listing the same edge in both sets is an error. Adding an edge that
+// already exists or removing one that doesn't is a no-op that marks no
+// node dirty — a delta's dirty set reflects only actual structural
+// change, which is what the pool-repair damage test keys on.
+type Delta struct {
+	Add    []Edge
+	Remove []Edge
+}
+
+// Empty reports whether the delta lists no edges at all.
+func (d *Delta) Empty() bool { return len(d.Add) == 0 && len(d.Remove) == 0 }
+
+// canonical returns e with U < V, or an error for self-loops and
+// negative nodes.
+func canonical(e Edge) (Edge, error) {
+	if e.U == e.V {
+		return e, fmt.Errorf("graph: delta edge (%d,%d) is a self-loop", e.U, e.V)
+	}
+	if e.U < 0 || e.V < 0 {
+		return e, fmt.Errorf("graph: delta edge (%d,%d) has a negative endpoint", e.U, e.V)
+	}
+	if e.U > e.V {
+		e.U, e.V = e.V, e.U
+	}
+	return e, nil
+}
+
+// Apply builds the epoch-N+1 graph from g and returns it together with
+// the sorted distinct dirty set: the endpoints of every edge that was
+// actually added or removed. Nodes beyond g's range referenced by added
+// edges grow the node count (max endpoint + 1); removes are processed
+// before adds, so a delta that removes and re-adds the same edge is a
+// conflict, not a no-op. g is never mutated.
+func (d *Delta) Apply(g *Graph) (*Graph, []Node, error) {
+	adds := make(map[Edge]bool, len(d.Add))
+	for _, e := range d.Add {
+		ce, err := canonical(e)
+		if err != nil {
+			return nil, nil, err
+		}
+		adds[ce] = true
+	}
+	removes := make(map[Edge]bool, len(d.Remove))
+	for _, e := range d.Remove {
+		ce, err := canonical(e)
+		if err != nil {
+			return nil, nil, err
+		}
+		if adds[ce] {
+			return nil, nil, fmt.Errorf("%w: (%d,%d)", ErrDeltaConflict, ce.U, ce.V)
+		}
+		removes[ce] = true
+	}
+
+	n := g.NumNodes()
+	for e := range adds {
+		if int(e.V) >= n {
+			n = int(e.V) + 1
+		}
+	}
+	dirtySet := NewNodeSet(n)
+	b := NewBuilder(n)
+	b.Grow(int(g.NumEdges()) + len(adds))
+	for _, e := range g.Edges() {
+		if removes[e] {
+			dirtySet.Add(e.U)
+			dirtySet.Add(e.V)
+			continue
+		}
+		b.AddEdge(e.U, e.V)
+		if adds[e] {
+			delete(adds, e) // already present: adding again is a no-op
+		}
+	}
+	for e := range adds {
+		b.AddEdge(e.U, e.V)
+		dirtySet.Add(e.U)
+		dirtySet.Add(e.V)
+	}
+	return b.Build(), dirtySet.Members(), nil
+}

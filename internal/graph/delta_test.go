@@ -1,0 +1,194 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestDeltaAddRemove(t *testing.T) {
+	g := pathGraph(4) // 0-1, 1-2, 2-3
+	d := &Delta{
+		Add:    []Edge{{U: 0, V: 3}},
+		Remove: []Edge{{U: 2, V: 1}}, // reverse orientation: canonicalized
+	}
+	g2, dirty, err := d.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g2.HasEdge(0, 3) || g2.HasEdge(1, 2) || !g2.HasEdge(0, 1) || !g2.HasEdge(2, 3) {
+		t.Errorf("post-delta adjacency wrong")
+	}
+	if want := []Node{0, 1, 2, 3}; !reflect.DeepEqual(dirty, want) {
+		t.Errorf("dirty = %v, want %v", dirty, want)
+	}
+	// The source graph is immutable.
+	if !g.HasEdge(1, 2) || g.HasEdge(0, 3) {
+		t.Error("Apply mutated the source graph")
+	}
+}
+
+func TestDeltaNoOps(t *testing.T) {
+	g := pathGraph(4)
+	d := &Delta{
+		Add:    []Edge{{U: 0, V: 1}}, // already present
+		Remove: []Edge{{U: 0, V: 2}}, // not present
+	}
+	g2, dirty, err := d.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirty) != 0 {
+		t.Errorf("no-op delta marked %v dirty", dirty)
+	}
+	if !reflect.DeepEqual(g2.Edges(), g.Edges()) {
+		t.Error("no-op delta changed the edge set")
+	}
+}
+
+func TestDeltaConflictAndInvalid(t *testing.T) {
+	g := pathGraph(3)
+	conflict := &Delta{Add: []Edge{{U: 2, V: 0}}, Remove: []Edge{{U: 0, V: 2}}}
+	if _, _, err := conflict.Apply(g); !errors.Is(err, ErrDeltaConflict) {
+		t.Errorf("conflict: err = %v, want ErrDeltaConflict", err)
+	}
+	loop := &Delta{Add: []Edge{{U: 1, V: 1}}}
+	if _, _, err := loop.Apply(g); err == nil {
+		t.Error("self-loop add accepted")
+	}
+	neg := &Delta{Remove: []Edge{{U: -1, V: 2}}}
+	if _, _, err := neg.Apply(g); err == nil {
+		t.Error("negative endpoint accepted")
+	}
+}
+
+func TestDeltaGrowsUniverse(t *testing.T) {
+	g := pathGraph(3)
+	d := &Delta{Add: []Edge{{U: 2, V: 6}}}
+	g2, dirty, err := d.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != 7 {
+		t.Errorf("NumNodes = %d, want 7", g2.NumNodes())
+	}
+	if want := []Node{2, 6}; !reflect.DeepEqual(dirty, want) {
+		t.Errorf("dirty = %v, want %v", dirty, want)
+	}
+	if g2.Degree(4) != 0 {
+		t.Error("implicit nodes should be isolated")
+	}
+}
+
+// TestDeltaMatchesRebuild is the property the repair path leans on: Apply
+// must agree with rebuilding the post-delta edge set from scratch, and
+// the dirty set must be exactly the endpoints of the symmetric
+// difference.
+func TestDeltaMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 4 + rng.Intn(30)
+		b := NewBuilder(n)
+		for i := 0; i < 2*n; i++ {
+			b.AddEdge(Node(rng.Intn(n)), Node(rng.Intn(n)))
+		}
+		g := b.Build()
+
+		var d Delta
+		for i := 0; i < 1+rng.Intn(6); i++ {
+			e := Edge{U: Node(rng.Intn(n)), V: Node(rng.Intn(n))}
+			if e.U == e.V {
+				continue
+			}
+			if rng.Intn(2) == 0 {
+				d.Add = append(d.Add, e)
+			} else {
+				d.Remove = append(d.Remove, e)
+			}
+		}
+		got, dirty, err := d.Apply(g)
+		if errors.Is(err, ErrDeltaConflict) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Rebuild from scratch: start from g's edges, drop removes, add adds.
+		want := map[Edge]bool{}
+		for _, e := range g.Edges() {
+			want[e] = true
+		}
+		for _, e := range d.Remove {
+			ce, _ := canonical(e)
+			delete(want, ce)
+		}
+		for _, e := range d.Add {
+			ce, _ := canonical(e)
+			want[ce] = true
+		}
+		if int64(len(want)) != got.NumEdges() {
+			t.Fatalf("trial %d: %d edges, want %d", trial, got.NumEdges(), len(want))
+		}
+		wantDirty := NewNodeSet(got.NumNodes())
+		for _, e := range got.Edges() {
+			if !want[e] {
+				t.Fatalf("trial %d: unexpected edge %v", trial, e)
+			}
+			if !g.HasEdge(e.U, e.V) {
+				wantDirty.Add(e.U)
+				wantDirty.Add(e.V)
+			}
+		}
+		for _, e := range g.Edges() {
+			if !got.HasEdge(e.U, e.V) {
+				wantDirty.Add(e.U)
+				wantDirty.Add(e.V)
+			}
+		}
+		if !reflect.DeepEqual(dirty, wantDirty.Members()) {
+			t.Fatalf("trial %d: dirty %v, want %v", trial, dirty, wantDirty.Members())
+		}
+	}
+}
+
+// TestSubgraphEdgesRoundTrip: inducing on all nodes is the identity, and
+// re-building a subgraph from its own Edges() reproduces it — the
+// Builder/Edges/Subgraph consistency the delta path relies on.
+func TestSubgraphEdgesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(20)
+		b := NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			b.AddEdge(Node(rng.Intn(n)), Node(rng.Intn(n)))
+		}
+		g := b.Build()
+
+		all := make([]bool, n)
+		for i := range all {
+			all[i] = true
+		}
+		idSub, _ := g.Subgraph(all)
+		if !reflect.DeepEqual(idSub.Edges(), g.Edges()) {
+			t.Fatal("Subgraph over all nodes is not the identity")
+		}
+
+		keep := make([]bool, n)
+		for i := range keep {
+			keep[i] = rng.Intn(2) == 0
+		}
+		sub, orig := g.Subgraph(keep)
+		rebuilt := FromEdges(sub.NumNodes(), sub.Edges())
+		if !reflect.DeepEqual(rebuilt.Edges(), sub.Edges()) {
+			t.Fatal("subgraph Edges round-trip mismatch")
+		}
+		// Every subgraph edge maps back to an original edge.
+		for _, e := range sub.Edges() {
+			if !g.HasEdge(orig[e.U], orig[e.V]) {
+				t.Fatalf("subgraph edge %v has no preimage", e)
+			}
+		}
+	}
+}

@@ -55,6 +55,15 @@ type Sampler struct {
 	visitedEpoch []uint32
 	epoch        uint32
 	buf          []graph.Node
+
+	// Touch accumulation (BeginTouches/Touches): the distinct nodes whose
+	// influencer rows the walks consulted since BeginTouches. touchEpoch is
+	// the same O(1)-reset trick as visitedEpoch, but spanning many draws;
+	// it is allocated lazily so samplers that never collect pay nothing.
+	collecting bool
+	touchEpoch []uint32
+	touchGen   uint32
+	touches    []graph.Node
 }
 
 // NewSampler returns a sampler for the instance. Influencer draws go
@@ -65,6 +74,46 @@ func NewSampler(in *ltm.Instance) *Sampler {
 		in:           in,
 		plan:         in.Plan(),
 		visitedEpoch: make([]uint32, in.Graph().NumNodes()),
+	}
+}
+
+// BeginTouches starts accumulating the distinct nodes the following draws
+// touch. A draw "touches" every node whose influencer selection it reads —
+// each path node starting with t — plus the node the selection returned
+// (including the N_s member that ends a Type1 walk, which is not part of
+// t(g)). Together these are exactly the nodes whose adjacency row, incoming
+// weights, or N_s membership the draw's outcome depends on: a graph delta
+// leaving all of them untouched replays the draw byte-identically, which is
+// the delta-repair damage test. Accumulation spans draws until the next
+// BeginTouches; read the set with Touches.
+func (sp *Sampler) BeginTouches() {
+	if sp.touchEpoch == nil {
+		sp.touchEpoch = make([]uint32, len(sp.visitedEpoch))
+	}
+	sp.collecting = true
+	sp.touches = sp.touches[:0]
+	sp.touchGen++
+	if sp.touchGen == 0 { // wrapped: clear and restart
+		for i := range sp.touchEpoch {
+			sp.touchEpoch[i] = 0
+		}
+		sp.touchGen = 1
+	}
+}
+
+// Touches returns the distinct nodes touched since BeginTouches, in
+// first-touch order, and stops collecting. The slice aliases the sampler's
+// internal buffer and is valid only until the next BeginTouches.
+func (sp *Sampler) Touches() []graph.Node {
+	sp.collecting = false
+	return sp.touches
+}
+
+// touch records one touched node (collecting mode only).
+func (sp *Sampler) touch(v graph.Node) {
+	if sp.touchEpoch[v] != sp.touchGen {
+		sp.touchEpoch[v] = sp.touchGen
+		sp.touches = append(sp.touches, v)
 	}
 }
 
@@ -101,8 +150,14 @@ func (sp *Sampler) SampleTGView(st *rng.Stream) TG {
 	cur := in.T()
 	sp.buf = append(sp.buf, cur)
 	sp.visitedEpoch[cur] = sp.epoch
+	if sp.collecting {
+		sp.touch(cur)
+	}
 	for {
 		u, ok := sp.plan.Sample(cur, st)
+		if sp.collecting && ok {
+			sp.touch(u)
+		}
 		switch {
 		case !ok:
 			// v selected no one: ℵ₀ (line 5 of Alg. 1).

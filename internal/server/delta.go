@@ -1,0 +1,252 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/weights"
+)
+
+// DeltaResult reports what one ApplyDelta did.
+type DeltaResult struct {
+	// Dirty is the sorted distinct set of nodes the delta actually
+	// changed (edge endpoints added, removed, or re-weighted); empty for
+	// a no-op delta, which advances no epoch.
+	Dirty []graph.Node
+	// NumNodes / NumEdges describe the new epoch's graph.
+	NumNodes int
+	NumEdges int64
+	// PairsMigrated counts live pairs carried across the epoch by
+	// repair; PairsDropped the pairs dissolved because the delta made
+	// their (s,t) adjacent — including spill-only pairs whose files were
+	// swept from SpillDir.
+	PairsMigrated int
+	PairsDropped  int
+	// Repair totals the migration's repair bill across all migrated
+	// pools (solve, eval and p_max ledgers).
+	Repair engine.RepairStats
+}
+
+// ApplyDelta applies a batch graph mutation — edges added, removed, and
+// (for Explicit weight schemes) re-weighted — producing the next epoch,
+// and migrates every live pair across it: each pair's instance is
+// rebound to the new graph (sampling-plan rows rebuilt only for dirty
+// nodes), and its cached pools and p_max ledger are *repaired* — chunks
+// whose touch sets miss the dirty nodes keep their bytes, damaged
+// chunks are resampled under their original streams — leaving every
+// pair byte-identical to one built cold at the new epoch (see
+// engine.Session.RepairTo). Pairs whose (s,t) the delta makes adjacent
+// are dissolved and dropped, as are their spill files; spill files of
+// non-live pairs are otherwise left in place and adopted-and-repaired
+// through the lineage on their next load.
+//
+// Queries that begin after ApplyDelta returns are answered at the new
+// epoch; queries in flight during the call finish at the epoch they
+// started on (the same contract eviction has: correctness per epoch,
+// never a torn answer). A delta that changes nothing returns an empty
+// Dirty set and advances no epoch. Concurrent ApplyDelta calls are
+// serialized.
+func (sv *Server) ApplyDelta(ctx context.Context, d *graph.Delta, updates []weights.EdgeWeight) (*DeltaResult, error) {
+	sv.deltaMu.Lock()
+	defer sv.deltaMu.Unlock()
+
+	cur := sv.gen.Load()
+	if d == nil {
+		d = &graph.Delta{}
+	}
+	g2, dirty, err := d.Apply(cur.g)
+	if err != nil {
+		return nil, err
+	}
+	// Pure weight updates dirty their endpoints too: the damage test
+	// keys on every node whose influencer row changed.
+	if len(updates) > 0 {
+		ds := graph.NewNodeSet(g2.NumNodes())
+		for _, v := range dirty {
+			ds.Add(v)
+		}
+		for _, uw := range updates {
+			ds.Add(uw.U)
+			ds.Add(uw.V)
+		}
+		dirty = ds.Members()
+	}
+	if len(dirty) == 0 {
+		return &DeltaResult{NumNodes: cur.g.NumNodes(), NumEdges: cur.g.NumEdges()}, nil
+	}
+	scheme2, err := weights.Rebuild(cur.scheme, g2, dirty, updates)
+	if err != nil {
+		return nil, err
+	}
+
+	next := &generation{g: g2, scheme: scheme2, graphFP: engine.GraphFingerprint(g2, scheme2)}
+	// Store the generation BEFORE walking any shard: an acquire miss
+	// reads sv.gen inside its shard critical section, so every entry the
+	// walk below does not see was created at (or after) the new epoch.
+	sv.gen.Store(next)
+	sv.lineage.Advance(next.graphFP, dirty)
+	sv.deltasApplied.Add(1)
+
+	res := &DeltaResult{
+		Dirty:    dirty,
+		NumNodes: g2.NumNodes(),
+		NumEdges: g2.NumEdges(),
+	}
+	for i := range sv.shards {
+		sh := &sv.shards[i]
+		sh.mu.Lock()
+		stale := make([]*entry, 0, len(sh.m))
+		for _, e := range sh.m {
+			if e.gen != next {
+				stale = append(stale, e)
+			}
+		}
+		sh.mu.Unlock()
+		for _, e := range stale {
+			if err := sv.migratePair(ctx, sh, e, next, dirty, res); err != nil {
+				return res, err
+			}
+		}
+	}
+	sv.sweepDissolvedSpills(g2, res)
+
+	// Migrated pairs were re-measured; settle the budget once for the
+	// whole walk.
+	sv.lruMu.Lock()
+	victims := sv.evictLocked()
+	sv.lruMu.Unlock()
+	for _, v := range victims {
+		sv.writeSpill(v)
+	}
+	return res, nil
+}
+
+// migratePair carries one stale entry across to the new generation and
+// swaps it into the shard map — unless a newer entry took its place
+// meanwhile, in which case the migrated state is discarded (the newer
+// entry is already at the head epoch). Dissolved pairs are dropped.
+// Repair errors (context cancellation, mid-walk failures) drop the
+// entry instead: its next acquire recreates it cold at the new epoch,
+// with identical answers.
+func (sv *Server) migratePair(ctx context.Context, sh *shard, e *entry, next *generation, dirty []graph.Node, res *DeltaResult) error {
+	// Settle any pending spill restore first so the migration sees the
+	// entry's real state and restoreOnce never races the swap.
+	sv.ensureRestored(e)
+	in2, err := e.sess.Instance().RebindTo(next.g, next.scheme, dirty)
+	if err != nil {
+		// The delta dissolved the pair: s and t are adjacent (or the
+		// pair is otherwise invalid on the new graph) — the friending
+		// problem for it is solved, so drop it and its spill file.
+		sv.dropEntry(sh, e)
+		if sv.cfg.SpillDir != "" {
+			os.Remove(sv.spillPath(e.key))
+		}
+		sv.pairsDropped.Add(1)
+		res.PairsDropped++
+		return nil
+	}
+	cs2, st, err := e.sess.RepairTo(ctx, in2, sv.lineage, next.graphFP, dirty)
+	if err != nil {
+		sv.dropEntry(sh, e)
+		return err
+	}
+	eval2, est, err := e.eval.RepairTo(ctx, cs2.Engine(), dirty)
+	if err != nil {
+		sv.dropEntry(sh, e)
+		return err
+	}
+	st.Add(est)
+	e2 := &entry{key: e.key, sess: cs2, eval: eval2, gen: next}
+	e2.restoreOnce.Do(func() {}) // migrated state must not be overwritten from disk
+
+	sh.mu.Lock()
+	current := sh.m[e.key] == e
+	if current {
+		sh.m[e.key] = e2
+	}
+	sh.mu.Unlock()
+	if !current {
+		// A concurrent eviction (or a racing future migration) replaced
+		// or removed the entry; whatever is in the map now is already at
+		// the head epoch, so the migrated state is simply dropped.
+		return nil
+	}
+	sv.lruMu.Lock()
+	if !e.evicted {
+		e.evicted = true
+		sv.bytes -= e.bytes
+		e.bytes = 0
+		if e.elem != nil {
+			sv.lru.Remove(e.elem)
+			e.elem = nil
+		}
+	}
+	e2.bytes = e2.sess.MemBytes() + e2.eval.MemBytes()
+	sv.bytes += e2.bytes
+	e2.elem = sv.lru.PushFront(e2)
+	sv.lruMu.Unlock()
+
+	sv.poolsRepaired.Add(1)
+	sv.repairChunks.Add(int64(st.Resampled))
+	sv.repairDraws.Add(st.DrawsResampled)
+	sv.repairSaved.Add(st.DrawsSaved)
+	res.PairsMigrated++
+	res.Repair.Add(st)
+	return nil
+}
+
+// dropEntry removes e from its shard map and writes off its bytes; a
+// migration counts neither as a creation nor an eviction, so the
+// SessionsLive bookkeeping is adjusted through SessionsEvicted exactly
+// when the pair really leaves the cache.
+func (sv *Server) dropEntry(sh *shard, e *entry) {
+	sh.mu.Lock()
+	if sh.m[e.key] == e {
+		delete(sh.m, e.key)
+		sv.evicted.Add(1)
+	}
+	sh.mu.Unlock()
+	sv.lruMu.Lock()
+	if !e.evicted {
+		e.evicted = true
+		sv.bytes -= e.bytes
+		e.bytes = 0
+		if e.elem != nil {
+			sv.lru.Remove(e.elem)
+			e.elem = nil
+		}
+	}
+	sv.lruMu.Unlock()
+}
+
+// sweepDissolvedSpills deletes spill files of pairs the new graph
+// dissolves (s and t adjacent). Live dissolved pairs already removed
+// their files in migratePair, so everything swept here is a spill-only
+// pair. Files whose names don't parse are left alone.
+func (sv *Server) sweepDissolvedSpills(g2 *graph.Graph, res *DeltaResult) {
+	if sv.cfg.SpillDir == "" {
+		return
+	}
+	des, err := os.ReadDir(sv.cfg.SpillDir)
+	if err != nil {
+		return
+	}
+	for _, de := range des {
+		var s, t graph.Node
+		if c, err := fmt.Sscanf(de.Name(), spillPattern, &s, &t); err != nil || c != 2 ||
+			de.Name() != fmt.Sprintf(spillPattern, s, t) {
+			continue
+		}
+		if int(s) >= g2.NumNodes() || int(t) >= g2.NumNodes() || !g2.HasEdge(s, t) {
+			continue
+		}
+		if os.Remove(filepath.Join(sv.cfg.SpillDir, de.Name())) == nil {
+			sv.pairsDropped.Add(1)
+			res.PairsDropped++
+		}
+	}
+}

@@ -28,6 +28,18 @@
 // the same purity argument. SpillAll flushes every live pair at
 // shutdown; Warm preloads every spill file at startup, so a restarted
 // server answers its first queries from disk-warm pools.
+//
+// The graph itself may mutate: ApplyDelta applies a batch of edge
+// additions, removals and weight updates, producing the next epoch's
+// graph, and migrates every live pair across it by *repair* instead of
+// discard — pool chunks whose touch sets miss the delta's dirty nodes
+// keep their bytes, only damaged chunks are resampled (see
+// engine.Session.RepairTo), and a pair whose (s,t) the delta dissolves
+// (the nodes become adjacent) is dropped. The server keeps the epoch
+// lineage (engine.Lineage), so spill files written at an earlier epoch
+// are adopted and repaired on load rather than rejected. Queries that
+// begin after ApplyDelta returns are answered at the new epoch;
+// in-flight queries finish at the epoch they started on.
 package server
 
 import (
@@ -152,15 +164,38 @@ type Stats struct {
 	// from a spill file (SpillLoadBytes read) instead of resampled;
 	// SpillDrawsSaved totals the pool draws those loads avoided — the
 	// load-vs-resample win. SpillLoadErrors counts spill files rejected
-	// (checksum, version or stream-identity mismatch) or unreadable, and
-	// SpillWriteErrors counts failed snapshot writes (the previous file,
-	// if any, is left intact); the pair then resamples on its next
-	// admission, which changes no answer.
-	SpillLoads       int64
-	SpillLoadBytes   int64
-	SpillDrawsSaved  int64
-	SpillLoadErrors  int64
-	SpillWriteErrors int64
+	// or unreadable, split by cause: checksum failures, format-version
+	// skew, stream-identity mismatches (wrong seed or namespace),
+	// instance mismatches (a fingerprint matching neither the current
+	// epoch nor a lineage ancestor), and everything else (I/O errors,
+	// truncation). SpillWriteErrors counts failed snapshot writes (the
+	// previous file, if any, is left intact); the pair then resamples on
+	// its next admission, which changes no answer.
+	SpillLoads           int64
+	SpillLoadBytes       int64
+	SpillDrawsSaved      int64
+	SpillLoadErrors      int64
+	SpillLoadErrChecksum int64
+	SpillLoadErrVersion  int64
+	SpillLoadErrStream   int64
+	SpillLoadErrInstance int64
+	SpillLoadErrOther    int64
+	SpillWriteErrors     int64
+	// DeltasApplied counts ApplyDelta calls that actually changed the
+	// graph or its weights (no-op deltas advance nothing). PairsDropped
+	// counts pairs dissolved by a delta — their (s,t) became adjacent,
+	// the problem is solved — including spill-only pairs whose files
+	// were swept. PoolsRepaired counts pair migrations and spill loads
+	// that carried state across epochs by repair; RepairChunksResampled
+	// / RepairDrawsResampled are the chunks and draws those repairs
+	// re-drew, and RepairDrawsSaved the draws adopted verbatim — what a
+	// discard-and-resample would have paid on top.
+	DeltasApplied         int64
+	PairsDropped          int64
+	PoolsRepaired         int64
+	RepairChunksResampled int64
+	RepairDrawsResampled  int64
+	RepairDrawsSaved      int64
 	// PmaxDrawsReused totals the Algorithm 2 stopping-rule draws that
 	// queries (Solve step 2 and PmaxEstimate) answered from a pair's
 	// retained estimator ledger instead of resampling — the refinement
@@ -186,6 +221,7 @@ type entry struct {
 	key  pairKey
 	sess *core.Session
 	eval *engine.Session
+	gen  *generation // the epoch the sessions were built (or migrated) for
 
 	restoreOnce sync.Once
 	loaded      bool  // restored from a spill file; written inside restoreOnce
@@ -196,6 +232,17 @@ type entry struct {
 	evicted bool          // removed from the map; in-flight holders may remain
 }
 
+// generation is one epoch of the served graph: the graph, its rebuilt
+// weight scheme, and the graph fingerprint that names the epoch in the
+// lineage. ApplyDelta swaps the server's generation pointer atomically;
+// entries remember the generation they were built for, so a delta's
+// migration walk can tell stale pairs from ones already at the head.
+type generation struct {
+	g       *graph.Graph
+	scheme  weights.Scheme
+	graphFP uint64
+}
+
 type shard struct {
 	mu sync.Mutex
 	m  map[pairKey]*entry
@@ -204,23 +251,44 @@ type shard struct {
 // Server serves multi-pair query traffic on one graph. Safe for
 // concurrent use.
 type Server struct {
-	g      *graph.Graph
-	scheme weights.Scheme
 	cfg    Config
 	shards []shard
+
+	// gen is the current epoch; acquire reads it inside the shard
+	// critical section on a miss, so the mutual exclusion with
+	// ApplyDelta's migration walk (which stores gen before locking any
+	// shard) guarantees no entry of a stale generation is ever inserted
+	// after the walk passed its shard. lineage records every epoch's
+	// dirty set so ancestor spill blobs can be adopted and repaired.
+	// deltaMu serializes ApplyDelta calls.
+	gen     atomic.Pointer[generation]
+	lineage *engine.Lineage
+	deltaMu sync.Mutex
 
 	created atomic.Int64
 	evicted atomic.Int64
 	kinds   [numKinds]struct{ hits, misses atomic.Int64 }
 
-	spills           atomic.Int64
-	spillBytes       atomic.Int64
-	spillLoads       atomic.Int64
-	spillLoadBytes   atomic.Int64
-	spillDrawsSaved  atomic.Int64
-	spillLoadErrors  atomic.Int64
-	spillWriteErrors atomic.Int64
-	pmaxDrawsReused  atomic.Int64
+	spills               atomic.Int64
+	spillBytes           atomic.Int64
+	spillLoads           atomic.Int64
+	spillLoadBytes       atomic.Int64
+	spillDrawsSaved      atomic.Int64
+	spillLoadErrors      atomic.Int64
+	spillLoadErrChecksum atomic.Int64
+	spillLoadErrVersion  atomic.Int64
+	spillLoadErrStream   atomic.Int64
+	spillLoadErrInstance atomic.Int64
+	spillLoadErrOther    atomic.Int64
+	spillWriteErrors     atomic.Int64
+	pmaxDrawsReused      atomic.Int64
+
+	deltasApplied atomic.Int64
+	pairsDropped  atomic.Int64
+	poolsRepaired atomic.Int64
+	repairChunks  atomic.Int64
+	repairDraws   atomic.Int64
+	repairSaved   atomic.Int64
 
 	// lruMu guards the recency list and the byte ledger. It is only ever
 	// held for O(1) bookkeeping plus eviction passes; pool sampling,
@@ -237,15 +305,22 @@ func New(g *graph.Graph, scheme weights.Scheme, cfg Config) *Server {
 	if cfg.Shards <= 0 {
 		cfg.Shards = DefaultShards
 	}
-	sv := &Server{g: g, scheme: scheme, cfg: cfg, shards: make([]shard, cfg.Shards), lru: list.New()}
+	sv := &Server{cfg: cfg, shards: make([]shard, cfg.Shards), lru: list.New()}
+	gfp := engine.GraphFingerprint(g, scheme)
+	sv.gen.Store(&generation{g: g, scheme: scheme, graphFP: gfp})
+	sv.lineage = engine.NewLineage(gfp)
 	for i := range sv.shards {
 		sv.shards[i].m = make(map[pairKey]*entry)
 	}
 	return sv
 }
 
-// Graph returns the served graph.
-func (sv *Server) Graph() *graph.Graph { return sv.g }
+// Graph returns the served graph at the current epoch.
+func (sv *Server) Graph() *graph.Graph { return sv.gen.Load().g }
+
+// Epochs returns the number of graph epochs the server has served: 1 at
+// construction, +1 per effective ApplyDelta.
+func (sv *Server) Epochs() int { return sv.lineage.Epochs() }
 
 func packPair(k pairKey) uint64 {
 	return uint64(uint32(k.s))<<32 | uint64(uint32(k.t))
@@ -272,14 +347,21 @@ func (sv *Server) acquire(kind Kind, s, t graph.Node) (*entry, error) {
 	sh.mu.Lock()
 	e, ok := sh.m[k]
 	if !ok {
-		in, err := ltm.NewInstance(sv.g, sv.scheme, s, t)
+		// Reading the generation inside the critical section is what
+		// pins the entry to an epoch ApplyDelta cannot have finished
+		// walking past: the walk stores the new generation before taking
+		// any shard lock, so an entry built here either predates the walk
+		// on this shard (and gets migrated) or already sees the new epoch.
+		gen := sv.gen.Load()
+		in, err := ltm.NewInstance(gen.g, gen.scheme, s, t)
 		if err != nil {
 			sh.mu.Unlock()
 			return nil, err
 		}
 		seed := sv.pairSeed(k)
 		cs := core.NewSession(in, seed, sv.cfg.Workers)
-		e = &entry{key: k, sess: cs, eval: cs.Engine().NewEvalSession(seed, sv.cfg.Workers)}
+		cs.Engine().Bind(sv.lineage, gen.graphFP)
+		e = &entry{key: k, sess: cs, eval: cs.Engine().NewEvalSession(seed, sv.cfg.Workers), gen: gen}
 		sh.m[k] = e
 		sv.created.Add(1)
 	}
@@ -412,25 +494,48 @@ func (sv *Server) writeSpill(e *entry) error {
 	return nil
 }
 
+// noteLoadError ledgers one rejected or unreadable spill file, split by
+// cause so operators can tell disk rot (checksum) from rollout skew
+// (version), misconfiguration (stream identity: wrong seed or
+// namespace), and topology drift past the lineage's memory (instance).
+func (sv *Server) noteLoadError(err error) {
+	sv.spillLoadErrors.Add(1)
+	switch {
+	case errors.Is(err, snapshot.ErrChecksum):
+		sv.spillLoadErrChecksum.Add(1)
+	case errors.Is(err, snapshot.ErrVersion):
+		sv.spillLoadErrVersion.Add(1)
+	case errors.Is(err, engine.ErrStreamMismatch):
+		sv.spillLoadErrStream.Add(1)
+	case errors.Is(err, engine.ErrInstanceMismatch):
+		sv.spillLoadErrInstance.Add(1)
+	default:
+		sv.spillLoadErrOther.Add(1)
+	}
+}
+
 // restoreSpill loads the pair's spill file, if any, into its freshly
 // created sessions. Every failure mode — missing file aside — counts as
-// a load error and leaves the pair wholly cold (a half-restored pair is
-// reset, so the ledger matches reality exactly); the pair then
-// resamples lazily with byte-identical pools. Restore validates the
-// checksum, format version and stream identity (seed and namespace)
-// before adopting any bytes. Runs inside the entry's restoreOnce.
+// a load error (split by cause, see noteLoadError) and leaves the pair
+// wholly cold (a half-restored pair is reset, so the ledger matches
+// reality exactly); the pair then resamples lazily with byte-identical
+// pools. Restore validates the checksum, format version and stream
+// identity (seed and namespace) before adopting any bytes; a blob
+// written at an ancestor epoch is adopted and repaired through the
+// engine's bound lineage, and the repair bill is ledgered here. Runs
+// inside the entry's restoreOnce.
 func (sv *Server) restoreSpill(e *entry) {
 	f, err := os.Open(sv.spillPath(e.key))
 	if err != nil {
 		if !errors.Is(err, fs.ErrNotExist) {
-			sv.spillLoadErrors.Add(1)
+			sv.noteLoadError(err)
 		}
 		return
 	}
 	defer f.Close()
 	br := bufio.NewReaderSize(f, 1<<20)
 	if err := e.sess.Restore(br); err != nil {
-		sv.spillLoadErrors.Add(1)
+		sv.noteLoadError(err)
 		return
 	}
 	if err := e.eval.Restore(br); err != nil {
@@ -440,8 +545,9 @@ func (sv *Server) restoreSpill(e *entry) {
 		// the pairs that really came from disk.
 		seed := sv.pairSeed(e.key)
 		cs := core.NewSession(e.sess.Instance(), seed, sv.cfg.Workers)
+		cs.Engine().Bind(sv.lineage, e.gen.graphFP)
 		e.sess, e.eval = cs, cs.Engine().NewEvalSession(seed, sv.cfg.Workers)
-		sv.spillLoadErrors.Add(1)
+		sv.noteLoadError(err)
 		return
 	}
 	e.loaded = true
@@ -451,6 +557,18 @@ func (sv *Server) restoreSpill(e *entry) {
 		sv.spillLoadBytes.Add(st.Size())
 	}
 	sv.spillDrawsSaved.Add(e.loadedDraws)
+	// An ancestor-epoch blob was adopted and repaired on the way in; the
+	// session's engine is fresh (created with the entry), so its repair
+	// ledger is exactly this load's bill.
+	eng := e.sess.Engine()
+	if rd, rs := eng.RepairDrawsResampled(), eng.RepairDrawsSaved(); rd > 0 || rs > 0 {
+		sv.poolsRepaired.Add(1)
+		sv.repairDraws.Add(rd)
+		sv.repairSaved.Add(rs)
+		sv.repairChunks.Add(eng.RepairChunksResampled())
+		// Draws a repair re-made did not come from disk.
+		sv.spillDrawsSaved.Add(-rd)
+	}
 }
 
 // SpillAll snapshots every live pair to SpillDir without evicting — the
@@ -684,16 +802,28 @@ func (h *PairHandle) Done() { h.sv.release(h.e) }
 // Stats returns a snapshot of the server's ledger.
 func (sv *Server) Stats() Stats {
 	st := Stats{
-		SessionsCreated:  sv.created.Load(),
-		SessionsEvicted:  sv.evicted.Load(),
-		Spills:           sv.spills.Load(),
-		SpillBytes:       sv.spillBytes.Load(),
-		SpillLoads:       sv.spillLoads.Load(),
-		SpillLoadBytes:   sv.spillLoadBytes.Load(),
-		SpillDrawsSaved:  sv.spillDrawsSaved.Load(),
-		SpillLoadErrors:  sv.spillLoadErrors.Load(),
-		SpillWriteErrors: sv.spillWriteErrors.Load(),
-		PmaxDrawsReused:  sv.pmaxDrawsReused.Load(),
+		SessionsCreated:      sv.created.Load(),
+		SessionsEvicted:      sv.evicted.Load(),
+		Spills:               sv.spills.Load(),
+		SpillBytes:           sv.spillBytes.Load(),
+		SpillLoads:           sv.spillLoads.Load(),
+		SpillLoadBytes:       sv.spillLoadBytes.Load(),
+		SpillDrawsSaved:      sv.spillDrawsSaved.Load(),
+		SpillLoadErrors:      sv.spillLoadErrors.Load(),
+		SpillLoadErrChecksum: sv.spillLoadErrChecksum.Load(),
+		SpillLoadErrVersion:  sv.spillLoadErrVersion.Load(),
+		SpillLoadErrStream:   sv.spillLoadErrStream.Load(),
+		SpillLoadErrInstance: sv.spillLoadErrInstance.Load(),
+		SpillLoadErrOther:    sv.spillLoadErrOther.Load(),
+		SpillWriteErrors:     sv.spillWriteErrors.Load(),
+		PmaxDrawsReused:      sv.pmaxDrawsReused.Load(),
+
+		DeltasApplied:         sv.deltasApplied.Load(),
+		PairsDropped:          sv.pairsDropped.Load(),
+		PoolsRepaired:         sv.poolsRepaired.Load(),
+		RepairChunksResampled: sv.repairChunks.Load(),
+		RepairDrawsResampled:  sv.repairDraws.Load(),
+		RepairDrawsSaved:      sv.repairSaved.Load(),
 	}
 	for k := range st.ByKind {
 		st.ByKind[k] = KindCounts{Hits: sv.kinds[k].hits.Load(), Misses: sv.kinds[k].misses.Load()}

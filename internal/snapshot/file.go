@@ -10,11 +10,14 @@ import (
 
 // File is an open snapshot file: one or more consecutive snapshots
 // backed by an mmap'd region (linux) or an in-memory copy (elsewhere).
+// Touches[i] is the touch section following Pools[i], nil when the pool
+// carries none; interleaved p_max sections are validated and skipped.
 // The pools alias the backing bytes; Close only after every pool loaded
 // from the file is out of use.
 type File struct {
-	Pools []*Pool
-	unmap func() error
+	Pools   []*Pool
+	Touches []*TouchSet
+	unmap   func() error
 }
 
 // OpenFile opens path and decodes every snapshot in it zero-copy. Any
@@ -33,12 +36,40 @@ func OpenFile(path string) (*File, error) {
 	}
 	mf := &File{unmap: unmap}
 	for rest := data; len(rest) > 0; {
-		p, n, err := DecodeNext(rest)
+		var n int64
+		var err error
+		switch {
+		case IsTouch(rest):
+			var ts *TouchSet
+			ts, n, err = DecodeTouchNext(rest)
+			if err == nil {
+				if len(mf.Pools) == 0 {
+					err = fmt.Errorf("%w: touch section before any pool", ErrFormat)
+				} else {
+					mf.Touches[len(mf.Pools)-1] = ts
+				}
+			}
+		case IsPmax(rest):
+			// A p_max ledger rides along in spill files; validate the
+			// header and skip — File indexes pools only.
+			var numSucc int64
+			_, numSucc, err = parsePmaxHeader(rest)
+			n = encodedSizePmax(numSucc)
+			if err == nil && n > int64(len(rest)) {
+				err = fmt.Errorf("%w: pmax section claims %d bytes, have %d", ErrFormat, n, len(rest))
+			}
+		default:
+			var p *Pool
+			p, n, err = DecodeNext(rest)
+			if err == nil {
+				mf.Pools = append(mf.Pools, p)
+				mf.Touches = append(mf.Touches, nil)
+			}
+		}
 		if err != nil {
 			unmap()
 			return nil, fmt.Errorf("snapshot %d in %s: %w", len(mf.Pools), path, err)
 		}
-		mf.Pools = append(mf.Pools, p)
 		rest = rest[n:]
 	}
 	return mf, nil

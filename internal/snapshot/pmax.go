@@ -35,6 +35,11 @@ const (
 
 var pmaxMagic = [8]byte{0x89, 'A', 'F', 'P', 'M', 'A', 'X', '\n'}
 
+// pmaxSection describes the p_max blob's shared header prefix; its five
+// type-specific words are seed, ns, fingerprint, draws, numSucc
+// (pmaxHeaderSize == sectionHeaderSize(5)).
+var pmaxSection = sectionDesc{magic: pmaxMagic, version: PmaxVersion, name: "pmax"}
+
 // PmaxState is the serialized form of one chunked p_max estimator ledger:
 // Draws total Bernoulli draws from the (Seed, NS) stream family, of which
 // the draws at the strictly ascending global indices Successes were
@@ -65,9 +70,7 @@ func encodedSizePmax(numSucc int64) int64 {
 // IsPmax reports whether b begins with the PmaxState magic — the peek a
 // stream reader uses to decide whether an optional p_max section follows
 // the pool sections in a spill file.
-func IsPmax(b []byte) bool {
-	return len(b) >= 8 && [8]byte(b[:8]) == pmaxMagic
-}
+func IsPmax(b []byte) bool { return pmaxSection.is(b) }
 
 // WritePmax serializes st to w in the snapshot format.
 func WritePmax(w io.Writer, st *PmaxState) error {
@@ -76,14 +79,10 @@ func WritePmax(w io.Writer, st *PmaxState) error {
 	}
 	cw := &crcWriter{w: w}
 	var hdr [pmaxHeaderSize]byte
-	copy(hdr[:8], pmaxMagic[:])
-	putU32(hdr[8:], PmaxVersion)
-	putU32(hdr[12:], st.StreamEpoch)
-	putU64(hdr[16:], uint64(st.Seed))
-	putU64(hdr[24:], st.NS)
-	putU64(hdr[32:], st.Fingerprint)
-	putU64(hdr[40:], uint64(st.Draws))
-	putU64(hdr[48:], uint64(len(st.Successes)))
+	pmaxSection.put(hdr[:], st.StreamEpoch, []uint64{
+		uint64(st.Seed), st.NS, st.Fingerprint,
+		uint64(st.Draws), uint64(len(st.Successes)),
+	})
 	if _, err := cw.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -101,21 +100,17 @@ func WritePmax(w io.Writer, st *PmaxState) error {
 // every later allocation.
 func parsePmaxHeader(b []byte) (PmaxState, int64, error) {
 	var st PmaxState
-	if len(b) < pmaxHeaderSize {
-		return st, 0, fmt.Errorf("%w: %d-byte blob shorter than the %d-byte pmax header", ErrFormat, len(b), pmaxHeaderSize)
+	var words [5]uint64
+	se, err := pmaxSection.parse(b, words[:])
+	if err != nil {
+		return st, 0, err
 	}
-	if !IsPmax(b) {
-		return st, 0, fmt.Errorf("%w: bad pmax magic", ErrFormat)
-	}
-	if v := getU32(b[8:]); v != PmaxVersion {
-		return st, 0, fmt.Errorf("%w: pmax version %d (want %d)", ErrVersion, v, PmaxVersion)
-	}
-	st.StreamEpoch = getU32(b[12:])
-	st.Seed = int64(getU64(b[16:]))
-	st.NS = getU64(b[24:])
-	st.Fingerprint = getU64(b[32:])
-	st.Draws = int64(getU64(b[40:]))
-	numSucc := int64(getU64(b[48:]))
+	st.StreamEpoch = se
+	st.Seed = int64(words[0])
+	st.NS = words[1]
+	st.Fingerprint = words[2]
+	st.Draws = int64(words[3])
+	numSucc := int64(words[4])
 	switch {
 	case st.Draws < 0:
 		return st, 0, fmt.Errorf("%w: negative draws %d", ErrFormat, st.Draws)

@@ -53,6 +53,11 @@ const (
 
 var magic = [8]byte{0x89, 'A', 'F', 'S', 'N', 'A', 'P', '\n'}
 
+// poolSection describes the pool blob's shared header prefix; its seven
+// type-specific words are seed, ns, fingerprint, universe, total,
+// numPaths, arenaLen (headerSize == sectionHeaderSize(7)).
+var poolSection = sectionDesc{magic: magic, version: Version, name: "pool"}
+
 // crcTable is the CRC-32C (Castagnoli) table shared by writers and
 // readers.
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -167,16 +172,11 @@ func Write(w io.Writer, p *Pool) error {
 	}
 	cw := &crcWriter{w: w}
 	var hdr [headerSize]byte
-	copy(hdr[:8], magic[:])
-	putU32(hdr[8:], Version)
-	putU32(hdr[12:], p.StreamEpoch)
-	putU64(hdr[16:], uint64(p.Seed))
-	putU64(hdr[24:], p.NS)
-	putU64(hdr[32:], p.Fingerprint)
-	putU64(hdr[40:], uint64(p.Universe))
-	putU64(hdr[48:], uint64(p.Total))
-	putU64(hdr[56:], uint64(numPaths))
-	putU64(hdr[64:], uint64(arenaLen))
+	poolSection.put(hdr[:], p.StreamEpoch, []uint64{
+		uint64(p.Seed), p.NS, p.Fingerprint,
+		uint64(p.Universe), uint64(p.Total),
+		uint64(numPaths), uint64(arenaLen),
+	})
 	if _, err := cw.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -257,23 +257,19 @@ type header struct {
 // and must not exceed what total draws could have produced.
 func parseHeader(b []byte) (header, error) {
 	var h header
-	if len(b) < headerSize {
-		return h, fmt.Errorf("%w: %d-byte blob shorter than the %d-byte header", ErrFormat, len(b), headerSize)
+	var words [7]uint64
+	se, err := poolSection.parse(b, words[:])
+	if err != nil {
+		return h, err
 	}
-	if [8]byte(b[:8]) != magic {
-		return h, fmt.Errorf("%w: bad magic", ErrFormat)
-	}
-	if v := getU32(b[8:]); v != Version {
-		return h, fmt.Errorf("%w: version %d (want %d)", ErrVersion, v, Version)
-	}
-	h.streamEpoch = getU32(b[12:])
-	h.seed = int64(getU64(b[16:]))
-	h.ns = getU64(b[24:])
-	h.fingerprint = getU64(b[32:])
-	h.universe = int64(getU64(b[40:]))
-	h.total = int64(getU64(b[48:]))
-	h.numPaths = int64(getU64(b[56:]))
-	h.arenaLen = int64(getU64(b[64:]))
+	h.streamEpoch = se
+	h.seed = int64(words[0])
+	h.ns = words[1]
+	h.fingerprint = words[2]
+	h.universe = int64(words[3])
+	h.total = int64(words[4])
+	h.numPaths = int64(words[5])
+	h.arenaLen = int64(words[6])
 	switch {
 	case h.universe < 0 || h.universe > math.MaxInt32:
 		return h, fmt.Errorf("%w: universe %d out of range", ErrFormat, h.universe)

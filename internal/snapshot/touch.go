@@ -1,0 +1,209 @@
+package snapshot
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// This file adds the third blob type of the snapshot format: the per-chunk
+// touch sets a pool carries for delta repair. For every sampled chunk the
+// engine records the sorted distinct set of nodes its backward walks
+// visited or selected; when the graph mutates, a chunk whose touch set is
+// disjoint from the delta's dirty nodes replays identically on the new
+// graph, so its pooled bytes can be adopted as-is and only damaged chunks
+// resampled. A TouchSet blob is CSR-shaped: chunk c's nodes are
+// Nodes[Offsets[c]:Offsets[c+1]].
+//
+// Layout (all fixed-width fields little-endian):
+//
+//	header (40 B): magic [8]B, version u32, streamEpoch u32,
+//	               universe i64, numChunks i64, nodesLen i64
+//	offsets: (numChunks+1) × i32, padded to 8 B
+//	nodes:    nodesLen     × i32, padded to 8 B
+//	footer (8 B): CRC-32C of everything before it, then 4 zero bytes
+//
+// A touch blob never stands alone: it directly follows the pool blob it
+// describes in a stream, inheriting that pool's (seed, ns, fingerprint)
+// identity, which is why the header carries only the stream epoch and the
+// geometry. The section is optional on read — a reader peeks for the
+// magic (IsTouch) and, when absent, falls back to treating every chunk as
+// damaged under a delta, which is always correct, just slower.
+const (
+	// TouchVersion is bumped on any incompatible TouchSet layout change.
+	TouchVersion    = 1
+	touchHeaderSize = 40
+)
+
+var touchMagic = [8]byte{0x89, 'A', 'F', 'T', 'O', 'U', 'C', 'H'}
+
+// touchSection describes the touch blob's shared header prefix; its three
+// type-specific words are universe, numChunks, nodesLen
+// (touchHeaderSize == sectionHeaderSize(3)).
+var touchSection = sectionDesc{magic: touchMagic, version: TouchVersion, name: "touch"}
+
+// TouchSet is the serialized form of a pool's per-chunk touch sets: chunk
+// c touched exactly the nodes Nodes[Offsets[c]:Offsets[c+1]] (strictly
+// ascending within each chunk, in [0, Universe)).
+type TouchSet struct {
+	// StreamEpoch mirrors the accompanying pool blob's stream epoch.
+	StreamEpoch uint32
+	Universe    int64
+	Offsets     []int32 // len numChunks+1, Offsets[0] == 0
+	Nodes       []int32
+}
+
+// NumChunks returns the number of chunks the touch set describes.
+func (ts *TouchSet) NumChunks() int { return len(ts.Offsets) - 1 }
+
+// EncodedSizeTouch returns the exact byte size WriteTouch produces for ts.
+func EncodedSizeTouch(ts *TouchSet) int64 {
+	return encodedSizeTouch(int64(ts.NumChunks()), int64(len(ts.Nodes)))
+}
+
+func encodedSizeTouch(numChunks, nodesLen int64) int64 {
+	return touchHeaderSize + pad8((numChunks+1)*4) + pad8(nodesLen*4) + footerSize
+}
+
+// EncodedSizeTouchFor returns the encoded size of a touch section with
+// the given geometry without materializing it.
+func EncodedSizeTouchFor(numChunks, nodesLen int64) int64 {
+	return encodedSizeTouch(numChunks, nodesLen)
+}
+
+// IsTouch reports whether b begins with the TouchSet magic — the peek a
+// stream reader uses to decide whether an optional touch section follows
+// a pool blob.
+func IsTouch(b []byte) bool { return touchSection.is(b) }
+
+// WriteTouch serializes ts to w in the snapshot format.
+func WriteTouch(w io.Writer, ts *TouchSet) error {
+	numChunks := int64(ts.NumChunks())
+	nodesLen := int64(len(ts.Nodes))
+	if len(ts.Offsets) == 0 || ts.Offsets[0] != 0 || int64(ts.Offsets[numChunks]) != nodesLen {
+		return fmt.Errorf("snapshot: malformed touch set (offsets %d, nodes %d)", len(ts.Offsets), nodesLen)
+	}
+	cw := &crcWriter{w: w}
+	var hdr [touchHeaderSize]byte
+	touchSection.put(hdr[:], ts.StreamEpoch, []uint64{
+		uint64(ts.Universe), uint64(numChunks), uint64(nodesLen),
+	})
+	if _, err := cw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if err := writeInt32s(cw, ts.Offsets, true); err != nil {
+		return err
+	}
+	if err := writeInt32s(cw, ts.Nodes, true); err != nil {
+		return err
+	}
+	var foot [footerSize]byte
+	putU32(foot[:], cw.crc)
+	_, err := w.Write(foot[:])
+	return err
+}
+
+// parseTouchHeader validates the fixed-size prefix; geometry limits bound
+// every later allocation.
+func parseTouchHeader(b []byte) (ts TouchSet, numChunks, nodesLen int64, err error) {
+	var words [3]uint64
+	se, err := touchSection.parse(b, words[:])
+	if err != nil {
+		return ts, 0, 0, err
+	}
+	ts.StreamEpoch = se
+	ts.Universe = int64(words[0])
+	numChunks = int64(words[1])
+	nodesLen = int64(words[2])
+	switch {
+	case ts.Universe < 0 || ts.Universe > math.MaxInt32:
+		return ts, 0, 0, fmt.Errorf("%w: touch universe %d out of range", ErrFormat, ts.Universe)
+	case numChunks < 0 || numChunks >= math.MaxInt32:
+		return ts, 0, 0, fmt.Errorf("%w: %d touch chunks", ErrFormat, numChunks)
+	case nodesLen < 0 || nodesLen > numChunks*ts.Universe || nodesLen > math.MaxInt32:
+		return ts, 0, 0, fmt.Errorf("%w: %d touched nodes for %d chunks over %d nodes", ErrFormat, nodesLen, numChunks, ts.Universe)
+	}
+	return ts, numChunks, nodesLen, nil
+}
+
+// DecodeTouchNext parses the TouchSet at the start of data and returns it
+// with its encoded size, leaving trailing bytes (the rest of a spill
+// file) for the caller. On little-endian hosts the returned slices alias
+// data; keep it immutable and alive.
+func DecodeTouchNext(data []byte) (*TouchSet, int64, error) {
+	ts, numChunks, nodesLen, err := parseTouchHeader(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	size := encodedSizeTouch(numChunks, nodesLen)
+	if size > int64(len(data)) {
+		return nil, 0, fmt.Errorf("%w: touch header claims %d bytes, have %d", ErrFormat, size, len(data))
+	}
+	body := data[:size-footerSize]
+	if crc32.Checksum(body, crcTable) != getU32(data[size-footerSize:]) {
+		return nil, 0, fmt.Errorf("%w", ErrChecksum)
+	}
+	off := int64(touchHeaderSize)
+	ts.Offsets = decodeInt32s(data, off, numChunks+1)
+	off += pad8((numChunks + 1) * 4)
+	ts.Nodes = decodeInt32s(data, off, nodesLen)
+	if err := ts.validate(); err != nil {
+		return nil, 0, err
+	}
+	return &ts, size, nil
+}
+
+// ReadTouch reads exactly one TouchSet from r (leaving any following
+// bytes unread) and returns a set owning freshly allocated sections.
+func ReadTouch(r io.Reader) (*TouchSet, error) {
+	buf := make([]byte, touchHeaderSize)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("%w: reading touch header: %v", ErrFormat, err)
+	}
+	_, numChunks, nodesLen, err := parseTouchHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	size := encodedSizeTouch(numChunks, nodesLen)
+	for int64(len(buf)) < size {
+		n := min(size-int64(len(buf)), maxReadChunk)
+		chunk := len(buf)
+		buf = append(buf, make([]byte, n)...)
+		if _, err := io.ReadFull(r, buf[chunk:]); err != nil {
+			return nil, fmt.Errorf("%w: reading %d-byte touch payload: %v", ErrFormat, size, err)
+		}
+	}
+	ts, _, err := DecodeTouchNext(buf)
+	if err != nil {
+		return nil, err
+	}
+	// buf is function-local, so aliasing is ownership; nothing to copy.
+	return ts, nil
+}
+
+// validate checks the invariants the repair path relies on: offsets
+// ascending, each chunk's nodes strictly ascending within the universe.
+func (ts *TouchSet) validate() error {
+	n := ts.NumChunks()
+	if ts.Offsets[0] != 0 {
+		return fmt.Errorf("%w: first touch offset %d", ErrFormat, ts.Offsets[0])
+	}
+	u := int32(ts.Universe)
+	for c := 0; c < n; c++ {
+		if ts.Offsets[c+1] < ts.Offsets[c] {
+			return fmt.Errorf("%w: touch offsets not ascending at %d", ErrFormat, c)
+		}
+		prev := int32(-1)
+		for _, v := range ts.Nodes[ts.Offsets[c]:ts.Offsets[c+1]] {
+			if v <= prev || v >= u {
+				return fmt.Errorf("%w: touch node %d out of order in chunk %d", ErrFormat, v, c)
+			}
+			prev = v
+		}
+	}
+	if int64(ts.Offsets[n]) != int64(len(ts.Nodes)) {
+		return fmt.Errorf("%w: last touch offset %d, nodes %d", ErrFormat, ts.Offsets[n], len(ts.Nodes))
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func testTouchSet() *TouchSet {
+	return &TouchSet{
+		StreamEpoch: 1,
+		Universe:    100,
+		Offsets:     []int32{0, 3, 3, 7},
+		Nodes:       []int32{1, 5, 99, 0, 2, 4, 6},
+	}
+}
+
+func TestTouchRoundTrip(t *testing.T) {
+	ts := testTouchSet()
+	var buf bytes.Buffer
+	if err := WriteTouch(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := int64(buf.Len()), EncodedSizeTouch(ts); got != want {
+		t.Fatalf("encoded %d bytes, EncodedSizeTouch says %d", got, want)
+	}
+	if !IsTouch(buf.Bytes()) {
+		t.Fatal("IsTouch rejects a touch blob")
+	}
+	if IsPmax(buf.Bytes()) {
+		t.Fatal("IsPmax accepts a touch blob")
+	}
+
+	got, err := ReadTouch(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.StreamEpoch != ts.StreamEpoch || got.Universe != ts.Universe {
+		t.Errorf("identity mismatch: %+v", got)
+	}
+	if !equalI32(got.Offsets, ts.Offsets) || !equalI32(got.Nodes, ts.Nodes) {
+		t.Errorf("payload mismatch: %+v", got)
+	}
+
+	// Decode with trailing bytes reports the exact blob size.
+	withTail := append(append([]byte(nil), buf.Bytes()...), 0xAB, 0xCD)
+	dec, n, err := DecodeTouchNext(withTail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("DecodeTouchNext size %d, want %d", n, buf.Len())
+	}
+	if !equalI32(dec.Nodes, ts.Nodes) {
+		t.Errorf("decoded payload mismatch")
+	}
+}
+
+func TestTouchEmptyChunks(t *testing.T) {
+	ts := &TouchSet{Universe: 10, Offsets: []int32{0}, Nodes: []int32{}}
+	var buf bytes.Buffer
+	if err := WriteTouch(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTouch(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumChunks() != 0 || len(got.Nodes) != 0 {
+		t.Errorf("empty round-trip: %+v", got)
+	}
+}
+
+func TestTouchCorruption(t *testing.T) {
+	ts := testTouchSet()
+	var buf bytes.Buffer
+	if err := WriteTouch(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	flipped := append([]byte(nil), good...)
+	flipped[touchHeaderSize+2] ^= 0x40
+	if _, _, err := DecodeTouchNext(flipped); !errors.Is(err, ErrChecksum) {
+		t.Errorf("flipped payload: err = %v, want ErrChecksum", err)
+	}
+
+	badMagic := append([]byte(nil), good...)
+	badMagic[0] = 0
+	if _, err := ReadTouch(bytes.NewReader(badMagic)); !errors.Is(err, ErrFormat) {
+		t.Errorf("bad magic: err = %v, want ErrFormat", err)
+	}
+
+	badVer := append([]byte(nil), good...)
+	putU32(badVer[8:], TouchVersion+1)
+	if _, err := ReadTouch(bytes.NewReader(badVer)); !errors.Is(err, ErrVersion) {
+		t.Errorf("bad version: err = %v, want ErrVersion", err)
+	}
+
+	if _, err := ReadTouch(bytes.NewReader(good[:len(good)-4])); !errors.Is(err, ErrFormat) {
+		t.Errorf("truncated: err = %v, want ErrFormat", err)
+	}
+
+	// Unsorted nodes within a chunk must be rejected.
+	bad := testTouchSet()
+	bad.Nodes[0], bad.Nodes[1] = bad.Nodes[1], bad.Nodes[0]
+	var bbuf bytes.Buffer
+	if err := WriteTouch(&bbuf, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTouch(bytes.NewReader(bbuf.Bytes())); !errors.Is(err, ErrFormat) {
+		t.Errorf("unsorted chunk: err = %v, want ErrFormat", err)
+	}
+}
+
+func equalI32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

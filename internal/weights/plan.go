@@ -65,14 +65,9 @@ func NewPlan(g *graph.Graph, s Scheme) *Plan {
 			p.inSum[v] = sc.InSum(graph.Node(v))
 		}
 		return p
-	case *Explicit:
-		return newAliasPlan(g, func(v graph.Node, j int, _ graph.Node) float64 {
-			return sc.w[sc.offset[v]+int64(j)]
-		}, sc.InSum)
 	default:
-		return newAliasPlan(g, func(v graph.Node, _ int, u graph.Node) float64 {
-			return s.W(u, v)
-		}, s.InSum)
+		weightOf, inSum := aliasWeightFns(s)
+		return newAliasPlan(g, weightOf, inSum)
 	}
 }
 
@@ -92,67 +87,80 @@ func newAliasPlan(g *graph.Graph, weightOf func(v graph.Node, j int, u graph.Nod
 	p.prob = make([]float64, slots)
 	p.alias = make([]int32, slots)
 
-	// Scratch reused across nodes; scaled doubles as the weight buffer.
-	var scaled []float64
-	var small, large []int32
+	var sc aliasScratch
 	for v := 0; v < n; v++ {
-		ns := g.Neighbors(graph.Node(v))
-		if len(ns) == 0 {
-			continue
-		}
-		k := len(ns) + 1
-		if cap(scaled) < k {
-			scaled = make([]float64, k)
-		} else {
-			scaled = scaled[:k]
-		}
-		total := 0.0
-		for j, u := range ns {
-			w := weightOf(graph.Node(v), j, u)
-			scaled[j] = w
-			total += w
-		}
-		scaled[k-1] = 0
-		if res := 1 - inSum(graph.Node(v)); res > 0 {
-			scaled[k-1] = res
-			total += res
-		}
-		// Vose's method: split each outcome's scaled mass k·w/total into
-		// a keep probability and one alias.
-		prob := p.prob[p.off[v] : p.off[v]+int32(k)]
-		alias := p.alias[p.off[v] : p.off[v]+int32(k)]
-		small, large = small[:0], large[:0]
-		for j := range scaled {
-			scaled[j] *= float64(k) / total
-			if scaled[j] < 1 {
-				small = append(small, int32(j))
-			} else {
-				large = append(large, int32(j))
-			}
-		}
-		for len(small) > 0 && len(large) > 0 {
-			s := small[len(small)-1]
-			small = small[:len(small)-1]
-			l := large[len(large)-1]
-			prob[s] = scaled[s]
-			alias[s] = l
-			scaled[l] -= 1 - scaled[s]
-			if scaled[l] < 1 {
-				large = large[:len(large)-1]
-				small = append(small, l)
-			}
-		}
-		// Numerical leftovers on either stack carry full kept mass.
-		for _, j := range large {
-			prob[j] = 1
-			alias[j] = j
-		}
-		for _, j := range small {
-			prob[j] = 1
-			alias[j] = j
-		}
+		p.buildAliasRow(graph.Node(v), weightOf, inSum, &sc)
 	}
 	return p
+}
+
+// aliasScratch is the reusable buffer set for Vose row construction;
+// scaled doubles as the weight buffer.
+type aliasScratch struct {
+	scaled       []float64
+	small, large []int32
+}
+
+// buildAliasRow fills node v's alias-table row in p (whose off/prob/alias
+// arrays must already be sized) from the scheme's weight answers.
+func (p *Plan) buildAliasRow(v graph.Node, weightOf func(v graph.Node, j int, u graph.Node) float64, inSum func(graph.Node) float64, sc *aliasScratch) {
+	ns := p.g.Neighbors(v)
+	if len(ns) == 0 {
+		return
+	}
+	k := len(ns) + 1
+	scaled := sc.scaled
+	if cap(scaled) < k {
+		scaled = make([]float64, k)
+	} else {
+		scaled = scaled[:k]
+	}
+	total := 0.0
+	for j, u := range ns {
+		w := weightOf(v, j, u)
+		scaled[j] = w
+		total += w
+	}
+	scaled[k-1] = 0
+	if res := 1 - inSum(v); res > 0 {
+		scaled[k-1] = res
+		total += res
+	}
+	// Vose's method: split each outcome's scaled mass k·w/total into
+	// a keep probability and one alias.
+	prob := p.prob[p.off[v] : p.off[v]+int32(k)]
+	alias := p.alias[p.off[v] : p.off[v]+int32(k)]
+	small, large := sc.small[:0], sc.large[:0]
+	for j := range scaled {
+		scaled[j] *= float64(k) / total
+		if scaled[j] < 1 {
+			small = append(small, int32(j))
+		} else {
+			large = append(large, int32(j))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		prob[s] = scaled[s]
+		alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, l)
+		}
+	}
+	// Numerical leftovers on either stack carry full kept mass.
+	for _, j := range large {
+		prob[j] = 1
+		alias[j] = j
+	}
+	for _, j := range small {
+		prob[j] = 1
+		alias[j] = j
+	}
+	sc.scaled, sc.small, sc.large = scaled, small, large
 }
 
 // Sample draws v's selected influencer per Definition 1 using the

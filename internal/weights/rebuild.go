@@ -1,0 +1,190 @@
+package weights
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// This file is the weights half of the delta-repair story: after a graph
+// mutation, the scheme and its compiled sampling Plan are rebuilt for the
+// epoch-N+1 graph by recomputing only the dirty nodes' state — the nodes
+// whose incident edges or incoming weights actually changed — and
+// copying every clean node's rows verbatim. Byte-identical rows mean
+// byte-identical draws, which is what lets the engine adopt undamaged
+// pool chunks across a delta.
+
+// EdgeWeight supplies the directional weights of one undirected edge for
+// Explicit rebuilds: WUV is w(U,V) (V's familiarity with U) and WVU is
+// w(V,U). Edges added by a delta default to zero weight in both
+// directions unless listed; an entry for an edge that survives the delta
+// overrides its old weights (a pure weight update — the caller must then
+// include both endpoints in the dirty set).
+type EdgeWeight struct {
+	U, V     graph.Node
+	WUV, WVU float64
+}
+
+// Rebuild returns a Scheme equivalent to s but bound to the post-delta
+// graph g, recomputing per-node state only for the dirty nodes (sorted
+// distinct; from Delta.Apply, plus any endpoints of weight updates).
+// updates is consulted only by Explicit schemes. Scheme implementations
+// outside this package cannot be rebuilt generically and return an error
+// — callers fall back to constructing the scheme anew.
+func Rebuild(s Scheme, g *graph.Graph, dirty []graph.Node, updates []EdgeWeight) (Scheme, error) {
+	switch sc := s.(type) {
+	case *Degree:
+		return NewDegree(g), nil
+	case *Uniform:
+		return &Uniform{g: g, c: sc.c}, nil
+	case *Explicit:
+		return sc.rebuild(g, dirty, updates)
+	default:
+		return nil, fmt.Errorf("weights: scheme %T does not support delta rebuild", s)
+	}
+}
+
+// dirWeight keys one directed weight w(u→v) (i.e. w(u,v)).
+type dirWeight struct{ u, v graph.Node }
+
+func updateMap(updates []EdgeWeight) map[dirWeight]float64 {
+	if len(updates) == 0 {
+		return nil
+	}
+	m := make(map[dirWeight]float64, 2*len(updates))
+	for _, uw := range updates {
+		m[dirWeight{uw.U, uw.V}] = uw.WUV
+		m[dirWeight{uw.V, uw.U}] = uw.WVU
+	}
+	return m
+}
+
+// rebuild produces the post-delta Explicit table. Clean nodes' CSR rows
+// (weights, prefixes, in-sums) are copied; dirty and brand-new nodes are
+// recomputed from surviving old weights, update entries, and the
+// zero-weight default for unlisted new edges.
+func (e *Explicit) rebuild(g *graph.Graph, dirty []graph.Node, updates []EdgeWeight) (*Explicit, error) {
+	n := g.NumNodes()
+	oldN := len(e.inSum)
+	ne := &Explicit{
+		g:      g,
+		inSum:  make([]float64, n),
+		offset: make([]int64, n+1),
+	}
+	var total int64
+	for v := 0; v < n; v++ {
+		ne.offset[v] = total
+		total += int64(g.Degree(graph.Node(v)))
+	}
+	ne.offset[n] = total
+	ne.w = make([]float64, total)
+	ne.prefix = make([]float64, total)
+
+	dirtySet := graph.NewNodeSet(n)
+	for _, v := range dirty {
+		dirtySet.Add(v)
+	}
+	upd := updateMap(updates)
+
+	for v := 0; v < n; v++ {
+		nv := graph.Node(v)
+		base := ne.offset[v]
+		if v < oldN && !dirtySet.Contains(nv) {
+			// Clean: identical neighbor list and weights; copy the row.
+			ob, oe := e.offset[v], e.offset[v+1]
+			copy(ne.w[base:], e.w[ob:oe])
+			copy(ne.prefix[base:], e.prefix[ob:oe])
+			ne.inSum[v] = e.inSum[v]
+			continue
+		}
+		sum := 0.0
+		for j, u := range g.Neighbors(nv) {
+			w, listed := 0.0, false
+			if upd != nil {
+				w, listed = upd[dirWeight{u, nv}]
+			}
+			if !listed && v < oldN && u < graph.Node(oldN) && e.g.HasEdge(u, nv) {
+				w = e.W(u, nv)
+			}
+			if w < 0 || w > 1 {
+				return nil, fmt.Errorf("%w: w(%d,%d)=%v not in [0,1]", ErrInvalidWeight, u, v, w)
+			}
+			sum += w
+			ne.w[base+int64(j)] = w
+			ne.prefix[base+int64(j)] = sum
+		}
+		if sum > 1+1e-9 {
+			return nil, fmt.Errorf("%w: incoming weights of node %d sum to %v > 1 after delta", ErrInvalidWeight, v, sum)
+		}
+		ne.inSum[v] = sum
+	}
+	return ne, nil
+}
+
+// Rebuild compiles the post-delta plan for (g, s), copying every clean
+// node's compiled row from p and rebuilding only dirty and new nodes. s
+// must be the post-delta scheme (same concrete type the plan was compiled
+// from); the result is equivalent to NewPlan(g, s) row for row.
+func (p *Plan) Rebuild(g *graph.Graph, s Scheme, dirty []graph.Node) *Plan {
+	n := g.NumNodes()
+	switch p.kind {
+	case planDegree:
+		return &Plan{g: g, kind: planDegree}
+	case planUniform:
+		oldN := len(p.inSum)
+		np := &Plan{g: g, kind: planUniform, inSum: make([]float64, n)}
+		copy(np.inSum, p.inSum[:min(oldN, n)])
+		for v := oldN; v < n; v++ {
+			np.inSum[v] = s.InSum(graph.Node(v))
+		}
+		for _, v := range dirty {
+			np.inSum[v] = s.InSum(v)
+		}
+		return np
+	default:
+		weightOf, inSum := aliasWeightFns(s)
+		oldN := len(p.off) - 1
+		np := &Plan{g: g, kind: planAlias, off: make([]int32, n+1)}
+		var slots int32
+		for v := 0; v < n; v++ {
+			np.off[v] = slots
+			if d := g.Degree(graph.Node(v)); d > 0 {
+				slots += int32(d) + 1
+			}
+		}
+		np.off[n] = slots
+		np.prob = make([]float64, slots)
+		np.alias = make([]int32, slots)
+
+		dirtySet := graph.NewNodeSet(n)
+		for _, v := range dirty {
+			dirtySet.Add(v)
+		}
+		var sc aliasScratch
+		for v := 0; v < n; v++ {
+			nv := graph.Node(v)
+			if v < oldN && !dirtySet.Contains(nv) {
+				ob, oe := p.off[v], p.off[v+1]
+				copy(np.prob[np.off[v]:], p.prob[ob:oe])
+				copy(np.alias[np.off[v]:], p.alias[ob:oe])
+				continue
+			}
+			np.buildAliasRow(nv, weightOf, inSum, &sc)
+		}
+		return np
+	}
+}
+
+// aliasWeightFns returns the weight accessors newAliasPlan would use for
+// s — the specialized table reads for Explicit, interface calls
+// otherwise.
+func aliasWeightFns(s Scheme) (func(v graph.Node, j int, u graph.Node) float64, func(graph.Node) float64) {
+	if sc, ok := s.(*Explicit); ok {
+		return func(v graph.Node, j int, _ graph.Node) float64 {
+			return sc.w[sc.offset[v]+int64(j)]
+		}, sc.InSum
+	}
+	return func(v graph.Node, _ int, u graph.Node) float64 {
+		return s.W(u, v)
+	}, s.InSum
+}

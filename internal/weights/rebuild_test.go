@@ -1,0 +1,202 @@
+package weights
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func randomGraphAndDelta(t *testing.T, seed int64) (*graph.Graph, *graph.Graph, []graph.Node) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	n := 6 + r.Intn(30)
+	b := graph.NewBuilder(n)
+	for i := 0; i < 3*n; i++ {
+		b.AddEdge(graph.Node(r.Intn(n)), graph.Node(r.Intn(n)))
+	}
+	g := b.Build()
+	var d graph.Delta
+	for i := 0; i < 1+r.Intn(5); i++ {
+		e := graph.Edge{U: graph.Node(r.Intn(n)), V: graph.Node(r.Intn(n))}
+		if e.U == e.V {
+			continue
+		}
+		if r.Intn(2) == 0 && !g.HasEdge(e.U, e.V) {
+			d.Add = append(d.Add, e)
+		} else if g.HasEdge(e.U, e.V) {
+			d.Remove = append(d.Remove, e)
+		}
+	}
+	g2, dirty, err := d.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, g2, dirty
+}
+
+// sameSchemeTables asserts W and InSum agree on every adjacent pair of g.
+func sameSchemeTables(t *testing.T, g *graph.Graph, got, want Scheme) {
+	t.Helper()
+	for v := 0; v < g.NumNodes(); v++ {
+		nv := graph.Node(v)
+		if got.InSum(nv) != want.InSum(nv) {
+			t.Fatalf("InSum(%d) = %v, want %v", v, got.InSum(nv), want.InSum(nv))
+		}
+		for _, u := range g.Neighbors(nv) {
+			if got.W(u, nv) != want.W(u, nv) {
+				t.Fatalf("W(%d,%d) = %v, want %v", u, v, got.W(u, nv), want.W(u, nv))
+			}
+		}
+	}
+}
+
+func TestExplicitRebuildMatchesFresh(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		g, g2, dirty := randomGraphAndDelta(t, seed)
+		weightOf := func(u, v graph.Node) float64 {
+			return 1 / float64(2*g.Degree(v))
+		}
+		old, err := NewExplicit(g, weightOf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rebuilt, err := Rebuild(old, g2, dirty, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The fresh reference keeps surviving edges' old weights and gives
+		// new edges weight zero — exactly the rebuild contract.
+		fresh, err := NewExplicit(g2, func(u, v graph.Node) float64 {
+			if int(v) < g.NumNodes() && int(u) < g.NumNodes() && g.HasEdge(u, v) {
+				return weightOf(u, v)
+			}
+			return 0
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameSchemeTables(t, g2, rebuilt, fresh)
+	}
+}
+
+func TestExplicitRebuildWithUpdates(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.Build()
+	old, err := NewExplicit(g, func(u, v graph.Node) float64 { return 0.25 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &graph.Delta{Add: []graph.Edge{{U: 2, V: 3}}}
+	g2, dirty, err := d.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weight the new edge and override a surviving one (0-1), whose
+	// endpoints we add to the dirty set per the weight-update contract.
+	updates := []EdgeWeight{
+		{U: 2, V: 3, WUV: 0.5, WVU: 0.125},
+		{U: 0, V: 1, WUV: 0.75, WVU: 0.0625},
+	}
+	dirty = append(dirty, 0, 1)
+	got, err := Rebuild(old, g2, dirty, updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		u, v graph.Node
+		want float64
+	}{
+		{2, 3, 0.5}, {3, 2, 0.125}, // added edge, both directions
+		{0, 1, 0.75}, {1, 0, 0.0625}, // overridden survivor
+		{1, 2, 0.25}, {2, 1, 0.25}, // untouched survivor
+	}
+	for _, c := range cases {
+		if w := got.W(c.u, c.v); w != c.want {
+			t.Errorf("W(%d,%d) = %v, want %v", c.u, c.v, w, c.want)
+		}
+	}
+	if s := got.InSum(1); math.Abs(s-(0.75+0.25)) > 1e-12 {
+		t.Errorf("InSum(1) = %v, want 1", s)
+	}
+}
+
+func TestExplicitRebuildRejectsOverflow(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	old, err := NewExplicit(g, func(u, v graph.Node) float64 { return 0.9 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &graph.Delta{Add: []graph.Edge{{U: 1, V: 2}}}
+	g2, dirty, err := d.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.9 (surviving 0→1) + 0.2 (new 2→1) > 1 must be rejected.
+	if _, err := Rebuild(old, g2, dirty, []EdgeWeight{{U: 1, V: 2, WUV: 0.3, WVU: 0.2}}); err == nil {
+		t.Error("incoming-sum overflow accepted")
+	}
+}
+
+// TestPlanRebuildMatchesFresh: for every scheme kind, the incrementally
+// rebuilt plan must draw identically to a freshly compiled one — same
+// stream, same answers — which is the row-for-row equivalence the pool
+// repair path needs.
+func TestPlanRebuildMatchesFresh(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g, g2, dirty := randomGraphAndDelta(t, 100+seed)
+
+		degree := func() (Scheme, Scheme) { return NewDegree(g), NewDegree(g2) }
+		uniform := func() (Scheme, Scheme) {
+			a, err := NewUniform(g, 0.3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := NewUniform(g2, 0.3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a, b
+		}
+		explicit := func() (Scheme, Scheme) {
+			a, err := NewExplicit(g, func(u, v graph.Node) float64 {
+				return 1 / float64(2*g.Degree(v))
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			bs, err := Rebuild(a, g2, dirty, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return a, bs
+		}
+
+		for name, mk := range map[string]func() (Scheme, Scheme){
+			"degree": degree, "uniform": uniform, "explicit": explicit,
+		} {
+			oldS, newS := mk()
+			oldPlan := NewPlan(g, oldS)
+			rebuilt := oldPlan.Rebuild(g2, newS, dirty)
+			fresh := NewPlan(g2, newS)
+			for v := 0; v < g2.NumNodes(); v++ {
+				st1 := rng.DerivedStream(42, 7, uint64(v))
+				st2 := rng.DerivedStream(42, 7, uint64(v))
+				for i := 0; i < 50; i++ {
+					u1, ok1 := rebuilt.Sample(graph.Node(v), &st1)
+					u2, ok2 := fresh.Sample(graph.Node(v), &st2)
+					if u1 != u2 || ok1 != ok2 {
+						t.Fatalf("%s seed %d: Sample(%d) draw %d: (%d,%v) != (%d,%v)",
+							name, seed, v, i, u1, ok1, u2, ok2)
+					}
+				}
+			}
+		}
+	}
+}
