@@ -53,6 +53,24 @@
 //	sol, _ := sv.Solve(ctx, s, t, activefriending.Options{Alpha: 0.3})
 //	f, _ := sv.AcceptanceProbability(ctx, s, t, sol.Invited, 20000)
 //
+// A friending surface usually ranks many candidate targets for one
+// source rather than answering a single pair. Server.TopK serves that as
+// one scheduled batch: a successive-halving schedule spends most of the
+// draw budget on the leading candidates (total draws sublinear in the
+// candidate count), every candidate's partial-effort score is a prefix
+// of its full-effort one, and an unlimited budget returns byte-identical
+// answers to independent SolveMax calls per candidate. The result is
+// anytime: TopKRefine resumes the schedule with more budget, reusing
+// every draw already paid for:
+//
+//	top, _ := sv.TopK(ctx, s, candidates, 5, activefriending.TopKOptions{
+//		Budget: 10, Realizations: 20000, MaxDraws: 500000,
+//	})
+//	for _, w := range top.Winners {
+//		fmt.Println(w.Target, w.Score, w.Effort)
+//	}
+//	top, _ = sv.TopKRefine(ctx, top, 500000) // tighten the leaders
+//
 // The served graph may mutate: Server.ApplyDelta adds and removes edges
 // atomically, producing the next epoch, and migrates every cached pair
 // across it by repair — pool chunks whose sampled walks never consulted
@@ -726,6 +744,152 @@ func (sv *Server) SolveMaxBudgets(ctx context.Context, s, t Node, budgets []int,
 	return maxSolutions(results, fs), nil
 }
 
+// TopKOptions parameterizes one batched ranking request.
+type TopKOptions struct {
+	// Budget is the invitation budget each candidate is solved under
+	// (default 10).
+	Budget int
+	// Realizations is the full per-candidate effort: the pool size a
+	// winner is scored at (≤ 0 selects the package default, 50000).
+	Realizations int64
+	// MaxDraws bounds the whole batch's realization-draw bill; the
+	// scheduler concentrates it on the leading candidates. 0 means
+	// unlimited, which scores every candidate at full effort and
+	// returns byte-identical answers to independent SolveMax calls.
+	MaxDraws int64
+}
+
+// TopKCandidate is one candidate target's standing after a TopK run.
+type TopKCandidate struct {
+	Target Node
+	// Score is the decorrelated estimate of the acceptance probability
+	// of Invited at Effort draws — what candidates are ranked on.
+	// TrainF is the biased in-pool fraction of the same solve.
+	Score  float64
+	TrainF float64
+	// Invited is the candidate's last chosen invitation set (nil if it
+	// never scored).
+	Invited []Node
+	// Effort is the pool size the candidate was last scored at — its
+	// confidence; Rounds its scheduling rounds; Frozen marks
+	// candidates eliminated before the final round.
+	Effort int64
+	Rounds int
+	Frozen bool
+	// Err is the scoring failure that froze the candidate, if any
+	// (e.g. the target is the source, or already adjacent to it).
+	Err string
+}
+
+// TopKResult is a finished batched ranking.
+type TopKResult struct {
+	Source Node
+	K      int
+	// Winners are the top min(K, scored) candidates, best first, each
+	// scored at the schedule's final effort. Candidates holds every
+	// target's standing in input order; Ranked lists input indices
+	// best-first.
+	Winners    []TopKCandidate
+	Candidates []TopKCandidate
+	Ranked     []int
+	// Rounds is the number of halving rounds run. DrawsSpent is the
+	// measured draw bill; PlannedDraws the schedule's a-priori bill;
+	// ExhaustiveDraws what independent full-effort SolveMax calls
+	// would have planned. Truncated reports that MaxDraws forced even
+	// the winners below full effort — TopKRefine can finish the job.
+	Rounds          int
+	DrawsSpent      int64
+	PlannedDraws    int64
+	ExhaustiveDraws int64
+	Truncated       bool
+
+	inner *server.TopKResult // retained so TopKRefine can resume
+}
+
+func topKResultFrom(source Node, k int, res *server.TopKResult) *TopKResult {
+	conv := func(c server.TopKCandidate) TopKCandidate {
+		out := TopKCandidate{
+			Target: c.Target,
+			Score:  c.Score,
+			TrainF: c.TrainF,
+			Effort: c.Effort,
+			Rounds: c.Rounds,
+			Frozen: c.Frozen,
+			Err:    c.Err,
+		}
+		if c.Invited != nil {
+			out.Invited = c.Invited.Members()
+		}
+		return out
+	}
+	r := &TopKResult{
+		Source:          source,
+		K:               k,
+		Candidates:      make([]TopKCandidate, len(res.Candidates)),
+		Ranked:          res.Ranked,
+		Rounds:          res.Rounds,
+		DrawsSpent:      res.DrawsSpent,
+		PlannedDraws:    res.PlannedDraws,
+		ExhaustiveDraws: res.ExhaustiveDraws,
+		Truncated:       res.Truncated,
+		inner:           res,
+	}
+	for i, c := range res.Candidates {
+		r.Candidates[i] = conv(c)
+	}
+	for _, wi := range res.Winners() {
+		r.Winners = append(r.Winners, r.Candidates[wi])
+	}
+	return r
+}
+
+// TopK ranks candidate targets for one source as a single scheduled
+// batch and returns the best k, spending at most opts.MaxDraws
+// realization draws across the whole batch. A successive-halving
+// schedule scores every surviving candidate at a growing pool size and
+// freezes the bottom half each round, so the draw bill concentrates on
+// the leaders and stays sublinear in len(targets); each candidate rides
+// the server's ordinary pair cache (byte budget, eviction, spill tier
+// and graph deltas all apply). With an unlimited budget the answers are
+// byte-identical to calling SolveMax once per target — partial-effort
+// scores are prefixes of full-effort ones, so scheduling never changes
+// what full effort would conclude, only how cheaply the batch gets
+// there.
+func (sv *Server) TopK(ctx context.Context, source Node, targets []Node, k int, opts TopKOptions) (*TopKResult, error) {
+	budget := opts.Budget
+	if budget <= 0 {
+		budget = 10
+	}
+	res, err := sv.sv.TopK(ctx, server.TopKQuery{
+		S:            source,
+		Targets:      targets,
+		K:            k,
+		Budget:       budget,
+		Realizations: opts.Realizations,
+		MaxDraws:     opts.MaxDraws,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return topKResultFrom(source, k, res), nil
+}
+
+// TopKRefine resumes a finished TopK run with extraDraws more budget:
+// the schedule re-plans at the enlarged budget and re-runs against the
+// same warm pair cache, so only the incremental draws are paid — the
+// anytime contract. The refined result equals what a cold TopK at the
+// combined budget would return.
+func (sv *Server) TopKRefine(ctx context.Context, prev *TopKResult, extraDraws int64) (*TopKResult, error) {
+	if prev == nil || prev.inner == nil {
+		return nil, errors.New("activefriending: TopKRefine needs a result returned by TopK")
+	}
+	res, err := sv.sv.TopKRefine(ctx, prev.inner, extraDraws)
+	if err != nil {
+		return nil, err
+	}
+	return topKResultFrom(prev.Source, prev.K, res), nil
+}
+
 // AcceptanceProbability estimates f(invited) for the pair (s, t) against
 // its cached evaluation pool.
 func (sv *Server) AcceptanceProbability(ctx context.Context, s, t Node, invited []Node, trials int64) (float64, error) {
@@ -895,12 +1059,18 @@ type ServerStats struct {
 	// Solve and EstimatePmax answered from retained estimator ledgers
 	// instead of resampling — the p_max refinement win.
 	PmaxDrawsReused int64
-	// Per-query-kind hit/miss tallies.
+	// Coalesced counts queries that joined an identical concurrent
+	// in-flight query (same pair, parameters and graph epoch) and
+	// shared its answer instead of paying their own computation.
+	Coalesced int64
+	// Per-query-kind hit/miss tallies. TopK counts per-candidate
+	// session acquisitions of batched ranking rounds.
 	Solve                 ServerKindStats
 	SolveMax              ServerKindStats
 	AcceptanceProbability ServerKindStats
 	Pmax                  ServerKindStats
 	EstimatePmax          ServerKindStats
+	TopK                  ServerKindStats
 }
 
 // Stats returns a snapshot of the server's ledger.
@@ -927,6 +1097,7 @@ func (sv *Server) Stats() ServerStats {
 		SpillLoadErrOther:     st.SpillLoadErrOther,
 		SpillWriteErrors:      st.SpillWriteErrors,
 		PmaxDrawsReused:       st.PmaxDrawsReused,
+		Coalesced:             st.Coalesced,
 		DeltasApplied:         st.DeltasApplied,
 		PairsDropped:          st.PairsDropped,
 		PoolsRepaired:         st.PoolsRepaired,
@@ -938,6 +1109,7 @@ func (sv *Server) Stats() ServerStats {
 		AcceptanceProbability: conv(server.KindEstimateF),
 		Pmax:                  conv(server.KindPmax),
 		EstimatePmax:          conv(server.KindPmaxEst),
+		TopK:                  conv(server.KindTopK),
 	}
 }
 

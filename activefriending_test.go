@@ -559,3 +559,74 @@ func TestEstimatePmaxFacade(t *testing.T) {
 		t.Errorf("default estimate %+v, want ~0.5", def)
 	}
 }
+
+// TestTopKFacade drives the batched ranking API end to end: winners of
+// an unlimited-budget batch match independent SolveMax answers, a
+// budgeted batch spends fewer draws, refinement resumes warm, and the
+// ledger sees the batch.
+func TestTopKFacade(t *testing.T) {
+	g := diamondChain()
+	ctx := context.Background()
+	source := Node(0)
+	targets := []Node{3, 4, 5, 8, 9}
+	opts := TopKOptions{Budget: 2, Realizations: 2048}
+
+	sv := NewServer(g, ServerConfig{Seed: 9})
+	top, err := sv.TopK(ctx, source, targets, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top.Winners) != 2 || len(top.Candidates) != len(targets) || len(top.Ranked) != len(targets) {
+		t.Fatalf("shape: %d winners, %d candidates, %d ranked", len(top.Winners), len(top.Candidates), len(top.Ranked))
+	}
+	ref := NewServer(g, ServerConfig{Seed: 9})
+	for i, tgt := range targets {
+		msol, err := ref.SolveMax(ctx, source, tgt, 2, 2048)
+		if err != nil {
+			t.Fatalf("SolveMax(%d): %v", tgt, err)
+		}
+		c := top.Candidates[i]
+		if c.Score != msol.EstimatedF || c.TrainF != msol.TrainF || !reflect.DeepEqual(c.Invited, msol.Invited) {
+			t.Fatalf("candidate %d diverged from SolveMax:\n%+v\nvs\n%+v", i, c, msol)
+		}
+	}
+	// Winners are the best-scored candidates.
+	for i := 1; i < len(top.Ranked); i++ {
+		if top.Candidates[top.Ranked[i-1]].Score < top.Candidates[top.Ranked[i]].Score {
+			t.Fatalf("ranking out of order: %v", top.Ranked)
+		}
+	}
+	if st := sv.Stats(); st.TopK.Hits+st.TopK.Misses == 0 {
+		t.Errorf("TopK kind unledgered: %+v", st)
+	}
+
+	// A budgeted batch on a fresh server spends fewer draws and stays
+	// refinable up to the exhaustive answer.
+	lean := NewServer(g, ServerConfig{Seed: 9})
+	budget := top.ExhaustiveDraws / 4
+	sched, err := lean.TopK(ctx, source, targets, 2, TopKOptions{Budget: 2, Realizations: 2048, MaxDraws: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.DrawsSpent >= top.DrawsSpent {
+		t.Fatalf("budgeted batch spent %d draws, exhaustive spent %d", sched.DrawsSpent, top.DrawsSpent)
+	}
+	refined, err := lean.TopKRefine(ctx, sched, top.ExhaustiveDraws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(refined.Winners, top.Winners) {
+		t.Fatalf("refined winners diverged:\n%+v\nvs\n%+v", refined.Winners, top.Winners)
+	}
+	if refined.DrawsSpent >= top.DrawsSpent {
+		t.Fatalf("refinement resumed nothing: %d vs %d draws", refined.DrawsSpent, top.DrawsSpent)
+	}
+
+	// Validation surfaces.
+	if _, err := sv.TopK(ctx, source, nil, 2, opts); err == nil {
+		t.Error("empty target list accepted")
+	}
+	if _, err := sv.TopKRefine(ctx, &TopKResult{}, 10); err == nil {
+		t.Error("refine of a foreign result accepted")
+	}
+}

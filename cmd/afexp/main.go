@@ -5,7 +5,7 @@
 //
 //	afexp -exp table1 -scale 0.1
 //	afexp -exp fig3 -datasets Wiki,HepTh -pairs 30 -scale 0.05
-//	afexp -exp fig4 | -exp fig5 | -exp table2 | -exp fig6 | -exp warm | -exp refine | -exp churn | -exp all
+//	afexp -exp fig4 | -exp fig5 | -exp table2 | -exp fig6 | -exp warm | -exp refine | -exp churn | -exp topk | -exp all
 //
 // The warm experiment is this reproduction's restart story rather than a
 // paper artifact: it serves a pool-bound workload cold, flushes every
@@ -17,7 +17,12 @@
 // saved and an identity check of the estimates. The churn experiment is
 // the dynamic-graph story: sparse random deltas mutate the graph epoch
 // by epoch while warm pools migrate across each one by repair, and the
-// repair draw bill is compared against discard-and-resample.
+// repair draw bill is compared against discard-and-resample. The topk
+// experiment measures the batched ranking scheduler: a successive-halving
+// run at a quarter of the exhaustive draw budget against the exhaustive
+// batch, reporting the draw ratio, the precision@k the schedule retained,
+// and a byte-identity check of the exhaustive batch against independent
+// SolveMax queries.
 //
 // Scale, pair count and Monte-Carlo budgets default to laptop-friendly
 // values; raise them (e.g. -scale 1 -pairs 500) to match the paper's
@@ -73,7 +78,7 @@ type options struct {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("afexp", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: table1|fig3|fig4|fig5|table2|fig6|warm|refine|churn|all")
+	exp := fs.String("exp", "all", "experiment: table1|fig3|fig4|fig5|table2|fig6|warm|refine|churn|topk|all")
 	datasets := fs.String("datasets", "Wiki,HepTh,HepPh,Youtube", "comma-separated dataset analogs")
 	scale := fs.Float64("scale", 0.05, "dataset scale (1 = paper size)")
 	pairs := fs.Int("pairs", 20, "number of (s,t) pairs per dataset (paper: 500)")
@@ -118,7 +123,7 @@ func run(args []string) error {
 			return err
 		}
 	}
-	wantsPairs := map[string]bool{"fig3": true, "fig4": true, "fig5": true, "table2": true, "fig6": true, "warm": true, "refine": true, "churn": true, "all": true}
+	wantsPairs := map[string]bool{"fig3": true, "fig4": true, "fig5": true, "table2": true, "fig6": true, "warm": true, "refine": true, "churn": true, "topk": true, "all": true}
 	if !wantsPairs[o.exp] && o.exp != "table1" {
 		return fmt.Errorf("unknown experiment %q", o.exp)
 	}
@@ -238,6 +243,18 @@ func run(args []string) error {
 				return err
 			}
 			if err := emit(eval.RenderPmaxRefine(name, res)); err != nil {
+				return err
+			}
+		}
+		if o.exp == "topk" || o.exp == "all" {
+			// Batched ranking experiment: the pairs' source s ranks the
+			// pairs' targets as one scheduled top-k batch; the scheduled
+			// run gets a quarter of the exhaustive draw budget.
+			res, err := eval.TopKRanking(ctx, cfg, 5, 5)
+			if err != nil {
+				return err
+			}
+			if err := emit(eval.RenderTopK(name, res)); err != nil {
 				return err
 			}
 		}

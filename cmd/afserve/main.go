@@ -17,13 +17,18 @@
 //	{"id":4,"op":"acceptance","s":3,"t":91,"invited":[17,91],"trials":20000}
 //	{"id":5,"op":"pmax","s":3,"t":91,"trials":20000}
 //	{"id":6,"op":"pmaxest","s":3,"t":91,"eps":0.1,"n":100000,"trials":2000000}
-//	{"id":7,"op":"stats"}
+//	{"id":7,"op":"topk","s":3,"targets":[91,17,64,108],"k":2,"budget":5,"maxdraws":500000}
+//	{"id":8,"op":"stats"}
 //
 // A solvemax with a "budgets" list answers the whole sweep in one
 // response: the pair's pool is folded into a set-cover family once, one
 // solver is reused across budgets, and the measurements are batched
-// coverage queries. -pprof serves net/http/pprof for profiling under
-// real traffic.
+// coverage queries. A topk ranks the "targets" list for source s as one
+// scheduled batch (successive halving under the "maxdraws" draw budget;
+// omit it to score every candidate at full effort, byte-identical to
+// independent solvemax calls) and reports the k winners with their
+// per-candidate score, effort and invitation set. -pprof serves
+// net/http/pprof for profiling under real traffic.
 //
 // pmax is the cheap fixed-budget estimate (the evaluation pool's type-1
 // fraction over "trials" draws); pmaxest runs the paper's Algorithm 2
@@ -87,6 +92,10 @@ type request struct {
 	Realizations int64     `json:"realizations,omitempty"`
 	Trials       int64     `json:"trials,omitempty"`
 	Invited      []af.Node `json:"invited,omitempty"`
+	// Targets / K / MaxDraws parameterize the "topk" op.
+	Targets  []af.Node `json:"targets,omitempty"`
+	K        int       `json:"k,omitempty"`
+	MaxDraws int64     `json:"maxdraws,omitempty"`
 	// Add / Remove are the "delta" op's edge lists, each edge a [u, v]
 	// pair.
 	Add    [][2]af.Node `json:"add,omitempty"`
@@ -291,6 +300,12 @@ func serve(ctx context.Context, sv *af.Server, req request) response {
 				"sampled": est.Sampled, "truncated": est.Truncated,
 			}
 		}
+	case "topk":
+		result, err = sv.TopK(ctx, req.S, req.Targets, req.K, af.TopKOptions{
+			Budget:       req.Budget,
+			Realizations: req.Realizations,
+			MaxDraws:     req.MaxDraws,
+		})
 	case "delta":
 		// Mutate the served graph in place: cached pairs are migrated
 		// across the new epoch by repair, not discarded. Requests already

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sort"
 	"strings"
 	"testing"
@@ -356,6 +357,79 @@ func TestServeSolveMaxSweep(t *testing.T) {
 	for i, want := range got[1:] {
 		if string(sweep[i]) != string(want.Result) {
 			t.Errorf("budget %d: sweep entry %s != single response %s", i+1, sweep[i], want.Result)
+		}
+	}
+}
+
+// TestServeTopK: the "topk" op answers a batched ranking request, its
+// winners come ranked best-first, and the answer is deterministic across
+// concurrency and byte-budget settings like every other query.
+func TestServeTopK(t *testing.T) {
+	path := graphFile(t)
+	const topkQueries = `{"id":1,"op":"topk","s":0,"targets":[3,4,5,6,7],"k":2,"budget":2,"realizations":2048}
+{"id":2,"op":"topk","s":0,"targets":[3,4,5,6,7],"k":2,"budget":2,"realizations":2048,"maxdraws":10240}
+{"id":3,"op":"topk","s":0,"k":2,"budget":2}
+`
+	got := runServe(t, []string{"-file", path, "-seed", "7"}, topkQueries)
+	if len(got) != 3 {
+		t.Fatalf("got %d responses, want 3", len(got))
+	}
+	type topk struct {
+		Winners []struct {
+			Target int32
+			Score  float64
+		}
+		Candidates []struct{ Target int32 }
+		DrawsSpent int64
+	}
+	var full topk
+	if !got[0].OK {
+		t.Fatalf("topk: error %q", got[0].Error)
+	}
+	if err := json.Unmarshal(got[0].Result, &full); err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Winners) != 2 || len(full.Candidates) != 5 {
+		t.Fatalf("topk shape: %d winners, %d candidates", len(full.Winners), len(full.Candidates))
+	}
+	if full.Winners[0].Score < full.Winners[1].Score {
+		t.Errorf("winners not ranked best-first: %+v", full.Winners)
+	}
+	// The scheduled run answers under a tighter draw bill.
+	var sched topk
+	if !got[1].OK {
+		t.Fatalf("scheduled topk: error %q", got[1].Error)
+	}
+	if err := json.Unmarshal(got[1].Result, &sched); err != nil {
+		t.Fatal(err)
+	}
+	if sched.DrawsSpent >= full.DrawsSpent {
+		t.Errorf("scheduled run spent %d draws, full run %d", sched.DrawsSpent, full.DrawsSpent)
+	}
+	// Missing targets is a client error, not a crash.
+	if got[2].OK || got[2].Error == "" {
+		t.Errorf("topk without targets: %+v", got[2])
+	}
+	// Determinism: concurrency and eviction change latency, not answers.
+	for _, extra := range [][]string{
+		{"-j", "4"},
+		{"-maxbytes", "16384", "-workers", "2"},
+	} {
+		again := runServe(t, append([]string{"-file", path, "-seed", "7"}, extra...), topkQueries)
+		for i := range got[:2] {
+			var a, b topk
+			if err := json.Unmarshal(got[i].Result, &a); err != nil {
+				t.Fatal(err)
+			}
+			if err := json.Unmarshal(again[i].Result, &b); err != nil {
+				t.Fatal(err)
+			}
+			// DrawsSpent legitimately varies with eviction; winner
+			// identity and scores do not.
+			a.DrawsSpent, b.DrawsSpent = 0, 0
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("%v: id %d diverged:\n got %+v\nwant %+v", extra, got[i].ID, b, a)
+			}
 		}
 	}
 }

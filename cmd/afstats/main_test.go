@@ -1,17 +1,65 @@
 package main
 
 import (
+	"encoding/csv"
+	"io"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
 )
 
-func TestRunGenerated(t *testing.T) {
-	if err := run([]string{"-scale", "0.02"}); err != nil {
+// captureStdout runs fn with os.Stdout redirected into a pipe and
+// returns everything fn wrote.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-scale", "0.02", "-csv"}); err != nil {
+	old := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := fn()
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatalf("run: %v (output so far: %q)", runErr, out)
+	}
+	return string(out)
+}
+
+func TestRunGenerated(t *testing.T) {
+	out := captureStdout(t, func() error { return run([]string{"-scale", "0.02"}) })
+	for _, want := range []string{"Table I", "dataset", "nodes", "edges", "Wiki", "HepTh", "HepPh", "Youtube"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunGeneratedCSV(t *testing.T) {
+	out := captureStdout(t, func() error { return run([]string{"-scale", "0.02", "-csv"}) })
+	rows, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not CSV: %v\n%s", err, out)
+	}
+	// Header plus one row per registered dataset analog.
+	if len(rows) != 5 {
+		t.Fatalf("got %d CSV rows, want 5:\n%s", len(rows), out)
+	}
+	if rows[0][0] != "dataset" || rows[0][1] != "nodes" {
+		t.Errorf("header = %v", rows[0])
+	}
+	for _, row := range rows[1:] {
+		n, err := strconv.Atoi(row[1])
+		if err != nil || n <= 0 {
+			t.Errorf("row %v: bad node count", row)
+		}
 	}
 }
 
@@ -20,8 +68,17 @@ func TestRunFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte("0 1\n1 2\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-file", path}); err != nil {
-		t.Fatal(err)
+	out := captureStdout(t, func() error { return run([]string{"-file", path, "-csv"}) })
+	rows, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not CSV: %v\n%s", err, out)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d CSV rows, want 2:\n%s", len(rows), out)
+	}
+	// The path triangle has 3 nodes and 2 edges.
+	if rows[1][0] != path || rows[1][1] != "3" || rows[1][2] != "2" {
+		t.Errorf("file stats row = %v, want [%s 3 2 ...]", rows[1], path)
 	}
 }
 
@@ -38,5 +95,8 @@ func TestRunFileErrors(t *testing.T) {
 	}
 	if err := run([]string{"-scale", "99"}); err == nil {
 		t.Error("bad scale accepted")
+	}
+	if err := run([]string{"-bogusflag"}); err == nil {
+		t.Error("unknown flag accepted")
 	}
 }

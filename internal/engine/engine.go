@@ -55,7 +55,6 @@ const (
 type Engine struct {
 	in        *ltm.Instance
 	samplers  sync.Pool
-	chunkBufs sync.Pool    // *chunkBuf: recycled chunk arenas/tables
 	draws     atomic.Int64 // every draw made through the engine
 	poolDraws atomic.Int64 // draws spent filling pools (subset of draws)
 	pmaxDraws atomic.Int64 // draws spent in p_max estimator ledgers (subset of draws)
@@ -154,7 +153,6 @@ func (e *Engine) Fingerprint() uint64 {
 func New(in *ltm.Instance) *Engine {
 	e := &Engine{in: in}
 	e.samplers.New = func() any { return realization.NewSampler(in) }
-	e.chunkBufs.New = func() any { return new(chunkBuf) }
 	return e
 }
 
@@ -218,10 +216,14 @@ type chunkPaths struct {
 }
 
 // chunkBuf carries the backing arrays a sampled chunk appends into.
-// Buffers cycle through the engine's chunkBufs pool: a sampling call
-// draws one per chunk, hands its (possibly regrown) arrays back after
-// pool assembly, and steady-state sampling stops allocating entirely —
-// the arenas are size-hinted by whatever previous chunks needed.
+// Buffers cycle through a process-wide pool: a sampling call draws one
+// per chunk, hands its (possibly regrown) arrays back after pool
+// assembly, and steady-state sampling stops allocating entirely — the
+// arenas are size-hinted by whatever previous chunks needed. The pool is
+// package-level rather than per-Engine because a buffer's contents are
+// appended from scratch every use and carry nothing instance-specific,
+// so a batched top-k request spanning many pair engines warms one shared
+// set of arenas instead of one cold set per candidate.
 type chunkBuf struct {
 	arena   []graph.Node
 	offsets []int32
@@ -229,8 +231,10 @@ type chunkBuf struct {
 	touched []graph.Node
 }
 
-// getChunkBuf draws a recycled chunk buffer from the engine's pool.
-func (e *Engine) getChunkBuf() *chunkBuf { return e.chunkBufs.Get().(*chunkBuf) }
+var chunkBufs = sync.Pool{New: func() any { return new(chunkBuf) }}
+
+// getChunkBuf draws a recycled chunk buffer from the shared pool.
+func (e *Engine) getChunkBuf() *chunkBuf { return chunkBufs.Get().(*chunkBuf) }
 
 // putChunkBuf returns cp's backing arrays to the pool through b (the
 // buffer cp was sampled into). keepTables leaves offsets/drawIdx with the
@@ -245,7 +249,7 @@ func (e *Engine) putChunkBuf(b *chunkBuf, cp chunkPaths, keepTables bool) {
 		b.drawIdx = cp.drawIdx[:0]
 		b.touched = cp.touched[:0]
 	}
-	e.chunkBufs.Put(b)
+	chunkBufs.Put(b)
 }
 
 // sampleChunk draws n realizations from the stream (seed, ns, chunk) and

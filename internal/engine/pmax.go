@@ -41,11 +41,30 @@ import (
 const nsPmax uint64 = 0x506D6178 // "Pmax"
 
 // pmaxInitialDraws is the first growth target of a cold estimator. Growth
-// then doubles, so the sampled total always lands on the fixed ladder
-// {4096, 8192, …} (until a budget clamps it) regardless of which requests
-// drove the growth — which is what makes a staged refinement sample no
-// more than the equivalent cold estimate.
-const pmaxInitialDraws = 2 * ChunkSize
+// then follows pmaxNextTarget's fixed chunk-aligned ladder, so the
+// sampled total always lands on the same rung sequence (until a budget
+// clamps it) regardless of which requests drove the growth — which is
+// what makes a staged refinement sample no more than the equivalent cold
+// estimate: both walk the identical ladder and stop at the identical
+// rung.
+const pmaxInitialDraws = ChunkSize
+
+// pmaxNextTarget is the growth ladder: from a ledger of draws samples,
+// the next rung. It is a pure function of the ledger size — never of the
+// request that triggered growth — so staged and cold estimators land on
+// byte-identical ledgers. The rung starts one chunk up and grows by a
+// capped ~1.25× ratio (chunk-aligned) rather than doubling: Estimate
+// re-runs the prefix scan at every rung, so finer rungs stop sampling at
+// the first one whose scan already converged, and the worst-case
+// oversample past the stopping draw shrinks from ~2× to ~1.25× while the
+// rung count to any total stays logarithmic.
+func pmaxNextTarget(draws int64) int64 {
+	next := draws + draws/4
+	if c := next % ChunkSize; c != 0 {
+		next += ChunkSize - c
+	}
+	return max(next, draws+ChunkSize, pmaxInitialDraws)
+}
 
 // pmaxChunk is one sampled chunk of the estimator's ledger: draws
 // Bernoulli draws, of which the chunk-local indices in succ (ascending)
@@ -155,7 +174,7 @@ type PmaxResult struct {
 //
 // On a zero-success budget exhaustion the returned error wraps
 // mc.ErrZeroEstimate. With no budget and a truly unreachable target the
-// doubling schedule eventually overflows the chunk-table cap and returns
+// growth ladder eventually overflows the chunk-table cap and returns
 // an error rather than sampling forever.
 func (pe *PmaxEstimator) Estimate(ctx context.Context, eps, n float64, maxDraws int64) (PmaxResult, error) {
 	if eps <= 0 || eps >= 1 {
@@ -214,7 +233,7 @@ func (pe *PmaxEstimator) Estimate(ctx context.Context, eps, n float64, maxDraws 
 				Truncated: true,
 			}, nil
 		}
-		target := max(pe.draws*2, pmaxInitialDraws)
+		target := pmaxNextTarget(pe.draws)
 		if maxDraws > 0 && target > maxDraws {
 			target = maxDraws
 		}

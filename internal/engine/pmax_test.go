@@ -362,3 +362,35 @@ func disconnectedInstance(t *testing.T) *ltm.Instance {
 	b.AddEdge(3, 4)
 	return mustInstance(t, b.Build(), 0, 4)
 }
+
+// TestPmaxGrowthLadder pins the growth schedule's contract: rungs are a
+// pure function of ledger size (request-independent — this is what keeps
+// staged and cold ledgers byte-identical), chunk-aligned, strictly
+// increasing, and capped near 1.25× so the oversample past the stopping
+// draw stays small.
+func TestPmaxGrowthLadder(t *testing.T) {
+	if got := pmaxNextTarget(0); got != pmaxInitialDraws {
+		t.Fatalf("cold rung = %d, want %d", got, pmaxInitialDraws)
+	}
+	draws := int64(0)
+	for rung := 0; rung < 60; rung++ {
+		next := pmaxNextTarget(draws)
+		if next%ChunkSize != 0 {
+			t.Fatalf("rung %d: target %d not chunk-aligned", rung, next)
+		}
+		if next <= draws {
+			t.Fatalf("rung %d: target %d does not grow past %d", rung, next, draws)
+		}
+		if draws >= 8*ChunkSize {
+			if ratio := float64(next) / float64(draws); ratio > 1.5 {
+				t.Fatalf("rung %d: growth ratio %.2f too aggressive (%d -> %d)", rung, ratio, draws, next)
+			}
+		}
+		draws = next
+	}
+	// Sixty rungs of ~1.25× growth still reach billions of draws — the
+	// finer ladder trades at most a constant factor of rung count.
+	if draws < int64(1)<<31 {
+		t.Fatalf("ladder stalled: 60 rungs reach only %d draws", draws)
+	}
+}

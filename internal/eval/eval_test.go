@@ -468,3 +468,40 @@ func TestMutationChurn(t *testing.T) {
 		t.Fatal("no pairs accepted")
 	}
 }
+
+func TestTopKRanking(t *testing.T) {
+	g := testGraph(t)
+	pairs := samplePairsForTest(t, g, 8)
+	cfg := testConfig(t, g, pairs)
+	cfg.EvalTrials = 2048
+	res, err := TopKRanking(context.Background(), cfg, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Identical {
+		t.Error("exhaustive batch diverged from independent SolveMax queries")
+	}
+	if res.ScheduledDraws >= res.ExhaustiveDraws {
+		t.Errorf("scheduled run spent %d draws, exhaustive %d — no saving",
+			res.ScheduledDraws, res.ExhaustiveDraws)
+	}
+	if res.DrawRatio <= 1 {
+		t.Errorf("draw ratio %v, want > 1", res.DrawRatio)
+	}
+	if res.PrecisionAtK < 0 || res.PrecisionAtK > 1 {
+		t.Errorf("precision@k = %v", res.PrecisionAtK)
+	}
+	if res.Candidates == 0 || res.K != 3 || res.Budget != 3 {
+		t.Errorf("report shape: %+v", res)
+	}
+	if tbl := RenderTopK("test", res); tbl == nil {
+		t.Error("nil table")
+	}
+	// Validation.
+	if _, err := TopKRanking(context.Background(), cfg, 0, 3); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := TopKRanking(context.Background(), Config{Graph: g, Weights: cfg.Weights}, 3, 3); !errors.Is(err, ErrNoPairs) {
+		t.Errorf("no pairs err = %v", err)
+	}
+}

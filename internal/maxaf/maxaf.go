@@ -73,19 +73,36 @@ func Solve(ctx context.Context, in *ltm.Instance, cfg Config) (*Result, error) {
 // budget solves on one pool (budget searches, server traffic) fold and
 // index the paths exactly once.
 func SolveFromPool(in *ltm.Instance, budget int, pool *engine.Pool) (*Result, error) {
+	res, _, err := SolveFromPoolSolver(in, budget, pool, nil)
+	return res, err
+}
+
+// SolveFromPoolSolver is SolveFromPool with caller-held solver scratch:
+// the batched top-k path solves many candidates' pools in turn, and
+// rebinding one Solver per pool amortizes the marginal/bucket/bitset
+// allocations across the whole batch. A nil solver allocates fresh; the
+// (possibly new) solver is returned for the next pool. Results are
+// identical to SolveFromPool's — Solver.Rebind guarantees rebound
+// scratch solves exactly like fresh scratch.
+func SolveFromPoolSolver(in *ltm.Instance, budget int, pool *engine.Pool, solver *setcover.Solver) (*Result, *setcover.Solver, error) {
 	if budget <= 0 {
-		return nil, fmt.Errorf("maxaf: budget %d must be positive", budget)
+		return nil, solver, fmt.Errorf("maxaf: budget %d must be positive", budget)
 	}
 	if pool.NumType1() == 0 {
-		return nil, fmt.Errorf("%w: no type-1 realization in %d draws", core.ErrTargetUnreachable, pool.Total())
+		return nil, solver, fmt.Errorf("%w: no type-1 realization in %d draws", core.ErrTargetUnreachable, pool.Total())
 	}
 	fam, err := pool.Family()
 	if err != nil {
-		return nil, fmt.Errorf("maxaf: set family: %w", err)
+		return nil, solver, fmt.Errorf("maxaf: set family: %w", err)
 	}
-	sol, err := fam.SolveBudget(budget)
+	if solver == nil {
+		solver = setcover.NewSolver(fam)
+	} else {
+		solver.Rebind(fam)
+	}
+	sol, err := solver.SolveBudget(budget)
 	if err != nil {
-		return nil, fmt.Errorf("maxaf: budgeted cover: %w", err)
+		return nil, solver, fmt.Errorf("maxaf: budgeted cover: %w", err)
 	}
 	invited := graph.NewNodeSet(in.Graph().NumNodes())
 	for _, v := range sol.Union {
@@ -95,7 +112,7 @@ func SolveFromPool(in *ltm.Instance, budget int, pool *engine.Pool) (*Result, er
 		Invited:         invited,
 		CoveredFraction: float64(sol.Covered) / float64(pool.Total()),
 		PoolType1:       pool.NumType1(),
-	}, nil
+	}, solver, nil
 }
 
 // SolveBudgetsFromPool runs the budgeted greedy for every budget against

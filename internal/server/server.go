@@ -110,6 +110,7 @@ const (
 	KindPmax
 	KindPmaxEst // Algorithm 2 stopping-rule estimates (PmaxEstimate)
 	KindAcquire // harness Pair() acquisitions
+	KindTopK    // batched top-k ranking (per-candidate session acquisitions)
 	numKinds
 )
 
@@ -128,6 +129,8 @@ func (k Kind) String() string {
 		return "pmaxest"
 	case KindAcquire:
 		return "acquire"
+	case KindTopK:
+		return "topk"
 	}
 	return "unknown"
 }
@@ -201,6 +204,11 @@ type Stats struct {
 	// retained estimator ledger instead of resampling — the refinement
 	// win, the p_max analog of SpillDrawsSaved.
 	PmaxDrawsReused int64
+	// Coalesced counts queries that joined an identical in-flight query
+	// (same kind, pair, parameters and graph epoch) instead of paying
+	// their own computation — two racing clients previously both paid a
+	// cold pool. See Server.coalesce.
+	Coalesced int64
 	// ByKind indexes hit/miss tallies by Kind.
 	ByKind [numKinds]KindCounts
 }
@@ -282,6 +290,10 @@ type Server struct {
 	spillLoadErrOther    atomic.Int64
 	spillWriteErrors     atomic.Int64
 	pmaxDrawsReused      atomic.Int64
+	coalesced            atomic.Int64
+
+	// flights holds in-flight coalescable queries; see coalesce.
+	flights sync.Map // flightKey -> *flightCall
 
 	deltasApplied atomic.Int64
 	pairsDropped  atomic.Int64
@@ -647,7 +659,18 @@ func (sv *Server) Warm() (int, error) {
 
 // Solve runs RAF for (s,t) against the pair's cached session. cfg.Seed
 // and cfg.Workers are ignored in favor of the server's per-pair streams.
+// Concurrent identical calls coalesce into one execution (see coalesce).
 func (sv *Server) Solve(ctx context.Context, s, t graph.Node, cfg core.Config) (*core.Result, error) {
+	v, err := sv.coalesce(KindSolve, s, t, pairParams(fmt.Sprintf("%+v", cfg)), func() (any, error) {
+		return sv.solve(ctx, s, t, cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*core.Result), nil
+}
+
+func (sv *Server) solve(ctx context.Context, s, t graph.Node, cfg core.Config) (*core.Result, error) {
 	e, err := sv.acquire(KindSolve, s, t)
 	if err != nil {
 		return nil, err
@@ -666,7 +689,27 @@ func (sv *Server) Solve(ctx context.Context, s, t graph.Node, cfg core.Config) (
 // and re-measures the chosen set on the pair's decorrelated evaluation
 // pool. It returns the solver result (whose CoveredFraction is the
 // biased in-pool fraction) together with the decorrelated estimate.
+// Concurrent identical calls coalesce into one execution (see coalesce).
 func (sv *Server) SolveMax(ctx context.Context, s, t graph.Node, budget int, realizations int64) (*maxaf.Result, float64, error) {
+	type out struct {
+		res *maxaf.Result
+		f   float64
+	}
+	v, err := sv.coalesce(KindSolveMax, s, t, pairParams("max", budget, realizations), func() (any, error) {
+		res, f, err := sv.solveMax(ctx, s, t, budget, realizations)
+		if err != nil {
+			return nil, err
+		}
+		return out{res, f}, nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	o := v.(out)
+	return o.res, o.f, nil
+}
+
+func (sv *Server) solveMax(ctx context.Context, s, t graph.Node, budget int, realizations int64) (*maxaf.Result, float64, error) {
 	e, err := sv.acquire(KindSolveMax, s, t)
 	if err != nil {
 		return nil, 0, err
@@ -697,7 +740,27 @@ func (sv *Server) SolveMax(ctx context.Context, s, t graph.Node, budget int, rea
 // in-pool fractions and the decorrelated estimates come from batched
 // coverage queries — one postings traversal per pool for the entire
 // sweep. Results are identical to calling SolveMax per budget.
+// Concurrent identical calls coalesce into one execution (see coalesce).
 func (sv *Server) SolveMaxBudgets(ctx context.Context, s, t graph.Node, budgets []int, realizations int64) ([]*maxaf.Result, []float64, error) {
+	type out struct {
+		res []*maxaf.Result
+		fs  []float64
+	}
+	v, err := sv.coalesce(KindSolveMax, s, t, pairParams("sweep", budgets, realizations), func() (any, error) {
+		res, fs, err := sv.solveMaxBudgets(ctx, s, t, budgets, realizations)
+		if err != nil {
+			return nil, err
+		}
+		return out{res, fs}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	o := v.(out)
+	return o.res, o.fs, nil
+}
+
+func (sv *Server) solveMaxBudgets(ctx context.Context, s, t graph.Node, budgets []int, realizations int64) ([]*maxaf.Result, []float64, error) {
 	e, err := sv.acquire(KindSolveMax, s, t)
 	if err != nil {
 		return nil, nil, err
@@ -740,8 +803,19 @@ func (sv *Server) EstimateF(ctx context.Context, s, t graph.Node, invited *graph
 // Pmax estimates p_max for (s,t) from the pair's evaluation pool — the
 // cheap fixed-budget estimate (the pool's type-1 fraction over exactly
 // trials draws). For an estimate with the paper's (ε₀, 1/N) stopping-rule
-// guarantee, use PmaxEstimate.
+// guarantee, use PmaxEstimate. Concurrent identical calls coalesce into
+// one execution (see coalesce).
 func (sv *Server) Pmax(ctx context.Context, s, t graph.Node, trials int64) (float64, error) {
+	v, err := sv.coalesce(KindPmax, s, t, pairParams(trials), func() (any, error) {
+		return sv.pmaxQuery(ctx, s, t, trials)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return v.(float64), nil
+}
+
+func (sv *Server) pmaxQuery(ctx context.Context, s, t graph.Node, trials int64) (float64, error) {
 	e, err := sv.acquire(KindPmax, s, t)
 	if err != nil {
 		return 0, err
@@ -756,8 +830,19 @@ func (sv *Server) Pmax(ctx context.Context, s, t graph.Node, trials int64) (floa
 // refined requests for one pair reuse every draw already paid for (the
 // reuse is ledgered in Stats().PmaxDrawsReused), and the estimator state
 // rides the spill tier across eviction and restarts. The result is a
-// pure function of (Seed, s, t, eps0, n, maxDraws).
+// pure function of (Seed, s, t, eps0, n, maxDraws). Concurrent identical
+// calls coalesce into one execution (see coalesce).
 func (sv *Server) PmaxEstimate(ctx context.Context, s, t graph.Node, eps0, n float64, maxDraws int64) (engine.PmaxResult, error) {
+	v, err := sv.coalesce(KindPmaxEst, s, t, pairParams(eps0, n, maxDraws), func() (any, error) {
+		return sv.pmaxEstimate(ctx, s, t, eps0, n, maxDraws)
+	})
+	if err != nil {
+		return engine.PmaxResult{}, err
+	}
+	return v.(engine.PmaxResult), nil
+}
+
+func (sv *Server) pmaxEstimate(ctx context.Context, s, t graph.Node, eps0, n float64, maxDraws int64) (engine.PmaxResult, error) {
 	e, err := sv.acquire(KindPmaxEst, s, t)
 	if err != nil {
 		return engine.PmaxResult{}, err
@@ -817,6 +902,7 @@ func (sv *Server) Stats() Stats {
 		SpillLoadErrOther:    sv.spillLoadErrOther.Load(),
 		SpillWriteErrors:     sv.spillWriteErrors.Load(),
 		PmaxDrawsReused:      sv.pmaxDrawsReused.Load(),
+		Coalesced:            sv.coalesced.Load(),
 
 		DeltasApplied:         sv.deltasApplied.Load(),
 		PairsDropped:          sv.pairsDropped.Load(),

@@ -1,0 +1,222 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/maxaf"
+	"repro/internal/rank"
+	"repro/internal/setcover"
+)
+
+// TopKQuery is one batched ranking request: rank Targets as friending
+// candidates for source S and surface the best K, spending at most
+// MaxDraws realization draws across the whole batch.
+type TopKQuery struct {
+	S       graph.Node
+	Targets []graph.Node
+	// K is how many winners must be scored at full effort.
+	K int
+	// Budget is the invitation budget each candidate is solved under
+	// (the paper's b).
+	Budget int
+	// Realizations is the full per-candidate effort L (≤ 0 selects
+	// maxaf.DefaultRealizations); a winner of an untruncated run is
+	// scored at exactly this pool size.
+	Realizations int64
+	// MaxDraws bounds the batch's total draw bill (0 = unlimited). Any
+	// budget that admits the exhaustive bill — 2·L per candidate —
+	// degenerates to it, making the answers byte-identical to
+	// len(Targets) independent SolveMax calls.
+	MaxDraws int64
+}
+
+// TopKCandidate is one target's standing after a TopK run.
+type TopKCandidate struct {
+	Target graph.Node
+	// Score is the decorrelated estimate of f(Invited) at Effort
+	// draws — the quantity candidates are ranked on.
+	Score float64
+	// TrainF is the biased in-pool covered fraction of the last solve.
+	TrainF float64
+	// Invited is the last chosen invitation set (nil if the candidate
+	// never scored successfully).
+	Invited *graph.NodeSet
+	// Effort is the pool size the candidate was last scored at — the
+	// per-candidate confidence knob; Rounds counts its scheduling
+	// rounds. Frozen candidates stopped before the final round.
+	Effort int64
+	Rounds int
+	Frozen bool
+	// Err is the scoring failure that froze the candidate, if any
+	// (e.g. an unreachable or adjacent target) — rendered to a string
+	// so results serialize.
+	Err string
+}
+
+// TopKResult is a finished batched ranking. It retains its Query so a
+// later TopKRefine call can resume the schedule.
+type TopKResult struct {
+	Query      TopKQuery
+	Candidates []TopKCandidate // by Targets index
+	// Ranked lists Targets indices best-first: the final survivors by
+	// score, then frozen candidates by how long they survived.
+	Ranked []int
+	Rounds int
+	// PlannedDraws is the schedule's a-priori bill; DrawsSpent is the
+	// measured pool growth the run actually caused (eviction-induced
+	// resampling included, reuse of already-grown pools excluded);
+	// ExhaustiveDraws is what len(Targets) independent full-effort
+	// SolveMax calls would plan. Truncated reports that MaxDraws
+	// forced even the winners below full effort.
+	PlannedDraws    int64
+	DrawsSpent      int64
+	ExhaustiveDraws int64
+	Truncated       bool
+}
+
+// Winners returns the top-min(K, ranked) candidate indices, best first.
+func (r *TopKResult) Winners() []int {
+	return r.Ranked[:min(r.Query.K, len(r.Ranked))]
+}
+
+// TopK serves one batched top-k request end to end as a single scheduled
+// computation. A rank.Plan (successive halving) decides how much effort
+// each surviving candidate receives per round; every candidate's session
+// lives in the ordinary pair cache, so the byte budget, eviction, spill
+// tier and delta migration all apply per candidate exactly as they do to
+// single-pair queries — an evicted candidate resamples (or restores) to
+// byte-identical pools, and the measured DrawsSpent ledgers the extra
+// bill. Within the batch, one solver scratch pool serves every
+// candidate's greedy (setcover.Solver.Rebind) and the engine's shared
+// chunk arenas serve every pool growth.
+//
+// Purity: every candidate's score at effort l is the same pure function
+// of (Seed, S, target, Budget, l) that SolveMax computes, so a full-
+// budget run returns byte-identical winners, scores and invitation sets
+// to len(Targets) independent SolveMax calls, for any worker count and
+// any eviction schedule. Concurrent identical calls coalesce into one
+// execution (see coalesce).
+func (sv *Server) TopK(ctx context.Context, q TopKQuery) (*TopKResult, error) {
+	v, err := sv.coalesce(KindTopK, q.S, q.S, pairParams(q.Targets, q.K, q.Budget, q.Realizations, q.MaxDraws), func() (any, error) {
+		return sv.topK(ctx, q)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*TopKResult), nil
+}
+
+func (sv *Server) topK(ctx context.Context, q TopKQuery) (*TopKResult, error) {
+	n := len(q.Targets)
+	if n == 0 {
+		return nil, fmt.Errorf("server: topk with no targets")
+	}
+	if q.K <= 0 {
+		return nil, fmt.Errorf("server: topk k=%d must be positive", q.K)
+	}
+	if q.Budget <= 0 {
+		return nil, fmt.Errorf("server: topk budget %d must be positive", q.Budget)
+	}
+	l := q.Realizations
+	if l <= 0 {
+		l = maxaf.DefaultRealizations
+	}
+	res := &TopKResult{Query: q, Candidates: make([]TopKCandidate, n)}
+	for i, t := range q.Targets {
+		res.Candidates[i].Target = t
+	}
+	var spent atomic.Int64
+	var solvers sync.Pool // *setcover.Solver scratch shared across the batch
+	score := func(ctx context.Context, i int, effort int64) (float64, error) {
+		e, err := sv.acquire(KindTopK, q.S, q.Targets[i])
+		if err != nil {
+			return 0, err
+		}
+		defer sv.release(e)
+		eng := e.sess.Engine()
+		before := eng.PoolDraws()
+		defer func() { spent.Add(eng.PoolDraws() - before) }()
+		pool, err := e.sess.Pool(ctx, effort)
+		if err != nil {
+			return 0, err
+		}
+		var solver *setcover.Solver
+		if s, ok := solvers.Get().(*setcover.Solver); ok {
+			solver = s
+		}
+		mres, solver, err := maxaf.SolveFromPoolSolver(e.sess.Instance(), q.Budget, pool, solver)
+		if solver != nil {
+			solvers.Put(solver)
+		}
+		if err != nil {
+			return 0, err
+		}
+		f, err := e.eval.EstimateF(ctx, mres.Invited, effort)
+		if err != nil {
+			return 0, err
+		}
+		// Index-disjoint writes: the scheduler scores each candidate at
+		// most once per round, so no two goroutines touch slot i.
+		c := &res.Candidates[i]
+		c.TrainF = mres.CoveredFraction
+		c.Invited = mres.Invited
+		return f, nil
+	}
+	rr, err := rank.Run(ctx, rank.Config{
+		Candidates: n,
+		K:          q.K,
+		FullEffort: l,
+		MaxDraws:   q.MaxDraws,
+		Workers:    sv.cfg.Workers,
+	}, score)
+	if err != nil {
+		return nil, err
+	}
+	for i, rc := range rr.Candidates {
+		c := &res.Candidates[i]
+		c.Score = rc.Score
+		c.Effort = rc.Effort
+		c.Rounds = rc.Rounds
+		c.Frozen = rc.Frozen
+		if rc.Err != nil {
+			c.Err = rc.Err.Error()
+		}
+	}
+	res.Ranked = rr.Ranked
+	res.Rounds = rr.Rounds
+	res.PlannedDraws = rr.Plan.Cost
+	res.ExhaustiveDraws = rr.Plan.ExhaustiveCost
+	res.Truncated = rr.Plan.Truncated
+	res.DrawsSpent = spent.Load()
+	return res, nil
+}
+
+// TopKRefine resumes a finished scheduled run with extraDraws more
+// budget: the request is re-planned at the enlarged budget and re-run
+// against the same pair cache, where every pool the first run grew is
+// still warm (or restorable) — so the refinement pays only the
+// incremental draws of the deeper schedule. The anytime contract: the
+// refined result equals what a cold run at the enlarged budget would
+// have returned (purity), while DrawsSpent records only the top-up.
+// Refining an exhaustive (MaxDraws = 0) result is a no-op re-scoring
+// from warm pools.
+func (sv *Server) TopKRefine(ctx context.Context, prev *TopKResult, extraDraws int64) (*TopKResult, error) {
+	if prev == nil {
+		return nil, fmt.Errorf("server: topk refine without a prior result")
+	}
+	if extraDraws <= 0 {
+		return nil, fmt.Errorf("server: topk refine extraDraws=%d must be positive", extraDraws)
+	}
+	q := prev.Query
+	if q.MaxDraws != 0 {
+		q.MaxDraws += extraDraws
+		if q.MaxDraws >= prev.ExhaustiveDraws {
+			q.MaxDraws = 0 // budget now admits the exhaustive plan
+		}
+	}
+	return sv.TopK(ctx, q)
+}

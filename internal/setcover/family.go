@@ -205,6 +205,41 @@ func NewSolver(f *Family) *Solver {
 	}
 }
 
+// Rebind repoints the solver at another family, growing scratch only when
+// the new family needs more of it. The batched ranking path holds one
+// Solver across many candidates' pools and rebinds it per pool, so the
+// marginal/bucket/bitset storage amortizes across the whole batch instead
+// of being reallocated per candidate. Solutions are identical to a fresh
+// NewSolver's: every solve re-derives its state in reset, and the union
+// bitset stays valid because epochs are monotone — every stale entry was
+// written at an earlier epoch, so it can never match a future one (a
+// newly grown bitset holds zeros, which no live epoch ever equals).
+func (s *Solver) Rebind(f *Family) {
+	s.f = f
+	if n := f.NumFolded(); cap(s.marg) < n {
+		s.marg = make([]int32, n)
+	} else {
+		s.marg = s.marg[:n]
+	}
+	if n := f.NumFolded(); cap(s.done) < n {
+		s.done = make([]bool, n)
+	} else {
+		s.done = s.done[:n]
+	}
+	if n := f.maxSize + 1; cap(s.buckets) < n {
+		grown := make([][]int32, n)
+		copy(grown, s.buckets) // keep accumulated per-bucket capacity
+		s.buckets = grown
+	} else {
+		s.buckets = s.buckets[:n]
+	}
+	if n := f.universe; cap(s.inUnion) < n {
+		s.inUnion = make([]uint32, n)
+	} else {
+		s.inUnion = s.inUnion[:n]
+	}
+}
+
 // reset prepares the per-solve scratch: a fresh union epoch and re-derived
 // marginals. The bucket queue and heap keep their capacity.
 func (s *Solver) reset() {

@@ -388,6 +388,67 @@ func TestFamilySolverParityBudget(t *testing.T) {
 	}
 }
 
+// TestSolverRebindParity: one roaming Solver rebound across a sequence of
+// families — growing, shrinking, alternating encodings — must return the
+// same Solutions as a fresh Solver per family. This is the batched
+// ranking contract: scratch is shared across candidates' pools, answers
+// are not.
+func TestSolverRebindParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	var roaming *Solver
+	for round := 0; round < 40; round++ {
+		var inst *Instance
+		switch round % 3 {
+		case 0:
+			inst = realizationInstance(rng, 100+rng.Intn(1500))
+		case 1:
+			inst = randomInstance(rng)
+		default:
+			inst = toCSR(randomInstance(rng))
+		}
+		fam, err := NewFamily(inst)
+		if err != nil {
+			t.Fatalf("round %d: NewFamily: %v", round, err)
+		}
+		if roaming == nil {
+			roaming = NewSolver(fam)
+		} else {
+			roaming.Rebind(fam)
+		}
+		fresh := NewSolver(fam)
+		n := inst.NumSets()
+		for _, p := range []int{1, 1 + n/3, n} {
+			if p < 1 || p > n {
+				continue
+			}
+			want, err := fresh.Solve(p)
+			if err != nil {
+				t.Fatalf("round %d p=%d: fresh Solve: %v", round, p, err)
+			}
+			got, err := roaming.Solve(p)
+			if err != nil {
+				t.Fatalf("round %d p=%d: rebound Solve: %v", round, p, err)
+			}
+			if !solutionsEqual(got, want) {
+				t.Fatalf("round %d p=%d: rebound %+v != fresh %+v", round, p, got, want)
+			}
+		}
+		for _, b := range []int{1, 1 + inst.UniverseSize/3} {
+			want, err := fresh.SolveBudget(b)
+			if err != nil {
+				t.Fatalf("round %d b=%d: fresh SolveBudget: %v", round, b, err)
+			}
+			got, err := roaming.SolveBudget(b)
+			if err != nil {
+				t.Fatalf("round %d b=%d: rebound SolveBudget: %v", round, b, err)
+			}
+			if !solutionsEqual(got, want) {
+				t.Fatalf("round %d b=%d: rebound %+v != fresh %+v", round, b, got, want)
+			}
+		}
+	}
+}
+
 // TestSolverInterleavedKinds: alternating demand and budget solves on one
 // Solver must not contaminate each other's scratch.
 func TestSolverInterleavedKinds(t *testing.T) {
