@@ -123,6 +123,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"time"
 
 	"repro/internal/baselines"
 	"repro/internal/core"
@@ -131,6 +133,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/ltm"
 	"repro/internal/maxaf"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/weights"
 )
@@ -490,7 +493,7 @@ func (s *Session) SolveMax(ctx context.Context, budget int, realizations int64) 
 	if err != nil {
 		return nil, err
 	}
-	res, err := maxaf.SolveFromPool(s.p.in, budget, pool)
+	res, err := maxaf.SolveFromPool(ctx, s.p.in, budget, pool)
 	if err != nil {
 		return nil, err
 	}
@@ -534,7 +537,7 @@ func (s *Session) SolveMaxBudgets(ctx context.Context, budgets []int, realizatio
 	if err != nil {
 		return nil, err
 	}
-	results, err := maxaf.SolveBudgetsFromPool(s.p.in, budgets, pool)
+	results, err := maxaf.SolveBudgetsFromPool(ctx, s.p.in, budgets, pool)
 	if err != nil {
 		return nil, err
 	}
@@ -657,6 +660,19 @@ type ServerConfig struct {
 	// pair resamples, with byte-identical answers either way. See also
 	// Server.SpillAll (shutdown flush) and Server.Warm (startup preload).
 	SpillDir string
+	// Metrics enables the observability layer: per-kind request latency
+	// histograms, per-stage query tracing, and scrape-time mirrors of
+	// every ServerStats counter, reachable via Server.Obs,
+	// Server.WriteMetrics, Server.MetricsSnapshot and Server.WriteStatusz.
+	// Off (the default) the query path pays nothing — the tracer hooks
+	// compile to nil-check no-ops. Instrumentation never changes an
+	// answer: results stay pure functions of (Seed, s, t).
+	Metrics bool
+	// SlowQueryThreshold, with Metrics, logs every query slower than the
+	// threshold as one line of JSON (kind, total, per-stage spans) to
+	// SlowQueryLog (default os.Stderr). 0 disables slow-query logging.
+	SlowQueryThreshold time.Duration
+	SlowQueryLog       io.Writer
 }
 
 // Server serves active-friending queries for arbitrary (s,t) pairs on
@@ -678,14 +694,66 @@ type Server struct {
 // NewServer returns a server for g with the paper's degree-normalized
 // weight convention.
 func NewServer(g *Graph, cfg ServerConfig) *Server {
+	var o *obs.Obs
+	if cfg.Metrics {
+		o = obs.New()
+		if cfg.SlowQueryThreshold > 0 {
+			w := cfg.SlowQueryLog
+			if w == nil {
+				w = os.Stderr
+			}
+			o.SetSlowLog(cfg.SlowQueryThreshold, w)
+		}
+	}
 	return &Server{sv: server.New(g, weights.NewDegree(g), server.Config{
 		MaxPoolBytes: cfg.MaxPoolBytes,
 		Shards:       cfg.Shards,
 		Seed:         cfg.Seed,
 		Workers:      cfg.Workers,
 		SpillDir:     cfg.SpillDir,
+		Obs:          o,
 	})}
 }
+
+// Obs is the observability bundle a Metrics-enabled Server carries: a
+// metrics registry plus a slowest-trace tracer. The serving binaries
+// hand it to the HTTP endpoint (internal/obs/httpserve); library users
+// usually want the rendered forms (WriteMetrics, MetricsSnapshot,
+// WriteStatusz) instead.
+type Obs = obs.Obs
+
+// MetricSample is one flattened metric series at scrape time.
+type MetricSample = obs.Sample
+
+// Obs returns the server's observability bundle; nil unless the server
+// was built with ServerConfig.Metrics.
+func (sv *Server) Obs() *Obs { return sv.sv.Obs() }
+
+// WriteMetrics renders the Prometheus text exposition of every
+// registered series. A no-op without ServerConfig.Metrics.
+func (sv *Server) WriteMetrics(w io.Writer) error {
+	o := sv.sv.Obs()
+	if o == nil {
+		return nil
+	}
+	return o.Registry.WritePrometheus(w)
+}
+
+// MetricsSnapshot returns every registered series as flat samples —
+// the machine-readable form afserve's stats op ships alongside
+// ServerStats. Nil without ServerConfig.Metrics.
+func (sv *Server) MetricsSnapshot() []MetricSample {
+	o := sv.sv.Obs()
+	if o == nil {
+		return nil
+	}
+	return o.Registry.Snapshot()
+}
+
+// WriteStatusz renders the human-readable status page: the stats
+// ledger, per-kind and per-stage latency quantiles, and the slowest
+// retained traces. Works without Metrics too (the ledger lines only).
+func (sv *Server) WriteStatusz(w io.Writer) { sv.sv.WriteStatusz(w) }
 
 // SpillAll snapshots every cached pair's pools to ServerConfig.SpillDir
 // without evicting them — the graceful-shutdown flush. A successor

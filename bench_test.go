@@ -29,6 +29,7 @@ import (
 	"repro/internal/ltm"
 	"repro/internal/maxaf"
 	"repro/internal/mc"
+	"repro/internal/obs"
 	"repro/internal/realization"
 	"repro/internal/rng"
 	"repro/internal/server"
@@ -986,3 +987,54 @@ func BenchmarkTopKScheduled16(b *testing.B)  { benchTopKScheduled(b, 16) }
 func BenchmarkTopKScheduled64(b *testing.B)  { benchTopKScheduled(b, 64) }
 func BenchmarkTopKExhaustive16(b *testing.B) { benchTopKExhaustive(b, 16) }
 func BenchmarkTopKExhaustive64(b *testing.B) { benchTopKExhaustive(b, 64) }
+
+// BenchmarkObsDisabledTraceOps pins the disabled observability path: on
+// an untraced context, TraceFrom + StartSpan + End + Finish are
+// nil-check no-ops — the price every uninstrumented query pays for the
+// hooks being compiled in. Must stay ~1ns and 0 allocs/op.
+func BenchmarkObsDisabledTraceOps(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := obs.TraceFrom(ctx)
+		sp := tr.StartSpan(obs.StageSolve)
+		sp.End()
+		tr.Finish()
+	}
+}
+
+// BenchmarkObsHistogramObserve is one warmed latency observation — the
+// dominant per-query recording cost when observability is enabled.
+func BenchmarkObsHistogramObserve(b *testing.B) {
+	h := obs.NewRegistry().Histogram("af_bench_seconds", "bench fixture")
+	h.Observe(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i) + 1)
+	}
+}
+
+// benchObsSolveMax measures the same warm SolveMax query with
+// observability off vs on; the Enabled/Disabled delta is the whole
+// instrumentation bill on a real query (trace allocation, spans, two
+// histogram observations).
+func benchObsSolveMax(b *testing.B, o *obs.Obs) {
+	s := setupDataset(b, "Wiki")
+	p := s.pairs[0]
+	sv := server.New(s.g, s.w, server.Config{Seed: 1, Obs: o})
+	ctx := context.Background()
+	if _, _, err := sv.SolveMax(ctx, p.S, p.T, 10, topkBenchEffort); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sv.SolveMax(ctx, p.S, p.T, 10, topkBenchEffort); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkObsDisabledServerSolveMax(b *testing.B) { benchObsSolveMax(b, nil) }
+func BenchmarkObsEnabledServerSolveMax(b *testing.B)  { benchObsSolveMax(b, obs.New()) }

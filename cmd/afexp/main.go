@@ -40,13 +40,16 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/baselines"
 	"repro/internal/eval"
 	"repro/internal/gen"
-	"repro/internal/pprofserve"
+	"repro/internal/obs"
+	"repro/internal/obs/httpserve"
 	"repro/internal/server"
 	"repro/internal/tablewriter"
 	"repro/internal/weights"
@@ -92,13 +95,32 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "root seed")
 	workers := fs.Int("workers", 0, "parallel workers (0 = CPUs)")
 	csv := fs.Bool("csv", false, "emit CSV")
-	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	obsCLI := httpserve.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if err := pprofserve.Start(*pprofAddr); err != nil {
+	// One observability bundle spans every dataset's server; /statusz
+	// follows the server currently running experiments.
+	var ob *obs.Obs
+	var curSv atomic.Pointer[server.Server]
+	var obsOpts httpserve.Options
+	if obsCLI.Enabled() {
+		ob = obs.New()
+		obsOpts = httpserve.Options{
+			Registry: ob.Registry,
+			Tracer:   ob.Tracer,
+			Statusz: func(w io.Writer) {
+				if sv := curSv.Load(); sv != nil {
+					sv.WriteStatusz(w)
+				}
+			},
+		}
+	}
+	obsSrv, err := obsCLI.Start(obsOpts)
+	if err != nil {
 		return err
 	}
+	defer obsSrv.Close()
 	o := options{
 		exp: *exp, datasets: strings.Split(*datasets, ","), scale: *scale,
 		pairs: *pairs, maxPmax: *maxPmax, alpha: *alpha, eps: *eps, bigN: *bigN,
@@ -157,13 +179,15 @@ func run(args []string) error {
 			Alpha: o.alpha, Eps: o.eps, N: o.bigN,
 			MaxRealizations: o.maxReal, EvalTrials: o.trials,
 			Seed: o.seed, Workers: o.workers,
+			Obs: ob,
 		}
 		// Route every pair's sessions through the serving layer: pools
 		// are shared across experiments on this dataset and evicted
 		// least-recently-used under -maxbytes.
 		sv := server.New(g, w, server.Config{
-			Seed: o.seed, Workers: o.workers, MaxPoolBytes: o.maxBytes,
+			Seed: o.seed, Workers: o.workers, MaxPoolBytes: o.maxBytes, Obs: ob,
 		})
+		curSv.Store(sv)
 		cfg.Server = sv
 		if o.exp == "fig3" || o.exp == "all" {
 			rows, err := eval.BasicExperiment(ctx, cfg, []float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35})

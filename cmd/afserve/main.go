@@ -27,8 +27,18 @@
 // scheduled batch (successive halving under the "maxdraws" draw budget;
 // omit it to score every candidate at full effort, byte-identical to
 // independent solvemax calls) and reports the k winners with their
-// per-candidate score, effort and invitation set. -pprof serves
-// net/http/pprof for profiling under real traffic.
+// per-candidate score, effort and invitation set.
+//
+// -metrics-addr (or its alias -pprof) serves the observability surface
+// on a dedicated mux: Prometheus text at /metrics (per-kind request
+// latency summaries, per-stage timings, and every stats counter), a
+// human-readable /statusz, the slowest retained traces at /tracez, and
+// net/http/pprof under /debug/pprof/ for profiling under real traffic.
+// Either flag also enables server metrics, and the "stats" op then
+// carries the registry snapshot in its "metrics" field. -slow-query
+// logs every query slower than the threshold as one line of JSON on
+// stderr (kind, total, per-stage spans). Instrumentation never changes
+// an answer.
 //
 // pmax is the cheap fixed-budget estimate (the evaluation pool's type-1
 // fraction over "trials" draws); pmaxest runs the paper's Algorithm 2
@@ -69,7 +79,7 @@ import (
 	"syscall"
 
 	af "repro"
-	"repro/internal/pprofserve"
+	"repro/internal/obs/httpserve"
 )
 
 func main() {
@@ -110,6 +120,15 @@ type response struct {
 	Result any    `json:"result,omitempty"`
 }
 
+// statsResult is the "stats" op's payload when the server runs with
+// metrics: the ServerStats ledger, flat as before (embedding keeps the
+// field layout identical for clients that unmarshal the ledger only),
+// plus the registry snapshot.
+type statsResult struct {
+	af.ServerStats
+	Metrics []af.MetricSample `json:"metrics"`
+}
+
 func run(args []string, in io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("afserve", flag.ContinueOnError)
 	file := fs.String("file", "", "edge-list file to serve")
@@ -122,7 +141,8 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	spillDir := fs.String("spill-dir", "", "spill evicted pools to snapshots in this directory and flush all pools on shutdown")
 	warm := fs.Bool("warm", false, "preload every snapshot in -spill-dir before serving")
 	jobs := fs.Int("j", 1, "max in-flight requests; >1 answers out of order")
-	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	obsCLI := httpserve.AddFlags(fs)
+	slowQuery := fs.Duration("slow-query", 0, "log queries slower than this as one-line JSON on stderr (0 = off; implies metrics)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -133,9 +153,6 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		if err := os.MkdirAll(*spillDir, 0o755); err != nil {
 			return fmt.Errorf("creating -spill-dir: %w", err)
 		}
-	}
-	if err := pprofserve.Start(*pprofAddr); err != nil {
-		return err
 	}
 
 	var g *af.Graph
@@ -161,12 +178,23 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	}
 
 	sv := af.NewServer(g, af.ServerConfig{
-		MaxPoolBytes: *maxBytes,
-		Shards:       *shards,
-		Seed:         *seed,
-		Workers:      *workers,
-		SpillDir:     *spillDir,
+		MaxPoolBytes:       *maxBytes,
+		Shards:             *shards,
+		Seed:               *seed,
+		Workers:            *workers,
+		SpillDir:           *spillDir,
+		Metrics:            obsCLI.Enabled() || *slowQuery > 0,
+		SlowQueryThreshold: *slowQuery,
 	})
+	var obsOpts httpserve.Options
+	if o := sv.Obs(); o != nil {
+		obsOpts = httpserve.Options{Registry: o.Registry, Tracer: o.Tracer, Statusz: sv.WriteStatusz}
+	}
+	obsSrv, err := obsCLI.Start(obsOpts)
+	if err != nil {
+		return err
+	}
+	defer obsSrv.Close()
 	ctx := context.Background()
 	if *warm {
 		n, err := sv.Warm()
@@ -319,7 +347,11 @@ func serve(ctx context.Context, sv *af.Server, req request) response {
 		}
 		result, err = sv.ApplyDelta(ctx, d)
 	case "stats":
-		result = sv.Stats()
+		if ms := sv.MetricsSnapshot(); ms != nil {
+			result = statsResult{ServerStats: sv.Stats(), Metrics: ms}
+		} else {
+			result = sv.Stats()
+		}
 	default:
 		err = fmt.Errorf("unknown op %q", req.Op)
 	}

@@ -433,3 +433,64 @@ func TestServeTopK(t *testing.T) {
 		}
 	}
 }
+
+// TestServeMetrics: -metrics-addr enables the observability layer
+// without changing any answer, and the stats op then carries the
+// registry snapshot — still unmarshaling flat as plain ServerStats.
+func TestServeMetrics(t *testing.T) {
+	path := graphFile(t)
+	plain := runServe(t, []string{"-file", path, "-seed", "7"}, queries)
+	instr := runServe(t, []string{"-file", path, "-seed", "7",
+		"-metrics-addr", "127.0.0.1:0", "-slow-query", "1ns"}, queries)
+	if len(instr) != len(plain) {
+		t.Fatalf("got %d responses, want %d", len(instr), len(plain))
+	}
+	for i := range plain {
+		if plain[i].Op == "stats" {
+			continue
+		}
+		if string(instr[i].Result) != string(plain[i].Result) || instr[i].OK != plain[i].OK {
+			t.Errorf("id %d diverged under metrics:\n got %s\nwant %s",
+				instr[i].ID, instr[i].Result, plain[i].Result)
+		}
+	}
+
+	var stats struct {
+		SessionsCreated int64 `json:"SessionsCreated"`
+		Metrics         []struct {
+			Name   string  `json:"name"`
+			Labels string  `json:"labels"`
+			Value  float64 `json:"value"`
+		} `json:"metrics"`
+	}
+	for _, r := range instr {
+		if r.Op != "stats" {
+			continue
+		}
+		if err := json.Unmarshal(r.Result, &stats); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if stats.SessionsCreated == 0 {
+		t.Error("stats lost its flat ServerStats fields")
+	}
+	found := false
+	for _, s := range stats.Metrics {
+		if s.Name == "af_sessions_created_total" {
+			found = true
+			if s.Value != float64(stats.SessionsCreated) {
+				t.Errorf("af_sessions_created_total = %v, ledger says %d", s.Value, stats.SessionsCreated)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("stats carries no af_sessions_created_total sample (%d samples)", len(stats.Metrics))
+	}
+
+	// Without metrics the stats payload has no metrics key at all.
+	for _, r := range plain {
+		if r.Op == "stats" && strings.Contains(string(r.Result), `"metrics"`) {
+			t.Errorf("plain stats grew a metrics field: %s", r.Result)
+		}
+	}
+}

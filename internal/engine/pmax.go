@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/mc"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/realization"
 	"repro/internal/rng"
@@ -237,7 +238,10 @@ func (pe *PmaxEstimator) Estimate(ctx context.Context, eps, n float64, maxDraws 
 		if maxDraws > 0 && target > maxDraws {
 			target = maxDraws
 		}
-		if err := pe.growLocked(ctx, target); err != nil {
+		sp := obs.TraceFrom(ctx).StartSpan(obs.StagePmax)
+		err := pe.growLocked(ctx, target)
+		sp.End()
+		if err != nil {
 			return PmaxResult{Sampled: pe.draws - before}, err
 		}
 	}

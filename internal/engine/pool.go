@@ -1,11 +1,13 @@
 package engine
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/setcover"
 )
 
@@ -179,6 +181,19 @@ func (p *Pool) Family() (*setcover.Family, error) {
 		}
 	})
 	return p.fam, p.famErr
+}
+
+// FamilyCtx is Family with stage tracing: when the call is the one that
+// actually folds the family (not a cache hit), the fold is recorded as a
+// family_fold span on the context's trace. The built fast path skips the
+// span entirely, so cached folds cost one atomic load over Family.
+func (p *Pool) FamilyCtx(ctx context.Context) (*setcover.Family, error) {
+	if p.famBuilt.Load() {
+		return p.fam, nil
+	}
+	sp := obs.TraceFrom(ctx).StartSpan(obs.StageFamilyFold)
+	defer sp.End()
+	return p.Family()
 }
 
 // SetcoverInstance hands the pool to the MSC solver zero-copy: the arena

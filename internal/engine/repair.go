@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -98,6 +99,8 @@ func repairChunks(ctx context.Context, e *Engine, seed int64, ns uint64, old []c
 // a cold session on ne would sample at the same size. The receiver is
 // not mutated; in-flight queries on it finish at the old epoch.
 func (s *Session) RepairTo(ctx context.Context, ne *Engine, dirty []graph.Node) (*Session, RepairStats, error) {
+	sp := obs.TraceFrom(ctx).StartSpan(obs.StageRepair)
+	defer sp.End()
 	s.mu.Lock()
 	old := make([]chunkPaths, len(s.chunks))
 	copy(old, s.chunks)
@@ -141,6 +144,8 @@ func (s *Session) RepairTo(ctx context.Context, ne *Engine, dirty []graph.Node) 
 // information and are conservatively re-drawn (touch sets are not
 // persisted for the p_max ledger).
 func (pe *PmaxEstimator) RepairTo(ctx context.Context, ne *Engine, dirty []graph.Node) (*PmaxEstimator, RepairStats, error) {
+	sp := obs.TraceFrom(ctx).StartSpan(obs.StageRepair)
+	defer sp.End()
 	pe.mu.Lock()
 	old := make([]pmaxChunk, len(pe.chunks))
 	copy(old, pe.chunks)

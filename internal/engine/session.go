@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -93,6 +94,8 @@ func (s *Session) Pool(ctx context.Context, l int64) (*Pool, error) {
 	if l <= s.draws && s.pool != nil {
 		return s.viewLocked(l), nil
 	}
+	sp := obs.TraceFrom(ctx).StartSpan(obs.StagePoolGrow)
+	defer sp.End()
 
 	// Keep full chunks; the trailing partial chunk (if any) is resampled
 	// at its grown size — its stream restarts, so the draws it already
@@ -182,6 +185,8 @@ func (s *Session) EstimateF(ctx context.Context, invited *graph.NodeSet, trials 
 	if err != nil {
 		return 0, err
 	}
+	sp := obs.TraceFrom(ctx).StartSpan(obs.StageMeasure)
+	defer sp.End()
 	return p.EstimateF(invited), nil
 }
 
@@ -194,6 +199,8 @@ func (s *Session) EstimateFMany(ctx context.Context, invited []*graph.NodeSet, t
 	if err != nil {
 		return nil, err
 	}
+	sp := obs.TraceFrom(ctx).StartSpan(obs.StageMeasure)
+	defer sp.End()
 	return p.EstimateFMany(invited), nil
 }
 
@@ -204,5 +211,7 @@ func (s *Session) FractionType1(ctx context.Context, trials int64) (float64, err
 	if err != nil {
 		return 0, err
 	}
+	sp := obs.TraceFrom(ctx).StartSpan(obs.StageMeasure)
+	defer sp.End()
 	return p.FractionType1(), nil
 }

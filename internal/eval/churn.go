@@ -92,7 +92,7 @@ func MutationChurn(ctx context.Context, cfg Config, epochs, edgesPerDelta int) (
 		return out, nil
 	}
 
-	sv := server.New(c.Graph, c.Weights, server.Config{Seed: c.Seed, Workers: c.Workers})
+	sv := server.New(c.Graph, c.Weights, server.Config{Seed: c.Seed, Workers: c.Workers, Obs: c.Obs})
 	if _, err := workload(sv); err != nil {
 		return nil, err
 	}
@@ -130,7 +130,7 @@ func MutationChurn(ctx context.Context, cfg Config, epochs, edgesPerDelta int) (
 		res.SavedFraction = float64(res.AdoptedDraws) / float64(res.DiscardDraws)
 	}
 
-	cold := server.New(sv.Graph(), scheme, server.Config{Seed: c.Seed, Workers: c.Workers})
+	cold := server.New(sv.Graph(), scheme, server.Config{Seed: c.Seed, Workers: c.Workers, Obs: c.Obs})
 	coldAns, err := workload(cold)
 	if err != nil {
 		return nil, err

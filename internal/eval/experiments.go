@@ -12,6 +12,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/ltm"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/server"
 	"repro/internal/weights"
@@ -51,6 +52,13 @@ type Config struct {
 	// sessions-per-run path below). When nil, each experiment owns its
 	// pair sessions for the duration of the run.
 	Server *server.Server
+
+	// Obs, when set, instruments the servers the experiments construct
+	// themselves (warm restart, churn, topk comparisons) with the same
+	// observability bundle the caller gave its own Server — so afexp's
+	// -metrics-addr surface covers experiment-internal traffic too.
+	// Instrumentation never changes a result.
+	Obs *obs.Obs
 }
 
 func (c *Config) withDefaults() Config {

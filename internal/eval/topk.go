@@ -82,7 +82,7 @@ func TopKRanking(ctx context.Context, cfg Config, k, budget int) (*TopKReport, e
 		return nil, fmt.Errorf("%w: no distinct targets", ErrNoPairs)
 	}
 	newServer := func() *server.Server {
-		return server.New(c.Graph, c.Weights, server.Config{Seed: c.Seed, Workers: c.Workers})
+		return server.New(c.Graph, c.Weights, server.Config{Seed: c.Seed, Workers: c.Workers, Obs: c.Obs})
 	}
 	q := server.TopKQuery{
 		S: s, Targets: targets, K: k, Budget: budget, Realizations: c.EvalTrials,

@@ -45,7 +45,7 @@ func WarmRestart(ctx context.Context, cfg Config, dir string) (*WarmRestartResul
 	}
 	newServer := func() *server.Server {
 		return server.New(c.Graph, c.Weights, server.Config{
-			Seed: c.Seed, Workers: c.Workers, SpillDir: dir,
+			Seed: c.Seed, Workers: c.Workers, SpillDir: dir, Obs: c.Obs,
 		})
 	}
 	workload := func(sv *server.Server) ([]string, time.Duration, error) {

@@ -19,6 +19,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/ltm"
+	"repro/internal/obs"
 	"repro/internal/setcover"
 )
 
@@ -65,15 +66,16 @@ func Solve(ctx context.Context, in *ltm.Instance, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return SolveFromPool(in, cfg.Budget, pool)
+	return SolveFromPool(ctx, in, cfg.Budget, pool)
 }
 
 // SolveFromPool runs the budgeted max-coverage greedy against an existing
 // realization pool, through the pool's cached set-cover family: repeated
 // budget solves on one pool (budget searches, server traffic) fold and
-// index the paths exactly once.
-func SolveFromPool(in *ltm.Instance, budget int, pool *engine.Pool) (*Result, error) {
-	res, _, err := SolveFromPoolSolver(in, budget, pool, nil)
+// index the paths exactly once. A trace on ctx (obs.WithTrace) gets
+// family_fold and solve stage spans; tracing off costs nothing.
+func SolveFromPool(ctx context.Context, in *ltm.Instance, budget int, pool *engine.Pool) (*Result, error) {
+	res, _, err := SolveFromPoolSolver(ctx, in, budget, pool, nil)
 	return res, err
 }
 
@@ -84,14 +86,14 @@ func SolveFromPool(in *ltm.Instance, budget int, pool *engine.Pool) (*Result, er
 // (possibly new) solver is returned for the next pool. Results are
 // identical to SolveFromPool's — Solver.Rebind guarantees rebound
 // scratch solves exactly like fresh scratch.
-func SolveFromPoolSolver(in *ltm.Instance, budget int, pool *engine.Pool, solver *setcover.Solver) (*Result, *setcover.Solver, error) {
+func SolveFromPoolSolver(ctx context.Context, in *ltm.Instance, budget int, pool *engine.Pool, solver *setcover.Solver) (*Result, *setcover.Solver, error) {
 	if budget <= 0 {
 		return nil, solver, fmt.Errorf("maxaf: budget %d must be positive", budget)
 	}
 	if pool.NumType1() == 0 {
 		return nil, solver, fmt.Errorf("%w: no type-1 realization in %d draws", core.ErrTargetUnreachable, pool.Total())
 	}
-	fam, err := pool.Family()
+	fam, err := pool.FamilyCtx(ctx)
 	if err != nil {
 		return nil, solver, fmt.Errorf("maxaf: set family: %w", err)
 	}
@@ -100,6 +102,7 @@ func SolveFromPoolSolver(in *ltm.Instance, budget int, pool *engine.Pool, solver
 	} else {
 		solver.Rebind(fam)
 	}
+	solver.SetTrace(obs.TraceFrom(ctx))
 	sol, err := solver.SolveBudget(budget)
 	if err != nil {
 		return nil, solver, fmt.Errorf("maxaf: budgeted cover: %w", err)
@@ -122,18 +125,19 @@ func SolveFromPoolSolver(in *ltm.Instance, budget int, pool *engine.Pool, solver
 // re-measured in one batched coverage query (Index.CoverageCounts)
 // against the pool's inverted index instead of one scan per budget.
 // Results are identical to calling SolveFromPool per budget.
-func SolveBudgetsFromPool(in *ltm.Instance, budgets []int, pool *engine.Pool) ([]*Result, error) {
+func SolveBudgetsFromPool(ctx context.Context, in *ltm.Instance, budgets []int, pool *engine.Pool) ([]*Result, error) {
 	if len(budgets) == 0 {
 		return nil, fmt.Errorf("maxaf: no budgets given")
 	}
 	if pool.NumType1() == 0 {
 		return nil, fmt.Errorf("%w: no type-1 realization in %d draws", core.ErrTargetUnreachable, pool.Total())
 	}
-	fam, err := pool.Family()
+	fam, err := pool.FamilyCtx(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("maxaf: set family: %w", err)
 	}
 	solver := setcover.NewSolver(fam)
+	solver.SetTrace(obs.TraceFrom(ctx))
 	results := make([]*Result, len(budgets))
 	sets := make([]*graph.NodeSet, len(budgets))
 	n := in.Graph().NumNodes()

@@ -180,7 +180,7 @@ func TestSolveBudgetsFromPoolParity(t *testing.T) {
 		t.Skip("no type-1 realizations")
 	}
 	budgets := []int{1, 2, 3, 5, 8, 13, 21, 40}
-	sweep, err := SolveBudgetsFromPool(in, budgets, pool)
+	sweep, err := SolveBudgetsFromPool(context.Background(), in, budgets, pool)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +188,7 @@ func TestSolveBudgetsFromPoolParity(t *testing.T) {
 		t.Fatalf("%d results for %d budgets", len(sweep), len(budgets))
 	}
 	for i, b := range budgets {
-		single, err := SolveFromPool(in, b, pool)
+		single, err := SolveFromPool(context.Background(), in, b, pool)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -210,10 +210,10 @@ func TestSolveBudgetsFromPoolParity(t *testing.T) {
 		}
 	}
 	// Error paths: empty sweep and non-positive budgets.
-	if _, err := SolveBudgetsFromPool(in, nil, pool); err == nil {
+	if _, err := SolveBudgetsFromPool(context.Background(), in, nil, pool); err == nil {
 		t.Error("empty budget list accepted")
 	}
-	if _, err := SolveBudgetsFromPool(in, []int{3, 0}, pool); err == nil {
+	if _, err := SolveBudgetsFromPool(context.Background(), in, []int{3, 0}, pool); err == nil {
 		t.Error("zero budget accepted")
 	}
 }

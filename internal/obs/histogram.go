@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Histogram bucket layout: values 0..15 get exact unit buckets; beyond
+// that each power of two is split into histSub sub-buckets, so the
+// relative quantization error is at most 1/histSub ≈ 6.25%. The layout
+// covers the full non-negative int64 range (nanosecond durations up to
+// ~292 years), which takes (63-histSubBits+1)*histSub + histSub buckets.
+const (
+	histSubBits = 4
+	histSub     = 1 << histSubBits // sub-buckets per power of two
+	histBuckets = (63 - histSubBits + 1) * histSub
+)
+
+// histBucket maps a non-negative value to its bucket index. Negative
+// values clamp to bucket 0.
+func histBucket(v int64) int {
+	if v < histSub {
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	e := bits.Len64(uint64(v)) - 1 // 2^e ≤ v < 2^(e+1), e ≥ histSubBits
+	top := v >> (e - histSubBits)  // [histSub, 2·histSub)
+	return (e-histSubBits+1)*histSub + int(top) - histSub
+}
+
+// histBounds returns bucket i's half-open value range [lo, hi).
+func histBounds(i int) (lo, hi int64) {
+	if i < histSub {
+		return int64(i), int64(i) + 1
+	}
+	e := histSubBits + (i-histSub)/histSub
+	rem := (i - histSub) % histSub
+	lo = int64(histSub+rem) << (e - histSubBits)
+	return lo, lo + 1<<(e-histSubBits)
+}
+
+// histStripe is one shard of a histogram's buckets. Stripes are handed
+// out through a sync.Pool, so under steady load each P records into its
+// own stripe without contention or locks.
+type histStripe struct {
+	counts [histBuckets]atomic.Int64
+	sum    atomic.Int64
+}
+
+// Histogram is a lock-free log-bucketed histogram of int64 values
+// (by convention nanosecond durations; see the package naming note).
+// Observe is safe for concurrent use and allocation-free in steady
+// state; Snapshot merges the stripes into an immutable, mergeable view
+// with quantile extraction.
+type Histogram struct {
+	stripes sync.Pool // of *histStripe
+
+	mu  sync.Mutex
+	all []*histStripe // every stripe ever created, for Snapshot
+}
+
+// NewHistogram returns an empty histogram. Registry.Histogram is the
+// usual constructor; this one exists for tests and standalone use.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.stripes.New = func() any {
+		s := &histStripe{}
+		h.mu.Lock()
+		h.all = append(h.all, s)
+		h.mu.Unlock()
+		return s
+	}
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	s := h.stripes.Get().(*histStripe)
+	s.counts[histBucket(v)].Add(1)
+	s.sum.Add(v)
+	h.stripes.Put(s)
+}
+
+// Snapshot merges every stripe into one immutable view. The snapshot is
+// consistent per bucket (atomic loads) but not across buckets — an
+// Observe racing the snapshot may or may not be included, which is the
+// usual contract for scrape-time reads.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	h.mu.Lock()
+	all := h.all
+	h.mu.Unlock()
+	for _, st := range all {
+		s.Sum += st.sum.Load()
+		for i := range st.counts {
+			if c := st.counts[i].Load(); c != 0 {
+				if s.Counts == nil {
+					s.Counts = make([]int64, histBuckets)
+				}
+				s.Counts[i] += c
+			}
+		}
+	}
+	return s
+}
+
+// HistSnapshot is a merged, immutable histogram state. The zero value is
+// an empty histogram; snapshots from different histograms (or different
+// processes) merge associatively.
+type HistSnapshot struct {
+	Counts []int64 // len histBuckets, or nil when empty
+	Sum    int64
+}
+
+// Merge adds o's observations into s.
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	s.Sum += o.Sum
+	if o.Counts == nil {
+		return
+	}
+	if s.Counts == nil {
+		s.Counts = make([]int64, histBuckets)
+	}
+	for i, c := range o.Counts {
+		s.Counts[i] += c
+	}
+}
+
+// Count returns the number of observations.
+func (s HistSnapshot) Count() int64 {
+	var n int64
+	for _, c := range s.Counts {
+		n += c
+	}
+	return n
+}
+
+// Mean returns the arithmetic mean, or 0 when empty.
+func (s HistSnapshot) Mean() float64 {
+	n := s.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(n)
+}
+
+// Quantile returns the value at quantile q ∈ [0, 1] — the midpoint of
+// the bucket holding the ⌈q·count⌉-th smallest observation, exact for
+// values below 16 and within ~6.25% relative error above. Returns 0 when
+// empty.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	n := s.Count()
+	if n == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			lo, hi := histBounds(i)
+			if i < histSub {
+				return float64(lo) // exact unit bucket
+			}
+			return float64(lo+hi) / 2
+		}
+	}
+	return 0
+}

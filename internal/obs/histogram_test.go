@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestHistBucketLayout: the bucket function and the bounds function are
+// inverse — every value lands in a bucket whose bounds contain it, and
+// buckets tile the axis without gaps.
+func TestHistBucketLayout(t *testing.T) {
+	vals := []int64{0, 1, 2, 15, 16, 17, 31, 32, 33, 63, 64, 1000, 1 << 20, 1<<40 + 12345, math.MaxInt64}
+	st := rng.NewStream(1)
+	for i := 0; i < 10000; i++ {
+		vals = append(vals, int64(st.Uint64()>>uint(st.Intn(63))))
+	}
+	for _, v := range vals {
+		if v < 0 {
+			continue
+		}
+		i := histBucket(v)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("histBucket(%d) = %d out of range", v, i)
+		}
+		lo, hi := histBounds(i)
+		if v < lo || (v >= hi && hi > lo) { // hi may overflow for the top bucket
+			t.Errorf("value %d in bucket %d with bounds [%d, %d)", v, i, lo, hi)
+		}
+	}
+	// Buckets tile without gaps.
+	for i := 0; i < histBuckets-1; i++ {
+		_, hi := histBounds(i)
+		lo, _ := histBounds(i + 1)
+		if hi != lo {
+			t.Fatalf("gap between bucket %d (hi %d) and %d (lo %d)", i, hi, i+1, lo)
+		}
+	}
+	if histBucket(-5) != 0 {
+		t.Errorf("negative values must clamp to bucket 0")
+	}
+}
+
+// TestHistogramQuantileOracle: quantiles extracted from the log buckets
+// match a sorted-sample oracle within the layout's quantization error,
+// across magnitudes from sub-microsecond to minutes.
+func TestHistogramQuantileOracle(t *testing.T) {
+	for _, scale := range []int64{1, 1000, 1e6, 1e9, 60e9} {
+		h := NewHistogram()
+		st := rng.NewStream(scale)
+		samples := make([]int64, 0, 20000)
+		for i := 0; i < 20000; i++ {
+			// Long-tailed: mostly near scale, occasional 100× outliers.
+			v := scale + int64(st.Intn(int(scale)))
+			if st.Intn(100) == 0 {
+				v *= 100
+			}
+			samples = append(samples, v)
+			h.Observe(v)
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		snap := h.Snapshot()
+		if got, want := snap.Count(), int64(len(samples)); got != want {
+			t.Fatalf("scale %d: count = %d, want %d", scale, got, want)
+		}
+		var sum int64
+		for _, v := range samples {
+			sum += v
+		}
+		if snap.Sum != sum {
+			t.Fatalf("scale %d: sum = %d, want %d", scale, snap.Sum, sum)
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+			rank := int(math.Ceil(q*float64(len(samples)))) - 1
+			oracle := float64(samples[rank])
+			got := snap.Quantile(q)
+			// Bucket width is ≤ 1/histSub of the value, plus the midpoint
+			// convention: allow one full bucket of relative error.
+			if tol := oracle/histSub + 1; math.Abs(got-oracle) > tol {
+				t.Errorf("scale %d q%.3f: got %g, oracle %g (tol %g)", scale, q, got, oracle, tol)
+			}
+		}
+	}
+}
+
+// TestHistogramMergeAssociative: merging snapshots is associative and
+// order-independent — ((a+b)+c) equals (a+(b+c)) bucket for bucket, and
+// equals one histogram observing everything.
+func TestHistogramMergeAssociative(t *testing.T) {
+	parts := make([]*Histogram, 3)
+	all := NewHistogram()
+	st := rng.NewStream(7)
+	for i := range parts {
+		parts[i] = NewHistogram()
+		for j := 0; j < 5000; j++ {
+			v := int64(st.Uint64() >> uint(8+st.Intn(40)))
+			parts[i].Observe(v)
+			all.Observe(v)
+		}
+	}
+	a, b, c := parts[0].Snapshot(), parts[1].Snapshot(), parts[2].Snapshot()
+
+	left := HistSnapshot{}
+	left.Merge(a)
+	left.Merge(b)
+	left.Merge(c)
+
+	bc := HistSnapshot{}
+	bc.Merge(b)
+	bc.Merge(c)
+	right := HistSnapshot{}
+	right.Merge(a)
+	right.Merge(bc)
+
+	want := all.Snapshot()
+	for name, got := range map[string]HistSnapshot{"left": left, "right": right} {
+		if got.Sum != want.Sum || got.Count() != want.Count() {
+			t.Fatalf("%s: sum/count = %d/%d, want %d/%d", name, got.Sum, got.Count(), want.Sum, want.Count())
+		}
+		for i := range want.Counts {
+			if got.Counts[i] != want.Counts[i] {
+				t.Fatalf("%s: bucket %d = %d, want %d", name, i, got.Counts[i], want.Counts[i])
+			}
+		}
+	}
+	// The zero snapshot is the merge identity.
+	var zero HistSnapshot
+	zero.Merge(want)
+	if zero.Count() != want.Count() || zero.Quantile(0.5) != want.Quantile(0.5) {
+		t.Error("merging into the zero snapshot lost observations")
+	}
+}
+
+// TestHistogramConcurrent: concurrent recording loses nothing (run under
+// -race in CI).
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	const goroutines, per = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			st := rng.NewStream(int64(g))
+			for i := 0; i < per; i++ {
+				h.Observe(int64(st.Intn(1 << 30)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count(); got != goroutines*per {
+		t.Errorf("count = %d, want %d", got, goroutines*per)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	snap := NewHistogram().Snapshot()
+	if snap.Count() != 0 || snap.Quantile(0.5) != 0 || snap.Mean() != 0 {
+		t.Errorf("empty histogram: %+v", snap)
+	}
+}

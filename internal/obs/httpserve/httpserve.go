@@ -1,0 +1,146 @@
+// Package httpserve serves the observability surface behind the CLI
+// tools' -metrics-addr / -pprof flags: Prometheus text exposition at
+// /metrics, a human-readable /statusz, the slowest-trace ring at
+// /tracez, and net/http/pprof under /debug/pprof/ — all on one
+// dedicated mux:
+//
+//	afserve -dataset Wiki -metrics-addr localhost:6060 < queries.jsonl &
+//	curl http://localhost:6060/metrics
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
+//
+// The handlers are registered on a private mux, never on
+// http.DefaultServeMux: the default mux is process-wide shared state
+// any imported package may add handlers to (expvar, future pprof
+// imports), so serving it would expose whatever happened to be linked
+// in. This package replaced the earlier pprofserve, which served the
+// default mux.
+package httpserve
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"repro/internal/obs"
+)
+
+// Options selects what the endpoint serves. Nil fields disable their
+// route; /debug/pprof is always served.
+type Options struct {
+	// Registry serves Prometheus text exposition at /metrics.
+	Registry *obs.Registry
+	// Tracer serves the slowest retained traces at /tracez as JSON.
+	Tracer *obs.Tracer
+	// Statusz renders the human-readable /statusz body.
+	Statusz func(w io.Writer)
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start serves the observability mux on addr from a background
+// goroutine. An empty addr returns (nil, nil) — a nil *Server is a
+// no-op endpoint, so callers need no conditional around Close. The
+// listener is opened synchronously so a bad address fails the flag
+// parse fast instead of dying silently mid-run.
+func Start(addr string, o Options) (*Server, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if o.Registry != nil {
+		reg := o.Registry
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = reg.WritePrometheus(w)
+		})
+	}
+	if o.Statusz != nil {
+		statusz := o.Statusz
+		mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			statusz(w)
+		})
+	}
+	if o.Tracer != nil {
+		tr := o.Tracer
+		mux.HandleFunc("/tracez", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(tr.Slowest())
+		})
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("httpserve: %w", err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() {
+		// Serve errors after a successful listen mean Close was called or
+		// the process is shutting down — nothing to report.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0"); "" on a nil server.
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the endpoint. A no-op on a nil server.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// CLI bundles the observability flags the serving binaries share, so
+// afserve and afexp register and interpret them identically instead of
+// each carrying its own flag block.
+type CLI struct {
+	metricsAddr *string
+	pprofAddr   *string
+}
+
+// AddFlags registers -metrics-addr and -pprof on fs and returns the
+// handle to start the endpoint after parsing.
+func AddFlags(fs *flag.FlagSet) *CLI {
+	c := &CLI{}
+	c.metricsAddr = fs.String("metrics-addr", "",
+		"serve /metrics, /statusz, /tracez and /debug/pprof on this address (e.g. localhost:6060)")
+	c.pprofAddr = fs.String("pprof", "",
+		"alias of -metrics-addr (kept for profiling workflows)")
+	return c
+}
+
+// Enabled reports whether either address flag was set — the caller's
+// cue to build an obs.Obs before constructing its server.
+func (c *CLI) Enabled() bool { return *c.metricsAddr != "" || *c.pprofAddr != "" }
+
+// Start starts the endpoint on the flagged address (-metrics-addr wins
+// when both are set); (nil, nil) when neither flag was given.
+func (c *CLI) Start(o Options) (*Server, error) {
+	addr := *c.metricsAddr
+	if addr == "" {
+		addr = *c.pprofAddr
+	}
+	return Start(addr, o)
+}

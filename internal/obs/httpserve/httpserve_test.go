@@ -1,0 +1,111 @@
+package httpserve
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestEndpoint(t *testing.T) {
+	o := obs.New()
+	o.Registry.Counter("af_test_total", "a test counter").Add(7)
+	tr := o.Tracer.Start("solve")
+	sp := tr.StartSpan(obs.StageSolve)
+	time.Sleep(time.Millisecond)
+	sp.End()
+	tr.Finish()
+
+	s, err := Start("127.0.0.1:0", Options{
+		Registry: o.Registry,
+		Tracer:   o.Tracer,
+		Statusz:  func(w io.Writer) { fmt.Fprintln(w, "status: ok") },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := "http://" + s.Addr()
+
+	if code, body := get(t, base+"/metrics"); code != 200 || !strings.Contains(body, "af_test_total 7") {
+		t.Errorf("/metrics = %d:\n%s", code, body)
+	}
+	if code, body := get(t, base+"/statusz"); code != 200 || !strings.Contains(body, "status: ok") {
+		t.Errorf("/statusz = %d:\n%s", code, body)
+	}
+	if code, body := get(t, base+"/tracez"); code != 200 || !strings.Contains(body, `"solve"`) {
+		t.Errorf("/tracez = %d:\n%s", code, body)
+	}
+	if code, body := get(t, base+"/debug/pprof/cmdline"); code != 200 || len(body) == 0 {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+func TestStartEmptyAddrAndNilServer(t *testing.T) {
+	s, err := Start("", Options{})
+	if s != nil || err != nil {
+		t.Fatalf("Start(\"\") = %v, %v; want nil, nil", s, err)
+	}
+	if got := s.Addr(); got != "" {
+		t.Errorf("nil server Addr() = %q", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("nil server Close() = %v", err)
+	}
+}
+
+func TestStartBadAddr(t *testing.T) {
+	if _, err := Start("definitely-not-a-host:99999", Options{}); err == nil {
+		t.Fatal("Start on a bad address did not fail")
+	}
+}
+
+func TestCLIFlags(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	c := AddFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Enabled() {
+		t.Error("Enabled() with no flags set")
+	}
+	if s, err := c.Start(Options{}); s != nil || err != nil {
+		t.Errorf("Start with no flags = %v, %v; want nil, nil", s, err)
+	}
+
+	fs = flag.NewFlagSet("t", flag.ContinueOnError)
+	c = AddFlags(fs)
+	if err := fs.Parse([]string{"-pprof", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Enabled() {
+		t.Error("Enabled() false with -pprof set")
+	}
+	s, err := c.Start(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if code, _ := get(t, "http://"+s.Addr()+"/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("pprof over -pprof alias = %d", code)
+	}
+}

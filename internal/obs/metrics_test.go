@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden: the exposition of a fixed registry is
+// byte-stable (families sorted by name, series in registration order)
+// and matches the Prometheus text format.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("af_zeta_total", "registered first, sorted last").Add(3)
+	r.Counter("af_requests_total", "requests served", "kind", "solve", "result", "hit").Add(7)
+	r.Counter("af_requests_total", "requests served", "kind", "solve", "result", "miss").Inc()
+	r.Gauge("af_bytes_held", "resident pool bytes").Set(4096)
+	r.GaugeFunc("af_uptime_seconds", "seconds since start", func() float64 { return 1.5 })
+	h := r.Histogram("af_request_seconds", "query latency", "kind", "solve")
+	for i := 0; i < 1000; i++ {
+		h.Observe(2_000_000) // 2ms, exact multiple of a bucket boundary region
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	const want = `# HELP af_bytes_held resident pool bytes
+# TYPE af_bytes_held gauge
+af_bytes_held 4096
+# HELP af_request_seconds query latency
+# TYPE af_request_seconds summary
+af_request_seconds{kind="solve",quantile="0.5"} 0.001998848
+af_request_seconds{kind="solve",quantile="0.99"} 0.001998848
+af_request_seconds{kind="solve",quantile="0.999"} 0.001998848
+af_request_seconds_sum{kind="solve"} 2
+af_request_seconds_count{kind="solve"} 1000
+# HELP af_requests_total requests served
+# TYPE af_requests_total counter
+af_requests_total{kind="solve",result="hit"} 7
+af_requests_total{kind="solve",result="miss"} 1
+# HELP af_uptime_seconds seconds since start
+# TYPE af_uptime_seconds gauge
+af_uptime_seconds 1.5
+# HELP af_zeta_total registered first, sorted last
+# TYPE af_zeta_total counter
+af_zeta_total 3
+`
+	if got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Idempotence: a second scrape of the idle registry is byte-identical.
+	var b2 strings.Builder
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != got {
+		t.Error("second scrape differs from the first")
+	}
+}
+
+// TestExpositionParses: every line of a populated exposition is either a
+// comment or a well-formed series line.
+func TestExpositionParses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("af_a_total", "a").Inc()
+	r.Gauge("af_b", "b").Set(-2)
+	r.Histogram("af_c_seconds", "c", "stage", "solve").Observe(12345)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	series := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_]+="[^"]*"(,[a-zA-Z_]+="[^"]*")*\})? -?[0-9.e+-]+$`)
+	for _, line := range strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !series.MatchString(line) {
+			t.Errorf("malformed exposition line: %q", line)
+		}
+	}
+}
+
+// TestRegistryIdempotent: re-registering the same (name, labels) returns
+// the same handle; skewed types panic.
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("af_x_total", "x", "kind", "a")
+	c2 := r.Counter("af_x_total", "x", "kind", "a")
+	if c1 != c2 {
+		t.Error("re-registration returned a distinct counter")
+	}
+	c1.Add(5)
+	if c2.Value() != 5 {
+		t.Error("handles do not share state")
+	}
+	if r.Histogram("af_h_seconds", "h") != r.Histogram("af_h_seconds", "h") {
+		t.Error("re-registration returned a distinct histogram")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("af_x_total", "x")
+}
+
+// TestRegistryConcurrent: concurrent registration and recording under
+// -race.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("af_shared_total", "shared").Inc()
+				r.Histogram("af_shared_seconds", "shared").Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("af_shared_total", "shared").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("af_shared_seconds", "shared").Snapshot().Count(); got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}
+
+// TestSnapshotMatchesExposition: the JSON snapshot carries the same
+// series as the text exposition, in the same order.
+func TestSnapshotMatchesExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("af_a_total", "a", "kind", "x").Add(2)
+	r.Gauge("af_b", "b").Set(9)
+	r.Histogram("af_c_seconds", "c").Observe(1e9)
+	samples := r.Snapshot()
+	want := []Sample{
+		{Name: "af_a_total", Labels: `kind="x"`, Value: 2},
+		{Name: "af_b", Value: 9},
+		{Name: "af_c_seconds", Labels: `quantile="0.5"`, Value: 0.989855744},
+		{Name: "af_c_seconds", Labels: `quantile="0.99"`, Value: 0.989855744},
+		{Name: "af_c_seconds", Labels: `quantile="0.999"`, Value: 0.989855744},
+		{Name: "af_c_seconds_sum", Value: 1},
+		{Name: "af_c_seconds_count", Value: 1},
+	}
+	if len(samples) != len(want) {
+		t.Fatalf("got %d samples, want %d: %+v", len(samples), len(want), samples)
+	}
+	for i := range want {
+		if samples[i] != want[i] {
+			t.Errorf("sample %d = %+v, want %+v", i, samples[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package obs
+
+// raceEnabled gates the AllocsPerRun pins in trace_test.go: the race
+// runtime allocates shadow state inside otherwise alloc-free code, so
+// the zero-alloc contracts are only checkable without -race.
+const raceEnabled = true

@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilTracerNoOps: the entire disabled path — nil tracer, nil trace,
+// zero span, trace-less context — is a safe no-op.
+func TestNilTracerNoOps(t *testing.T) {
+	var tr *Tracer
+	trace := tr.Start("solve")
+	if trace != nil {
+		t.Fatal("nil tracer must hand out nil traces")
+	}
+	sp := trace.StartSpan(StageSolve)
+	sp.End()
+	trace.AddSpan(StageMeasure, time.Now(), time.Millisecond)
+	trace.EachSpan(func(Stage, time.Duration) { t.Error("nil trace has no spans") })
+	if trace.Finish() != 0 || trace.Total() != 0 || trace.Kind() != "" {
+		t.Error("nil trace must report zeros")
+	}
+	if s := trace.Summary(); s.Kind != "" || len(s.Spans) != 0 {
+		t.Error("nil trace summary must be empty")
+	}
+	tr.SetSlowLog(time.Millisecond, &bytes.Buffer{})
+	if tr.Slowest() != nil {
+		t.Error("nil tracer has no retained traces")
+	}
+	ctx := WithTrace(context.Background(), nil)
+	if ctx != context.Background() {
+		t.Error("WithTrace(nil) must not wrap the context")
+	}
+	if TraceFrom(ctx) != nil || TraceFrom(nil) != nil {
+		t.Error("TraceFrom must return nil when no trace is present")
+	}
+}
+
+// TestTraceSpans: spans record stage, ordering, and durations; the
+// context round-trip preserves identity.
+func TestTraceSpans(t *testing.T) {
+	tr := NewTracer(4)
+	trace := tr.Start("solvemax")
+	ctx := WithTrace(context.Background(), trace)
+	if TraceFrom(ctx) != trace {
+		t.Fatal("context round-trip lost the trace")
+	}
+
+	sp := trace.StartSpan(StagePoolGrow)
+	time.Sleep(time.Millisecond)
+	sp.End()
+	trace.AddSpan(StageSolve, time.Now(), 5*time.Millisecond)
+	total := trace.Finish()
+	if total <= 0 {
+		t.Fatal("finished trace must have positive total")
+	}
+	if trace.Kind() != "solvemax" || trace.Total() != total {
+		t.Errorf("kind/total = %q/%v", trace.Kind(), trace.Total())
+	}
+
+	var stages []Stage
+	var durs []time.Duration
+	trace.EachSpan(func(st Stage, d time.Duration) {
+		stages = append(stages, st)
+		durs = append(durs, d)
+	})
+	if len(stages) != 2 || stages[0] != StagePoolGrow || stages[1] != StageSolve {
+		t.Fatalf("stages = %v", stages)
+	}
+	if durs[0] < time.Millisecond || durs[1] != 5*time.Millisecond {
+		t.Errorf("durations = %v", durs)
+	}
+
+	s := trace.Summary()
+	if s.Kind != "solvemax" || len(s.Spans) != 2 || s.Spans[0].Stage != "pool_grow" || s.Spans[1].Stage != "solve" {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Dropped != 0 {
+		t.Errorf("dropped = %d, want 0", s.Dropped)
+	}
+}
+
+// TestTraceSpanOverflow: spans beyond maxSpans are counted as dropped,
+// not grown into or written out of bounds.
+func TestTraceSpanOverflow(t *testing.T) {
+	trace := NewTracer(1).Start("topk")
+	for i := 0; i < maxSpans+10; i++ {
+		trace.StartSpan(StageRankRound).End()
+	}
+	trace.Finish()
+	s := trace.Summary()
+	if len(s.Spans) != maxSpans {
+		t.Errorf("kept %d spans, want %d", len(s.Spans), maxSpans)
+	}
+	if s.Dropped != 10 {
+		t.Errorf("dropped = %d, want 10", s.Dropped)
+	}
+}
+
+// TestTracerRing: the tracer retains the keep slowest traces, sorted
+// slowest first.
+func TestTracerRing(t *testing.T) {
+	tr := NewTracer(3)
+	// Fabricate finished traces with controlled totals.
+	for _, us := range []int64{10, 50, 20, 90, 5, 70} {
+		trace := tr.Start("solve")
+		trace.total = time.Duration(us) * time.Microsecond
+		tr.record(trace)
+	}
+	got := tr.Slowest()
+	if len(got) != 3 {
+		t.Fatalf("retained %d traces, want 3", len(got))
+	}
+	want := []int64{90, 70, 50}
+	for i, s := range got {
+		if s.TotalUs != want[i] {
+			t.Errorf("slowest[%d] = %dus, want %dus", i, s.TotalUs, want[i])
+		}
+	}
+}
+
+// TestSlowLog: traces at or over the threshold emit one-line JSON
+// TraceSummary records; faster traces do not.
+func TestSlowLog(t *testing.T) {
+	tr := NewTracer(2)
+	var buf bytes.Buffer
+	tr.SetSlowLog(time.Millisecond, &buf)
+
+	fast := tr.Start("solve")
+	fast.total = 100 * time.Microsecond
+	tr.record(fast)
+	if buf.Len() != 0 {
+		t.Fatal("fast trace must not be logged")
+	}
+
+	slow := tr.Start("pmax")
+	slow.StartSpan(StagePmax).End()
+	slow.total = 3 * time.Millisecond
+	tr.record(slow)
+
+	line := strings.TrimSuffix(buf.String(), "\n")
+	if strings.ContainsRune(line, '\n') {
+		t.Fatalf("slow log must be one line, got %q", buf.String())
+	}
+	var s TraceSummary
+	if err := json.Unmarshal([]byte(line), &s); err != nil {
+		t.Fatalf("slow log line is not JSON: %v (%q)", err, line)
+	}
+	if s.Kind != "pmax" || s.TotalUs != 3000 || len(s.Spans) != 1 || s.Spans[0].Stage != "pmax" {
+		t.Errorf("slow log summary = %+v", s)
+	}
+}
+
+// TestConcurrentSpans: goroutines sharing one trace (parallel top-k
+// scoring) can StartSpan/End concurrently; every span under the cap is
+// kept and the rest counted as dropped.
+func TestConcurrentSpans(t *testing.T) {
+	trace := NewTracer(1).Start("topk")
+	const goroutines, per = 8, 16 // 128 spans, 64 over the cap
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				trace.StartSpan(StageRankRound).End()
+			}
+		}()
+	}
+	wg.Wait()
+	trace.Finish()
+	s := trace.Summary()
+	if len(s.Spans)+s.Dropped != goroutines*per {
+		t.Errorf("spans %d + dropped %d != %d", len(s.Spans), s.Dropped, goroutines*per)
+	}
+	if len(s.Spans) != maxSpans {
+		t.Errorf("kept %d spans, want %d", len(s.Spans), maxSpans)
+	}
+}
+
+// TestStageStrings: every stage has a distinct non-"unknown" label —
+// the labels are metric API.
+func TestStageStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for st := Stage(0); st < NumStages; st++ {
+		name := st.String()
+		if name == "" || name == "unknown" || seen[name] {
+			t.Errorf("stage %d has bad or duplicate label %q", st, name)
+		}
+		seen[name] = true
+	}
+	if NumStages.String() != "unknown" {
+		t.Error("out-of-range stage must stringify as unknown")
+	}
+}
+
+// TestDisabledPathZeroAlloc pins the tentpole contract: with tracing
+// disabled, the full instrumentation sequence — context lookup, span
+// open/close, finish — allocates nothing, and steady-state histogram
+// observation allocates nothing either.
+func TestDisabledPathZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime allocates shadow state")
+	}
+	ctx := context.Background()
+	if n := testing.AllocsPerRun(1000, func() {
+		tr := TraceFrom(ctx)
+		sp := tr.StartSpan(StageSolve)
+		sp.End()
+		tr.AddSpan(StageMeasure, time.Time{}, 0)
+		tr.Finish()
+	}); n != 0 {
+		t.Errorf("disabled trace path: %v allocs/op, want 0", n)
+	}
+
+	h := NewHistogram()
+	h.Observe(1) // warm the calling P's stripe
+	if n := testing.AllocsPerRun(1000, func() {
+		h.Observe(123456)
+	}); n != 0 {
+		t.Errorf("histogram observe: %v allocs/op, want 0", n)
+	}
+
+	var c Counter
+	var g Gauge
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(7)
+	}); n != 0 {
+		t.Errorf("counter/gauge: %v allocs/op, want 0", n)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -236,9 +237,12 @@ func Run(ctx context.Context, cfg Config, score func(ctx context.Context, candid
 	for ri, round := range plan.Rounds {
 		scores := make([]float64, len(alive))
 		errs := make([]error, len(alive))
-		if err := parallel.For(ctx, len(alive), cfg.Workers, func(j int) {
+		sp := obs.TraceFrom(ctx).StartSpan(obs.StageRankRound)
+		err := parallel.For(ctx, len(alive), cfg.Workers, func(j int) {
 			scores[j], errs[j] = score(ctx, alive[j], round.Effort)
-		}); err != nil {
+		})
+		sp.End()
+		if err != nil {
 			return nil, err
 		}
 		if err := ctx.Err(); err != nil {

@@ -54,12 +54,14 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/ltm"
 	"repro/internal/maxaf"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/snapshot"
 	"repro/internal/weights"
@@ -98,6 +100,13 @@ type Config struct {
 	// version or stream-identity validation are ignored and the pair
 	// resamples — answers are identical either way.
 	SpillDir string
+	// Obs, when non-nil, enables observability: every query records its
+	// latency into a per-kind histogram and a per-stage trace in
+	// Obs.Registry/Obs.Tracer, and every Stats counter is mirrored as a
+	// scrape-time series. Nil (the default) disables all of it at zero
+	// hot-path cost. An Obs should serve one Server: mirrors registered
+	// by a later server with the same registry replace the earlier ones.
+	Obs *obs.Obs
 }
 
 // Kind labels a query kind in the hit/miss ledger.
@@ -310,6 +319,10 @@ type Server struct {
 	lruMu sync.Mutex
 	lru   *list.List // front = most recently used; values are *entry
 	bytes int64
+
+	// obs is the server's observability binding; nil when Config.Obs is
+	// nil, and every instrumentation site is a nil-check no-op then.
+	obs *serverObs
 }
 
 // New returns a server for the graph under the given weight scheme.
@@ -323,6 +336,9 @@ func New(g *graph.Graph, scheme weights.Scheme, cfg Config) *Server {
 	sv.lineage = engine.NewLineage(gfp)
 	for i := range sv.shards {
 		sv.shards[i].m = make(map[pairKey]*entry)
+	}
+	if cfg.Obs != nil && cfg.Obs.Registry != nil {
+		sv.obs = newServerObs(sv, cfg.Obs)
 	}
 	return sv
 }
@@ -353,7 +369,11 @@ func (sv *Server) pairSeed(k pairKey) int64 {
 
 // acquire returns the pair's cached entry, creating it on a miss, and
 // records the hit/miss under kind. The caller must pair it with release.
-func (sv *Server) acquire(kind Kind, s, t graph.Node) (*entry, error) {
+// A trace on ctx gets an acquire span covering lookup, creation and any
+// one-time spill restore the acquisition triggered.
+func (sv *Server) acquire(ctx context.Context, kind Kind, s, t graph.Node) (*entry, error) {
+	sp := obs.TraceFrom(ctx).StartSpan(obs.StageAcquire)
+	defer sp.End()
 	k := pairKey{s, t}
 	sh := sv.shardFor(k)
 	sh.mu.Lock()
@@ -545,6 +565,14 @@ func (sv *Server) restoreSpill(e *entry) {
 		return
 	}
 	defer f.Close()
+	// Restore runs once per entry and has no request context (SpillAll
+	// and Warm reach it too), so the load is timed straight into the
+	// stage histogram rather than as a span.
+	if so := sv.obs; so != nil {
+		defer func(start time.Time) {
+			so.stage[obs.StageSpillLoad].Observe(time.Since(start).Nanoseconds())
+		}(time.Now())
+	}
 	br := bufio.NewReaderSize(f, 1<<20)
 	if err := e.sess.Restore(br); err != nil {
 		sv.noteLoadError(err)
@@ -670,13 +698,15 @@ func (sv *Server) Solve(ctx context.Context, s, t graph.Node, cfg core.Config) (
 	return v.(*core.Result), nil
 }
 
-func (sv *Server) solve(ctx context.Context, s, t graph.Node, cfg core.Config) (*core.Result, error) {
-	e, err := sv.acquire(KindSolve, s, t)
+func (sv *Server) solve(ctx context.Context, s, t graph.Node, cfg core.Config) (res *core.Result, err error) {
+	ctx, obsEnd := sv.obsBegin(ctx, KindSolve)
+	defer func() { obsEnd(err) }()
+	e, err := sv.acquire(ctx, KindSolve, s, t)
 	if err != nil {
 		return nil, err
 	}
 	defer sv.release(e)
-	res, err := e.sess.RAF(ctx, cfg)
+	res, err = e.sess.RAF(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -709,8 +739,10 @@ func (sv *Server) SolveMax(ctx context.Context, s, t graph.Node, budget int, rea
 	return o.res, o.f, nil
 }
 
-func (sv *Server) solveMax(ctx context.Context, s, t graph.Node, budget int, realizations int64) (*maxaf.Result, float64, error) {
-	e, err := sv.acquire(KindSolveMax, s, t)
+func (sv *Server) solveMax(ctx context.Context, s, t graph.Node, budget int, realizations int64) (_ *maxaf.Result, _ float64, err error) {
+	ctx, obsEnd := sv.obsBegin(ctx, KindSolveMax)
+	defer func() { obsEnd(err) }()
+	e, err := sv.acquire(ctx, KindSolveMax, s, t)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -723,7 +755,7 @@ func (sv *Server) solveMax(ctx context.Context, s, t graph.Node, budget int, rea
 	if err != nil {
 		return nil, 0, err
 	}
-	res, err := maxaf.SolveFromPool(e.sess.Instance(), budget, pool)
+	res, err := maxaf.SolveFromPool(ctx, e.sess.Instance(), budget, pool)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -760,8 +792,10 @@ func (sv *Server) SolveMaxBudgets(ctx context.Context, s, t graph.Node, budgets 
 	return o.res, o.fs, nil
 }
 
-func (sv *Server) solveMaxBudgets(ctx context.Context, s, t graph.Node, budgets []int, realizations int64) ([]*maxaf.Result, []float64, error) {
-	e, err := sv.acquire(KindSolveMax, s, t)
+func (sv *Server) solveMaxBudgets(ctx context.Context, s, t graph.Node, budgets []int, realizations int64) (_ []*maxaf.Result, _ []float64, err error) {
+	ctx, obsEnd := sv.obsBegin(ctx, KindSolveMax)
+	defer func() { obsEnd(err) }()
+	e, err := sv.acquire(ctx, KindSolveMax, s, t)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -774,7 +808,7 @@ func (sv *Server) solveMaxBudgets(ctx context.Context, s, t graph.Node, budgets 
 	if err != nil {
 		return nil, nil, err
 	}
-	results, err := maxaf.SolveBudgetsFromPool(e.sess.Instance(), budgets, pool)
+	results, err := maxaf.SolveBudgetsFromPool(ctx, e.sess.Instance(), budgets, pool)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -791,8 +825,10 @@ func (sv *Server) solveMaxBudgets(ctx context.Context, s, t graph.Node, budgets 
 
 // EstimateF estimates f(invited) for (s,t) as a coverage query against
 // the pair's cached evaluation pool, grown to at least trials draws.
-func (sv *Server) EstimateF(ctx context.Context, s, t graph.Node, invited *graph.NodeSet, trials int64) (float64, error) {
-	e, err := sv.acquire(KindEstimateF, s, t)
+func (sv *Server) EstimateF(ctx context.Context, s, t graph.Node, invited *graph.NodeSet, trials int64) (_ float64, err error) {
+	ctx, obsEnd := sv.obsBegin(ctx, KindEstimateF)
+	defer func() { obsEnd(err) }()
+	e, err := sv.acquire(ctx, KindEstimateF, s, t)
 	if err != nil {
 		return 0, err
 	}
@@ -815,8 +851,10 @@ func (sv *Server) Pmax(ctx context.Context, s, t graph.Node, trials int64) (floa
 	return v.(float64), nil
 }
 
-func (sv *Server) pmaxQuery(ctx context.Context, s, t graph.Node, trials int64) (float64, error) {
-	e, err := sv.acquire(KindPmax, s, t)
+func (sv *Server) pmaxQuery(ctx context.Context, s, t graph.Node, trials int64) (_ float64, err error) {
+	ctx, obsEnd := sv.obsBegin(ctx, KindPmax)
+	defer func() { obsEnd(err) }()
+	e, err := sv.acquire(ctx, KindPmax, s, t)
 	if err != nil {
 		return 0, err
 	}
@@ -842,8 +880,10 @@ func (sv *Server) PmaxEstimate(ctx context.Context, s, t graph.Node, eps0, n flo
 	return v.(engine.PmaxResult), nil
 }
 
-func (sv *Server) pmaxEstimate(ctx context.Context, s, t graph.Node, eps0, n float64, maxDraws int64) (engine.PmaxResult, error) {
-	e, err := sv.acquire(KindPmaxEst, s, t)
+func (sv *Server) pmaxEstimate(ctx context.Context, s, t graph.Node, eps0, n float64, maxDraws int64) (_ engine.PmaxResult, err error) {
+	ctx, obsEnd := sv.obsBegin(ctx, KindPmaxEst)
+	defer func() { obsEnd(err) }()
+	e, err := sv.acquire(ctx, KindPmaxEst, s, t)
 	if err != nil {
 		return engine.PmaxResult{}, err
 	}
@@ -863,7 +903,7 @@ type PairHandle struct {
 
 // Pair returns a handle on the (s,t) sessions, creating them on demand.
 func (sv *Server) Pair(s, t graph.Node) (*PairHandle, error) {
-	e, err := sv.acquire(KindAcquire, s, t)
+	e, err := sv.acquire(context.Background(), KindAcquire, s, t)
 	if err != nil {
 		return nil, err
 	}

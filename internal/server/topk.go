@@ -110,7 +110,9 @@ func (sv *Server) TopK(ctx context.Context, q TopKQuery) (*TopKResult, error) {
 	return v.(*TopKResult), nil
 }
 
-func (sv *Server) topK(ctx context.Context, q TopKQuery) (*TopKResult, error) {
+func (sv *Server) topK(ctx context.Context, q TopKQuery) (_ *TopKResult, err error) {
+	ctx, obsEnd := sv.obsBegin(ctx, KindTopK)
+	defer func() { obsEnd(err) }()
 	n := len(q.Targets)
 	if n == 0 {
 		return nil, fmt.Errorf("server: topk with no targets")
@@ -132,7 +134,7 @@ func (sv *Server) topK(ctx context.Context, q TopKQuery) (*TopKResult, error) {
 	var spent atomic.Int64
 	var solvers sync.Pool // *setcover.Solver scratch shared across the batch
 	score := func(ctx context.Context, i int, effort int64) (float64, error) {
-		e, err := sv.acquire(KindTopK, q.S, q.Targets[i])
+		e, err := sv.acquire(ctx, KindTopK, q.S, q.Targets[i])
 		if err != nil {
 			return 0, err
 		}
@@ -148,7 +150,7 @@ func (sv *Server) topK(ctx context.Context, q TopKQuery) (*TopKResult, error) {
 		if s, ok := solvers.Get().(*setcover.Solver); ok {
 			solver = s
 		}
-		mres, solver, err := maxaf.SolveFromPoolSolver(e.sess.Instance(), q.Budget, pool, solver)
+		mres, solver, err := maxaf.SolveFromPoolSolver(ctx, e.sess.Instance(), q.Budget, pool, solver)
 		if solver != nil {
 			solvers.Put(solver)
 		}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"slices"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // FNV-1a constants; the fold hashes each folded set word-wise over its
@@ -185,14 +187,23 @@ func (f *Family) solver() *Solver {
 // shared (immutable) Family.
 type Solver struct {
 	f       *Family
-	marg    []int32   // uncovered-element count per folded set
-	done    []bool    // folded set fully covered
-	buckets [][]int32 // bucket queue: sets keyed by current marginal
+	tr      *obs.Trace // solve-stage spans; nil (the default) records nothing
+	marg    []int32    // uncovered-element count per folded set
+	done    []bool     // folded set fully covered
+	buckets [][]int32  // bucket queue: sets keyed by current marginal
 	heap    densityHeap
 
 	inUnion []uint32 // element e is in the union iff inUnion[e] == epoch
 	epoch   uint32
 }
+
+// SetTrace points the solver's solve-stage spans at tr: subsequent
+// Solve/SolveBudget calls record one solve span each. A nil tr (the
+// default) disables recording at zero cost — the narrow hook that lets a
+// serving layer time greedy solves without setcover knowing about
+// requests. The trace does not survive Rebind's family swap; callers
+// rebinding per query set it alongside.
+func (s *Solver) SetTrace(tr *obs.Trace) { s.tr = tr }
 
 // NewSolver returns a solver with scratch sized for the family.
 func NewSolver(f *Family) *Solver {
@@ -216,6 +227,7 @@ func NewSolver(f *Family) *Solver {
 // newly grown bitset holds zeros, which no live epoch ever equals).
 func (s *Solver) Rebind(f *Family) {
 	s.f = f
+	s.tr = nil // a pooled solver must not leak spans into a later query's trace
 	if n := f.NumFolded(); cap(s.marg) < n {
 		s.marg = make([]int32, n)
 	} else {
@@ -266,6 +278,8 @@ func (s *Solver) Solve(p int) (*Solution, error) {
 	if p > f.numSets {
 		return nil, fmt.Errorf("%w: p=%d > |U|=%d", ErrInfeasible, p, f.numSets)
 	}
+	sp := s.tr.StartSpan(obs.StageSolve)
+	defer sp.End()
 	s.reset()
 	maxSize := f.maxSize
 	for c := 0; c <= maxSize; c++ {
@@ -346,6 +360,8 @@ func (s *Solver) SolveBudget(budget int) (*Solution, error) {
 	if budget <= 0 {
 		return nil, fmt.Errorf("%w: budget %d must be positive", ErrBadInstance, budget)
 	}
+	sp := s.tr.StartSpan(obs.StageSolve)
+	defer sp.End()
 	s.reset()
 	sol := &Solution{}
 	s.heap = s.heap[:0]
