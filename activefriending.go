@@ -84,8 +84,24 @@
 //	})
 //	fmt.Println(res.PairsMigrated, res.RepairDrawsSaved)
 //
-// cmd/afserve exposes the server over line-delimited JSON on
-// stdin/stdout.
+// A Server also speaks the serving protocol over HTTP: Handler (or the
+// Server itself, via ServeHTTP) answers POST requests carrying one
+// protocol line — or an NDJSON batch — with the same reply bytes the
+// stdin/stdout transport produces, and ServerConfig.MaxInflight /
+// MaxQueue bound how much traffic executes at once (beyond the bound
+// the server fast-rejects with ErrOverloaded / HTTP 429 instead of
+// queueing unboundedly):
+//
+//	sv := activefriending.NewServer(g, activefriending.ServerConfig{
+//		Seed: 1, MaxInflight: 8, MaxQueue: 64,
+//	})
+//	http.Handle("/v1/query", sv.Handler())
+//	go http.ListenAndServe(":8080", nil)
+//	// curl -d '{"op":"solvemax","s":3,"t":91,"budget":5}' localhost:8080/v1/query
+//
+// cmd/afserve exposes the same protocol over line-delimited JSON on
+// stdin/stdout and (with -metrics-addr) over HTTP at /v1/query, with
+// graceful drain on SIGTERM.
 //
 // # Persistence
 //
@@ -123,7 +139,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
+	"sync"
 	"time"
 
 	"repro/internal/baselines"
@@ -134,6 +152,8 @@ import (
 	"repro/internal/ltm"
 	"repro/internal/maxaf"
 	"repro/internal/obs"
+	"repro/internal/proto"
+	"repro/internal/proto/httpapi"
 	"repro/internal/server"
 	"repro/internal/weights"
 )
@@ -673,6 +693,20 @@ type ServerConfig struct {
 	// SlowQueryLog (default os.Stderr). 0 disables slow-query logging.
 	SlowQueryThreshold time.Duration
 	SlowQueryLog       io.Writer
+	// SpillTTL, when positive, expires spill files: a snapshot not
+	// rewritten within the TTL is deleted (swept at Warm and
+	// periodically while serving), bounding the spill directory. An
+	// expired pair resamples on its next query — a latency cost, never
+	// a correctness one.
+	SpillTTL time.Duration
+	// MaxInflight, when positive, enables admission control: at most
+	// MaxInflight queries execute at once, at most MaxQueue more wait
+	// for a slot, and anything beyond fast-rejects with ErrOverloaded —
+	// under overload the server sheds load in O(1) instead of queueing
+	// unboundedly. Internal work (warming, delta migration) is never
+	// gated. 0 disables the gate.
+	MaxInflight int
+	MaxQueue    int
 }
 
 // Server serves active-friending queries for arbitrary (s,t) pairs on
@@ -689,6 +723,46 @@ type ServerConfig struct {
 //	fmt.Println(sv.Stats().BytesHeld)
 type Server struct {
 	sv *server.Server
+
+	handlerOnce sync.Once
+	handler     http.Handler
+}
+
+// ErrOverloaded is the admission fast-reject: ServerConfig.MaxInflight
+// queries are executing and the MaxQueue wait slots are full. The query
+// did not run; retrying with backoff is sound.
+var ErrOverloaded = server.ErrOverloaded
+
+// IsOverloaded reports whether err is an admission rejection.
+func IsOverloaded(err error) bool { return errors.Is(err, server.ErrOverloaded) }
+
+// Handler returns the server's HTTP query endpoint: POST one request
+// line — or an NDJSON batch — of the afserve wire protocol and receive
+// the same reply bytes the stdin/stdout transport produces (see
+// internal/proto/httpapi for the status-code mapping: 429 on
+// ErrOverloaded, 400/413 on malformed or oversized requests). Mount it
+// wherever the application serves HTTP:
+//
+//	sv := activefriending.NewServer(g, activefriending.ServerConfig{
+//		Seed: 1, MaxInflight: 8, MaxQueue: 64,
+//	})
+//	http.Handle("/v1/query", sv.Handler())
+//	go http.ListenAndServe(":8080", nil)
+//	// curl -d '{"op":"solvemax","s":3,"t":91,"budget":5}' localhost:8080/v1/query
+//
+// The handler is created once and reused; Server.ServeHTTP serves the
+// same endpoint directly.
+func (sv *Server) Handler() http.Handler {
+	sv.handlerOnce.Do(func() {
+		sv.handler = httpapi.New(proto.NewDispatcher(sv.sv))
+	})
+	return sv.handler
+}
+
+// ServeHTTP implements http.Handler by delegating to Handler, so a
+// *Server can itself be mounted on a mux.
+func (sv *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	sv.Handler().ServeHTTP(w, r)
 }
 
 // NewServer returns a server for g with the paper's degree-normalized
@@ -711,6 +785,9 @@ func NewServer(g *Graph, cfg ServerConfig) *Server {
 		Seed:         cfg.Seed,
 		Workers:      cfg.Workers,
 		SpillDir:     cfg.SpillDir,
+		SpillTTL:     cfg.SpillTTL,
+		MaxInflight:  cfg.MaxInflight,
+		MaxQueue:     cfg.MaxQueue,
 		Obs:          o,
 	})}
 }
@@ -1111,6 +1188,10 @@ type ServerStats struct {
 	SpillLoadErrInstance int64
 	SpillLoadErrOther    int64
 	SpillWriteErrors     int64
+	// SpillFilesExpired counts spill files deleted by the TTL sweep
+	// (ServerConfig.SpillTTL); the affected pairs resample on their next
+	// query, which changes no answer.
+	SpillFilesExpired int64
 	// DeltasApplied counts effective ApplyDelta calls; PairsDropped the
 	// pairs deltas dissolved. PoolsRepaired counts pair migrations and
 	// stale-spill loads carried across epochs by repair, re-drawing
@@ -1131,6 +1212,13 @@ type ServerStats struct {
 	// in-flight query (same pair, parameters and graph epoch) and
 	// shared its answer instead of paying their own computation.
 	Coalesced int64
+	// Inflight and Queued are the admission gate's current occupancy
+	// (queries executing / waiting for a slot); Admitted and Rejected
+	// are lifetime counters. All zero without ServerConfig.MaxInflight.
+	Inflight int
+	Queued   int
+	Admitted int64
+	Rejected int64
 	// Per-query-kind hit/miss tallies. TopK counts per-candidate
 	// session acquisitions of batched ranking rounds.
 	Solve                 ServerKindStats
@@ -1164,8 +1252,13 @@ func (sv *Server) Stats() ServerStats {
 		SpillLoadErrInstance:  st.SpillLoadErrInstance,
 		SpillLoadErrOther:     st.SpillLoadErrOther,
 		SpillWriteErrors:      st.SpillWriteErrors,
+		SpillFilesExpired:     st.SpillFilesExpired,
 		PmaxDrawsReused:       st.PmaxDrawsReused,
 		Coalesced:             st.Coalesced,
+		Inflight:              st.Inflight,
+		Queued:                st.Queued,
+		Admitted:              st.Admitted,
+		Rejected:              st.Rejected,
 		DeltasApplied:         st.DeltasApplied,
 		PairsDropped:          st.PairsDropped,
 		PoolsRepaired:         st.PoolsRepaired,

@@ -5,7 +5,7 @@
 //
 //	afexp -exp table1 -scale 0.1
 //	afexp -exp fig3 -datasets Wiki,HepTh -pairs 30 -scale 0.05
-//	afexp -exp fig4 | -exp fig5 | -exp table2 | -exp fig6 | -exp warm | -exp refine | -exp churn | -exp topk | -exp all
+//	afexp -exp fig4 | -exp fig5 | -exp table2 | -exp fig6 | -exp warm | -exp refine | -exp churn | -exp topk | -exp transport | -exp all
 //
 // The warm experiment is this reproduction's restart story rather than a
 // paper artifact: it serves a pool-bound workload cold, flushes every
@@ -22,7 +22,11 @@
 // run at a quarter of the exhaustive draw budget against the exhaustive
 // batch, reporting the draw ratio, the precision@k the schedule retained,
 // and a byte-identity check of the exhaustive batch against independent
-// SolveMax queries.
+// SolveMax queries. The transport experiment serves one workload through
+// the query protocol's three transports — direct Dispatcher calls, the
+// pipe's line protocol and a live HTTP endpoint (internal/proto) — and
+// verifies the reply streams are byte-identical, reporting each path's
+// wall-clock protocol overhead.
 //
 // Scale, pair count and Monte-Carlo budgets default to laptop-friendly
 // values; raise them (e.g. -scale 1 -pairs 500) to match the paper's
@@ -81,7 +85,7 @@ type options struct {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("afexp", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: table1|fig3|fig4|fig5|table2|fig6|warm|refine|churn|topk|all")
+	exp := fs.String("exp", "all", "experiment: table1|fig3|fig4|fig5|table2|fig6|warm|refine|churn|topk|transport|all")
 	datasets := fs.String("datasets", "Wiki,HepTh,HepPh,Youtube", "comma-separated dataset analogs")
 	scale := fs.Float64("scale", 0.05, "dataset scale (1 = paper size)")
 	pairs := fs.Int("pairs", 20, "number of (s,t) pairs per dataset (paper: 500)")
@@ -145,7 +149,7 @@ func run(args []string) error {
 			return err
 		}
 	}
-	wantsPairs := map[string]bool{"fig3": true, "fig4": true, "fig5": true, "table2": true, "fig6": true, "warm": true, "refine": true, "churn": true, "topk": true, "all": true}
+	wantsPairs := map[string]bool{"fig3": true, "fig4": true, "fig5": true, "table2": true, "fig6": true, "warm": true, "refine": true, "churn": true, "topk": true, "transport": true, "all": true}
 	if !wantsPairs[o.exp] && o.exp != "table1" {
 		return fmt.Errorf("unknown experiment %q", o.exp)
 	}
@@ -279,6 +283,18 @@ func run(args []string) error {
 				return err
 			}
 			if err := emit(eval.RenderTopK(name, res)); err != nil {
+				return err
+			}
+		}
+		if o.exp == "transport" || o.exp == "all" {
+			// Transport-parity experiment: the same workload through the
+			// Dispatcher, the pipe line protocol and a live HTTP endpoint
+			// must produce byte-identical reply streams.
+			res, err := eval.TransportParity(ctx, cfg)
+			if err != nil {
+				return err
+			}
+			if err := emit(eval.RenderTransport(name, res)); err != nil {
 				return err
 			}
 		}

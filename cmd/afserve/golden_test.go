@@ -1,0 +1,35 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestServeGoldenBytes pins the pipe transport's output byte-for-byte
+// against replies recorded from the pre-refactor afserve (the protocol
+// inlined in main.go), over every op: the internal/proto extraction is
+// a refactor, not a format change, and this is the proof. The recorded
+// stream deliberately has its malformed line first (before any op is in
+// flight, so reply order is deterministic even though the loop answers
+// decode errors inline) and excludes the "stats" op, whose ledger
+// legitimately grows new fields across PRs — HTTP-vs-pipe equivalence
+// covers stats instead.
+func TestServeGoldenBytes(t *testing.T) {
+	queries, err := os.ReadFile("testdata/golden_queries.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/golden_replies.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-file", "testdata/golden_graph.txt", "-seed", "7"},
+		strings.NewReader(string(queries)), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); got != string(want) {
+		t.Errorf("pipe replies are not byte-identical to the pre-refactor golden\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -1,13 +1,17 @@
 // Command afserve serves active-friending queries for arbitrary (s,t)
-// pairs over line-delimited JSON on stdin/stdout — the paper's online
-// setting, with many pairs in flight against one graph at once. It wraps
-// activefriending.Server: pair sessions are created on demand, shared
-// across queries, and evicted least-recently-used under -maxbytes.
+// pairs — the paper's online setting, with many pairs in flight against
+// one graph at once. The query protocol (request/response schema,
+// dispatch, error shaping) lives in internal/proto; this binary is flag
+// parsing plus two transports over one shared Dispatcher: line-
+// delimited JSON on stdin/stdout, and (with -metrics-addr) the same
+// protocol over HTTP at POST /v1/query (see internal/proto/httpapi).
 //
 // Usage:
 //
 //	afserve -file graph.txt < queries.jsonl
 //	afserve -dataset Wiki -scale 0.05 -maxbytes 268435456 -j 8
+//	afserve -file graph.txt -metrics-addr localhost:6060 &
+//	curl -d '{"op":"pmax","s":3,"t":91}' http://localhost:6060/v1/query
 //
 // Each input line is one request:
 //
@@ -18,7 +22,8 @@
 //	{"id":5,"op":"pmax","s":3,"t":91,"trials":20000}
 //	{"id":6,"op":"pmaxest","s":3,"t":91,"eps":0.1,"n":100000,"trials":2000000}
 //	{"id":7,"op":"topk","s":3,"targets":[91,17,64,108],"k":2,"budget":5,"maxdraws":500000}
-//	{"id":8,"op":"stats"}
+//	{"id":8,"op":"topkrefine","s":3,"targets":[91,17,64,108],"k":2,"budget":5,"extradraws":500000}
+//	{"id":9,"op":"stats"}
 //
 // A solvemax with a "budgets" list answers the whole sweep in one
 // response: the pair's pool is folded into a set-cover family once, one
@@ -27,18 +32,21 @@
 // scheduled batch (successive halving under the "maxdraws" draw budget;
 // omit it to score every candidate at full effort, byte-identical to
 // independent solvemax calls) and reports the k winners with their
-// per-candidate score, effort and invitation set.
+// per-candidate score, effort and invitation set; a topkrefine with the
+// same (s, targets, k, budget, realizations) signature resumes the
+// retained run with "extradraws" more budget, paying only the top-up.
 //
 // -metrics-addr (or its alias -pprof) serves the observability surface
 // on a dedicated mux: Prometheus text at /metrics (per-kind request
 // latency summaries, per-stage timings, and every stats counter), a
 // human-readable /statusz, the slowest retained traces at /tracez, and
-// net/http/pprof under /debug/pprof/ for profiling under real traffic.
-// Either flag also enables server metrics, and the "stats" op then
-// carries the registry snapshot in its "metrics" field. -slow-query
-// logs every query slower than the threshold as one line of JSON on
-// stderr (kind, total, per-stage spans). Instrumentation never changes
-// an answer.
+// net/http/pprof under /debug/pprof/ for profiling under real traffic —
+// plus the query protocol itself at POST /v1/query (one request line,
+// or an NDJSON batch answered as an NDJSON stream). Either flag also
+// enables server metrics, and the "stats" op then carries the registry
+// snapshot in its "metrics" field. -slow-query logs every query slower
+// than the threshold as one line of JSON on stderr (kind, total,
+// per-stage spans). Instrumentation never changes an answer.
 //
 // pmax is the cheap fixed-budget estimate (the evaluation pool's type-1
 // fraction over "trials" draws); pmaxest runs the paper's Algorithm 2
@@ -51,16 +59,26 @@
 // -spill-dir makes pool state survive both eviction and restarts:
 // evicted pairs are snapshotted to disk and restored from bytes on
 // their next query, and when stdin closes (or on SIGINT/SIGTERM) every
-// live pair is flushed. A restarted server with the same -seed picks
-// the snapshots up lazily, or eagerly with -warm; snapshots are
-// checksummed and carry their stream identity, so a damaged or
-// mismatched file just means that pair resamples — answers are
-// byte-identical either way.
+// live pair is flushed — after in-flight queries on both transports
+// drain, so shutdown never tears an answer. A restarted server with the
+// same -seed picks the snapshots up lazily, or eagerly with -warm;
+// snapshots are checksummed and carry their stream identity, so a
+// damaged or mismatched file just means that pair resamples — answers
+// are byte-identical either way. -spill-ttl expires snapshot files not
+// rewritten within the TTL (swept at -warm and periodically while
+// serving), bounding the directory; an expired pair resamples, which
+// changes no answer.
 //
 // Each response is one JSON line {"id":…,"ok":true,"result":…} (or
-// "error" when ok is false). With -j > 1 requests are answered
-// concurrently and responses may arrive out of order; match them by id.
-// Results are pure functions of (-seed, s, t) and the request
+// "error" when ok is false). Concurrency is one shared budget across
+// both transports: -j is the server's admission limit (MaxInflight) and
+// also caps how many pipe requests run at once, -queue bounds how many
+// more may wait for a slot, and anything beyond fast-rejects with an
+// overload error (an error reply on the pipe, HTTP 429 on /v1/query) —
+// the pipe alone never overflows the queue, since it submits at most -j
+// at a time, but pipe and HTTP traffic together contend for the same
+// slots. With -j > 1 pipe responses may arrive out of order; match them
+// by id. Results are pure functions of (-seed, s, t) and the request
 // parameters: answer order, concurrency and pool eviction never change
 // them.
 package main
@@ -69,6 +87,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -78,8 +97,14 @@ import (
 	"sync/atomic"
 	"syscall"
 
-	af "repro"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/obs/httpserve"
+	"repro/internal/proto"
+	"repro/internal/proto/httpapi"
+	"repro/internal/server"
+	"repro/internal/weights"
 )
 
 func main() {
@@ -89,44 +114,31 @@ func main() {
 	}
 }
 
-type request struct {
-	ID           int64     `json:"id,omitempty"`
-	Op           string    `json:"op"`
-	S            af.Node   `json:"s"`
-	T            af.Node   `json:"t"`
-	Alpha        float64   `json:"alpha,omitempty"`
-	Eps          float64   `json:"eps,omitempty"`
-	N            float64   `json:"n,omitempty"`
-	Budget       int       `json:"budget,omitempty"`
-	Budgets      []int     `json:"budgets,omitempty"`
-	Realizations int64     `json:"realizations,omitempty"`
-	Trials       int64     `json:"trials,omitempty"`
-	Invited      []af.Node `json:"invited,omitempty"`
-	// Targets / K / MaxDraws parameterize the "topk" op.
-	Targets  []af.Node `json:"targets,omitempty"`
-	K        int       `json:"k,omitempty"`
-	MaxDraws int64     `json:"maxdraws,omitempty"`
-	// Add / Remove are the "delta" op's edge lists, each edge a [u, v]
-	// pair.
-	Add    [][2]af.Node `json:"add,omitempty"`
-	Remove [][2]af.Node `json:"remove,omitempty"`
+// drainGate counts in-flight pipe requests and refuses new ones once
+// drain begins — the pipe-side analog of httpapi.Handler's drain.
+type drainGate struct {
+	mu     sync.Mutex
+	wg     sync.WaitGroup
+	closed bool
 }
 
-type response struct {
-	ID     int64  `json:"id,omitempty"`
-	Op     string `json:"op"`
-	OK     bool   `json:"ok"`
-	Error  string `json:"error,omitempty"`
-	Result any    `json:"result,omitempty"`
+func (g *drainGate) begin() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return false
+	}
+	g.wg.Add(1)
+	return true
 }
 
-// statsResult is the "stats" op's payload when the server runs with
-// metrics: the ServerStats ledger, flat as before (embedding keeps the
-// field layout identical for clients that unmarshal the ledger only),
-// plus the registry snapshot.
-type statsResult struct {
-	af.ServerStats
-	Metrics []af.MetricSample `json:"metrics"`
+func (g *drainGate) end() { g.wg.Done() }
+
+func (g *drainGate) drain() {
+	g.mu.Lock()
+	g.closed = true
+	g.mu.Unlock()
+	g.wg.Wait()
 }
 
 func run(args []string, in io.Reader, out io.Writer) error {
@@ -139,8 +151,10 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	shards := fs.Int("shards", 0, "pair-map lock shards (0 = default)")
 	maxBytes := fs.Int64("maxbytes", 0, "pool memory budget in bytes (0 = unlimited)")
 	spillDir := fs.String("spill-dir", "", "spill evicted pools to snapshots in this directory and flush all pools on shutdown")
+	spillTTL := fs.Duration("spill-ttl", 0, "expire spill files not rewritten within this TTL (0 = keep forever)")
 	warm := fs.Bool("warm", false, "preload every snapshot in -spill-dir before serving")
-	jobs := fs.Int("j", 1, "max in-flight requests; >1 answers out of order")
+	jobs := fs.Int("j", 1, "max in-flight queries across both transports (the admission limit); >1 answers the pipe out of order")
+	queue := fs.Int("queue", 16, "queries that may wait for an in-flight slot before the server fast-rejects with an overload error")
 	obsCLI := httpserve.AddFlags(fs)
 	slowQuery := fs.Duration("slow-query", 0, "log queries slower than this as one-line JSON on stderr (0 = off; implies metrics)")
 	if err := fs.Parse(args); err != nil {
@@ -155,7 +169,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		}
 	}
 
-	var g *af.Graph
+	var g *graph.Graph
 	var err error
 	switch {
 	case *file != "":
@@ -163,10 +177,14 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		if err2 != nil {
 			return fmt.Errorf("opening graph: %w", err2)
 		}
-		g, err = af.LoadEdgeList(f)
+		g, err = gen.ReadEdgeList(f)
 		f.Close()
 	case *dataset != "":
-		g, err = af.GenerateDataset(*dataset, *scale, *seed)
+		var d gen.Dataset
+		d, err = gen.DatasetByName(*dataset)
+		if err == nil {
+			g, err = d.Generate(*scale, *seed)
+		}
 	default:
 		return fmt.Errorf("one of -file or -dataset is required")
 	}
@@ -176,19 +194,33 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	if *jobs < 1 {
 		*jobs = 1
 	}
+	if *queue < 0 {
+		*queue = 0
+	}
 
-	sv := af.NewServer(g, af.ServerConfig{
-		MaxPoolBytes:       *maxBytes,
-		Shards:             *shards,
-		Seed:               *seed,
-		Workers:            *workers,
-		SpillDir:           *spillDir,
-		Metrics:            obsCLI.Enabled() || *slowQuery > 0,
-		SlowQueryThreshold: *slowQuery,
+	var o *obs.Obs
+	if obsCLI.Enabled() || *slowQuery > 0 {
+		o = obs.New()
+		if *slowQuery > 0 {
+			o.SetSlowLog(*slowQuery, os.Stderr)
+		}
+	}
+	sv := server.New(g, weights.NewDegree(g), server.Config{
+		MaxPoolBytes: *maxBytes,
+		Shards:       *shards,
+		Seed:         *seed,
+		Workers:      *workers,
+		SpillDir:     *spillDir,
+		SpillTTL:     *spillTTL,
+		MaxInflight:  *jobs,
+		MaxQueue:     *queue,
+		Obs:          o,
 	})
-	var obsOpts httpserve.Options
-	if o := sv.Obs(); o != nil {
-		obsOpts = httpserve.Options{Registry: o.Registry, Tracer: o.Tracer, Statusz: sv.WriteStatusz}
+	d := proto.NewDispatcher(sv)
+	api := httpapi.New(d)
+	obsOpts := httpserve.Options{Query: api}
+	if o != nil {
+		obsOpts.Registry, obsOpts.Tracer, obsOpts.Statusz = o.Registry, o.Tracer, sv.WriteStatusz
 	}
 	obsSrv, err := obsCLI.Start(obsOpts)
 	if err != nil {
@@ -204,9 +236,8 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		fmt.Fprintf(os.Stderr, "afserve: warmed %d pairs from %s\n", n, *spillDir)
 	}
 	// Graceful shutdown: flush every live pair's pools to the spill
-	// directory exactly once — on EOF after in-flight requests drain, or
-	// on SIGINT/SIGTERM (in-flight pairs snapshot consistently; pairs
-	// that grow afterwards are simply flushed at their pre-growth size).
+	// directory exactly once — after in-flight queries on both transports
+	// have drained, so the flush never races an answer in progress.
 	var flushOnce sync.Once
 	flush := func() {
 		flushOnce.Do(func() {
@@ -215,28 +246,35 @@ func run(args []string, in io.Reader, out io.Writer) error {
 			}
 		})
 	}
-	if *spillDir != "" {
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		defer signal.Stop(sig)
-		done := make(chan struct{})
-		defer close(done) // unblocks the watcher so repeated run() calls don't leak it
-		go func() {
-			select {
-			case <-sig:
-				flush()
-				os.Exit(0)
-			case <-done:
-			}
-		}()
-		defer flush()
-	}
+	var pipe drainGate
+	// Deferred drain order (LIFO): on the EOF return path the pipe is
+	// already drained by the loop's wg semantics, so drain HTTP, then
+	// flush.
+	defer flush()
+	defer api.Drain()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	done := make(chan struct{})
+	defer close(done) // unblocks the watcher so repeated run() calls don't leak it
+	go func() {
+		select {
+		case <-sig:
+			// In-flight queries finish (new ones are refused: the pipe
+			// gate closes, HTTP answers 503), then the spill tier flushes.
+			pipe.drain()
+			api.Drain()
+			flush()
+			os.Exit(0)
+		case <-done:
+		}
+	}()
 
 	var mu sync.Mutex // serializes response lines
 	bw := bufio.NewWriter(out)
 	defer bw.Flush()
 	enc := json.NewEncoder(bw)
-	reply := func(resp response) error {
+	reply := func(resp proto.Response) error {
 		mu.Lock()
 		defer mu.Unlock()
 		if err := enc.Encode(resp); err != nil {
@@ -246,8 +284,11 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		return bw.Flush()
 	}
 
+	// The pipe's local cap matches the admission limit: at most -j pipe
+	// queries are submitted at once, so pipe-only traffic admits
+	// instantly and never overflows the shared queue — rejections only
+	// appear when HTTP traffic contends for the same slots.
 	sem := make(chan struct{}, *jobs)
-	var wg sync.WaitGroup
 	var failed atomic.Bool // a reply could not be written; stop serving
 	var replyErr error
 	var replyErrOnce sync.Once
@@ -255,111 +296,51 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		replyErrOnce.Do(func() { replyErr = err; failed.Store(true) })
 	}
 
-	sc := bufio.NewScanner(in)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	for sc.Scan() && !failed.Load() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		var req request
-		if err := json.Unmarshal(line, &req); err != nil {
-			if err := reply(response{OK: false, Error: fmt.Sprintf("bad request: %v", err)}); err != nil {
+	lr := proto.NewLineReader(in)
+	var readErr error
+	for !failed.Load() {
+		line, err := lr.ReadLine()
+		if errors.Is(err, proto.ErrOversized) {
+			// Unlike the old scanner (fatal ErrTooLong), an oversized line
+			// is consumed, answered, and the stream continues.
+			if err := reply(proto.Oversized()); err != nil {
 				fail(err)
 			}
 			continue
 		}
+		if err != nil {
+			if err != io.EOF {
+				readErr = err
+			}
+			break
+		}
+		if len(line) == 0 {
+			continue
+		}
+		req, errResp := proto.DecodeRequest(line)
+		if errResp != nil {
+			if err := reply(*errResp); err != nil {
+				fail(err)
+			}
+			continue
+		}
+		if !pipe.begin() {
+			break // draining; the signal watcher owns shutdown
+		}
 		sem <- struct{}{}
-		wg.Add(1)
-		go func(req request) {
-			defer wg.Done()
+		go func(req proto.Request) {
+			defer pipe.end()
 			defer func() { <-sem }()
-			if err := reply(serve(ctx, sv, req)); err != nil {
+			if err := reply(d.Dispatch(ctx, req)); err != nil {
 				fail(err)
 			}
 		}(req)
 	}
 	// Always drain in-flight workers before returning: the deferred
 	// flush must not race their writes.
-	wg.Wait()
+	pipe.drain()
 	if replyErr != nil {
 		return replyErr
 	}
-	return sc.Err()
-}
-
-// serve answers one request against the server.
-func serve(ctx context.Context, sv *af.Server, req request) response {
-	resp := response{ID: req.ID, Op: req.Op}
-	trials := req.Trials
-	if trials <= 0 {
-		trials = 20000
-	}
-	var result any
-	var err error
-	switch req.Op {
-	case "solve":
-		result, err = sv.Solve(ctx, req.S, req.T, af.Options{
-			Alpha: req.Alpha, Eps: req.Eps, N: req.N,
-			Realizations: req.Realizations,
-		})
-	case "solvemax":
-		// A "budgets" list answers the whole sweep from one pool fold and
-		// two batched coverage queries; "budget" answers a single solve.
-		if len(req.Budgets) > 0 {
-			result, err = sv.SolveMaxBudgets(ctx, req.S, req.T, req.Budgets, req.Realizations)
-		} else {
-			result, err = sv.SolveMax(ctx, req.S, req.T, req.Budget, req.Realizations)
-		}
-	case "acceptance":
-		var f float64
-		f, err = sv.AcceptanceProbability(ctx, req.S, req.T, req.Invited, trials)
-		result = map[string]float64{"f": f}
-	case "pmax":
-		var f float64
-		f, err = sv.Pmax(ctx, req.S, req.T, trials)
-		result = map[string]float64{"pmax": f}
-	case "pmaxest":
-		var est *af.PmaxEstimate
-		est, err = sv.EstimatePmax(ctx, req.S, req.T, req.Eps, req.N, req.Trials)
-		if err == nil {
-			result = map[string]any{
-				"pmax": est.Value, "draws": est.Draws, "reused": est.Reused,
-				"sampled": est.Sampled, "truncated": est.Truncated,
-			}
-		}
-	case "topk":
-		result, err = sv.TopK(ctx, req.S, req.Targets, req.K, af.TopKOptions{
-			Budget:       req.Budget,
-			Realizations: req.Realizations,
-			MaxDraws:     req.MaxDraws,
-		})
-	case "delta":
-		// Mutate the served graph in place: cached pairs are migrated
-		// across the new epoch by repair, not discarded. Requests already
-		// in flight answer at the epoch they started on.
-		d := &af.Delta{}
-		for _, e := range req.Add {
-			d.Add = append(d.Add, af.Edge{U: e[0], V: e[1]})
-		}
-		for _, e := range req.Remove {
-			d.Remove = append(d.Remove, af.Edge{U: e[0], V: e[1]})
-		}
-		result, err = sv.ApplyDelta(ctx, d)
-	case "stats":
-		if ms := sv.MetricsSnapshot(); ms != nil {
-			result = statsResult{ServerStats: sv.Stats(), Metrics: ms}
-		} else {
-			result = sv.Stats()
-		}
-	default:
-		err = fmt.Errorf("unknown op %q", req.Op)
-	}
-	if err != nil {
-		resp.Error = err.Error()
-		return resp
-	}
-	resp.OK = true
-	resp.Result = result
-	return resp
+	return readErr
 }

@@ -82,6 +82,18 @@ func RenderWarmRestart(dataset string, res *WarmRestartResult) *tablewriter.Tabl
 	return t
 }
 
+// RenderTransport renders the transport-parity experiment for one dataset.
+func RenderTransport(dataset string, res *TransportParityResult) *tablewriter.Table {
+	t := tablewriter.New(fmt.Sprintf("Transport parity (%s): direct vs pipe vs HTTP", dataset),
+		"queries", "direct ms", "pipe ms", "http ms", "mismatches", "identical")
+	t.AddRow(res.Queries,
+		float64(res.Direct.Microseconds())/1000,
+		float64(res.Pipe.Microseconds())/1000,
+		float64(res.HTTP.Microseconds())/1000,
+		res.Mismatches, res.Identical)
+	return t
+}
+
 // RenderChurn renders the mutation-churn experiment for one dataset.
 func RenderChurn(dataset string, res *ChurnResult) *tablewriter.Table {
 	t := tablewriter.New(fmt.Sprintf("Mutation churn (%s): repair vs discard-and-resample", dataset),

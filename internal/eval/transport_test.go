@@ -1,0 +1,30 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestTransportParity(t *testing.T) {
+	g := testGraph(t)
+	cfg := testConfig(t, g, samplePairsForTest(t, g, 3))
+	res, err := TransportParity(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 requests per pair + one topk + one stats.
+	if want := 3*3 + 2; res.Queries != want {
+		t.Errorf("Queries = %d, want %d", res.Queries, want)
+	}
+	if !res.Identical || res.Mismatches != 0 {
+		t.Errorf("transports diverged: %+v", res)
+	}
+	if res.Direct <= 0 || res.Pipe <= 0 || res.HTTP <= 0 {
+		t.Errorf("missing timings: %+v", res)
+	}
+
+	if _, err := TransportParity(context.Background(), Config{Graph: g, Weights: cfg.Weights}); !errors.Is(err, ErrNoPairs) {
+		t.Errorf("no pairs: err = %v", err)
+	}
+}

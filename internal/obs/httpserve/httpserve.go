@@ -37,6 +37,10 @@ type Options struct {
 	Tracer *obs.Tracer
 	// Statusz renders the human-readable /statusz body.
 	Statusz func(w io.Writer)
+	// Query serves the query protocol at /v1/query (POST; see
+	// internal/proto/httpapi), sharing this endpoint's listener and
+	// lifecycle — one -metrics-addr serves observability and queries.
+	Query http.Handler
 }
 
 // Server is a running observability endpoint.
@@ -73,6 +77,9 @@ func Start(addr string, o Options) (*Server, error) {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			statusz(w)
 		})
+	}
+	if o.Query != nil {
+		mux.Handle("/v1/query", o.Query)
 	}
 	if o.Tracer != nil {
 		tr := o.Tracer

@@ -46,3 +46,39 @@ func BenchmarkServerManyPairs(b *testing.B) {
 	})
 	b.ReportMetric(float64(sv.Stats().SessionsEvicted), "evictions")
 }
+
+// BenchmarkAdmissionAdmit measures the gate's uncontended fast path —
+// the per-query overhead every admitted request pays.
+func BenchmarkAdmissionAdmit(b *testing.B) {
+	g := testGraph(40, 60)
+	sv := New(g, weights.NewDegree(g), Config{Seed: 1, MaxInflight: 4, MaxQueue: 16})
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sv.admit(ctx); err != nil {
+			b.Fatal(err)
+		}
+		sv.admitDone()
+	}
+}
+
+// BenchmarkAdmissionReject measures the rejection path under full
+// saturation — the latency an overloaded client sees before its 429 /
+// error reply, which must stay far below the cost of running a query.
+func BenchmarkAdmissionReject(b *testing.B) {
+	g := testGraph(40, 60)
+	sv := New(g, weights.NewDegree(g), Config{Seed: 1, MaxInflight: 1, MaxQueue: 0})
+	ctx := context.Background()
+	if err := sv.admit(ctx); err != nil { // hold the only slot
+		b.Fatal(err)
+	}
+	defer sv.admitDone()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sv.admit(ctx); err != ErrOverloaded {
+			b.Fatalf("admit under saturation: %v", err)
+		}
+	}
+}

@@ -113,6 +113,7 @@ func (sv *Server) ApplyDelta(ctx context.Context, d *graph.Delta, updates []weig
 		}
 	}
 	sv.sweepDissolvedSpills(g2, res)
+	sv.sweepExpiredSpillsLocked()
 
 	// Migrated pairs were re-measured; settle the budget once for the
 	// whole walk.

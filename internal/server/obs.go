@@ -85,6 +85,34 @@ func newServerObs(sv *Server, o *obs.Obs) *serverObs {
 	mirror("af_repair_draws_saved_total", "pool draws adopted verbatim by delta repair", &sv.repairSaved)
 	mirror("af_pmax_draws_reused_total", "stopping-rule draws answered from retained estimator ledgers", &sv.pmaxDrawsReused)
 	mirror("af_coalesced_total", "queries that joined an identical in-flight query", &sv.coalesced)
+	mirror("af_spill_files_expired_total", "spill files removed by TTL GC", &sv.spillExpired)
+	// Admission series are registered even with the gate disabled (all
+	// zeros): dashboards and the CI smoke can rely on the names existing.
+	adm := sv.adm
+	r.GaugeFunc("af_inflight", "queries currently executing (holding an admission slot)", func() float64 {
+		if adm == nil {
+			return 0
+		}
+		return float64(adm.inflight.Load())
+	})
+	r.GaugeFunc("af_queue_depth", "queries waiting for an admission slot", func() float64 {
+		if adm == nil {
+			return 0
+		}
+		return float64(adm.queued.Load())
+	})
+	r.CounterFunc("af_admitted_total", "queries admitted past the in-flight gate", func() float64 {
+		if adm == nil {
+			return 0
+		}
+		return float64(adm.admitted.Load())
+	})
+	r.CounterFunc("af_rejected_total", "queries fast-rejected by admission control", func() float64 {
+		if adm == nil {
+			return 0
+		}
+		return float64(adm.rejected.Load())
+	})
 	return so
 }
 
@@ -137,6 +165,8 @@ func (sv *Server) WriteStatusz(w io.Writer) {
 	fmt.Fprintf(w, "deltas: applied=%d pairs_dropped=%d pools_repaired=%d chunks_resampled=%d draws_resampled=%d draws_saved=%d\n",
 		st.DeltasApplied, st.PairsDropped, st.PoolsRepaired, st.RepairChunksResampled, st.RepairDrawsResampled, st.RepairDrawsSaved)
 	fmt.Fprintf(w, "reuse: pmax_draws_reused=%d coalesced=%d\n", st.PmaxDrawsReused, st.Coalesced)
+	fmt.Fprintf(w, "admission: inflight=%d queued=%d admitted=%d rejected=%d spill_expired=%d\n",
+		st.Inflight, st.Queued, st.Admitted, st.Rejected, st.SpillFilesExpired)
 	for k := KindSolve; k < numKinds; k++ {
 		c := st.ByKind[k]
 		if c.Hits+c.Misses == 0 {

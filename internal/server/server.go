@@ -100,6 +100,22 @@ type Config struct {
 	// version or stream-identity validation are ignored and the pair
 	// resamples — answers are identical either way.
 	SpillDir string
+	// SpillTTL, when positive, expires spill files: a snapshot not
+	// rewritten within the TTL is deleted — at Warm, and periodically
+	// (under the delta mutex, so sweeps never race a migration's own
+	// spill-file maintenance) as spills are written. An expired pair
+	// simply resamples on its next query, which changes no answer; the
+	// sweep is ledgered in Stats.SpillFilesExpired. 0 keeps files
+	// forever.
+	SpillTTL time.Duration
+	// MaxInflight bounds the number of queries executing at once; 0
+	// disables admission control. MaxQueue bounds the queries allowed to
+	// wait for a free slot when the limit is reached — anything beyond
+	// the queue is fast-rejected with ErrOverloaded (never queued
+	// unboundedly). The gate covers the public query entry points only;
+	// PairHandle/Warm/ApplyDelta traffic is never gated.
+	MaxInflight int
+	MaxQueue    int
 	// Obs, when non-nil, enables observability: every query records its
 	// latency into a per-kind histogram and a per-stage trace in
 	// Obs.Registry/Obs.Tracer, and every Stats counter is mirrored as a
@@ -193,6 +209,21 @@ type Stats struct {
 	SpillLoadErrInstance int64
 	SpillLoadErrOther    int64
 	SpillWriteErrors     int64
+	// SpillFilesExpired counts spill files deleted by the TTL sweep
+	// (Config.SpillTTL): snapshots not rewritten within the TTL. The
+	// affected pairs resample on their next admission — a latency event,
+	// never a correctness event.
+	SpillFilesExpired int64
+	// Inflight and Queued are the admission gate's current occupancy:
+	// queries executing and queries waiting for a slot. Admitted and
+	// Rejected are lifetime counters — every query entering a public
+	// query method either admits (possibly after queueing), rejects with
+	// ErrOverloaded, or gives up waiting (context cancellation; counted
+	// in neither). All zero with admission disabled (MaxInflight ≤ 0).
+	Inflight int
+	Queued   int
+	Admitted int64
+	Rejected int64
 	// DeltasApplied counts ApplyDelta calls that actually changed the
 	// graph or its weights (no-op deltas advance nothing). PairsDropped
 	// counts pairs dissolved by a delta — their (s,t) became adjacent,
@@ -298,8 +329,15 @@ type Server struct {
 	spillLoadErrInstance atomic.Int64
 	spillLoadErrOther    atomic.Int64
 	spillWriteErrors     atomic.Int64
+	spillExpired         atomic.Int64
 	pmaxDrawsReused      atomic.Int64
 	coalesced            atomic.Int64
+
+	// adm is the admission gate (nil with MaxInflight ≤ 0); lastSweep is
+	// the unix-nano time of the last spill TTL sweep, CAS-guarded so at
+	// most one goroutine pays for a sweep per interval.
+	adm       *admission
+	lastSweep atomic.Int64
 
 	// flights holds in-flight coalescable queries; see coalesce.
 	flights sync.Map // flightKey -> *flightCall
@@ -331,6 +369,7 @@ func New(g *graph.Graph, scheme weights.Scheme, cfg Config) *Server {
 		cfg.Shards = DefaultShards
 	}
 	sv := &Server{cfg: cfg, shards: make([]shard, cfg.Shards), lru: list.New()}
+	sv.adm = newAdmission(cfg.MaxInflight, cfg.MaxQueue)
 	gfp := engine.GraphFingerprint(g, scheme)
 	sv.gen.Store(&generation{g: g, scheme: scheme, graphFP: gfp})
 	sv.lineage = engine.NewLineage(gfp)
@@ -523,6 +562,9 @@ func (sv *Server) writeSpill(e *entry) error {
 	}
 	sv.spills.Add(1)
 	sv.spillBytes.Add(n)
+	// A write is the natural periodic hook for TTL'd GC: the spill dir
+	// only grows when something is written to it.
+	sv.maybeSweepExpiredSpills()
 	return nil
 }
 
@@ -660,6 +702,11 @@ func (sv *Server) Warm() (int, error) {
 			os.Remove(o)
 		}
 	}
+	// Expire stale blobs before admitting anything: a snapshot past its
+	// TTL must not warm a pair only to be GC'd moments later.
+	sv.deltaMu.Lock()
+	sv.sweepExpiredSpillsLocked()
+	sv.deltaMu.Unlock()
 	des, err := os.ReadDir(sv.cfg.SpillDir)
 	if err != nil {
 		return 0, err
@@ -688,7 +735,13 @@ func (sv *Server) Warm() (int, error) {
 // Solve runs RAF for (s,t) against the pair's cached session. cfg.Seed
 // and cfg.Workers are ignored in favor of the server's per-pair streams.
 // Concurrent identical calls coalesce into one execution (see coalesce).
+// Subject to admission control (Config.MaxInflight), like every public
+// query method.
 func (sv *Server) Solve(ctx context.Context, s, t graph.Node, cfg core.Config) (*core.Result, error) {
+	if err := sv.admit(ctx); err != nil {
+		return nil, err
+	}
+	defer sv.admitDone()
 	v, err := sv.coalesce(KindSolve, s, t, pairParams(fmt.Sprintf("%+v", cfg)), func() (any, error) {
 		return sv.solve(ctx, s, t, cfg)
 	})
@@ -721,6 +774,10 @@ func (sv *Server) solve(ctx context.Context, s, t graph.Node, cfg core.Config) (
 // biased in-pool fraction) together with the decorrelated estimate.
 // Concurrent identical calls coalesce into one execution (see coalesce).
 func (sv *Server) SolveMax(ctx context.Context, s, t graph.Node, budget int, realizations int64) (*maxaf.Result, float64, error) {
+	if err := sv.admit(ctx); err != nil {
+		return nil, 0, err
+	}
+	defer sv.admitDone()
 	type out struct {
 		res *maxaf.Result
 		f   float64
@@ -774,6 +831,10 @@ func (sv *Server) solveMax(ctx context.Context, s, t graph.Node, budget int, rea
 // sweep. Results are identical to calling SolveMax per budget.
 // Concurrent identical calls coalesce into one execution (see coalesce).
 func (sv *Server) SolveMaxBudgets(ctx context.Context, s, t graph.Node, budgets []int, realizations int64) ([]*maxaf.Result, []float64, error) {
+	if err := sv.admit(ctx); err != nil {
+		return nil, nil, err
+	}
+	defer sv.admitDone()
 	type out struct {
 		res []*maxaf.Result
 		fs  []float64
@@ -826,6 +887,10 @@ func (sv *Server) solveMaxBudgets(ctx context.Context, s, t graph.Node, budgets 
 // EstimateF estimates f(invited) for (s,t) as a coverage query against
 // the pair's cached evaluation pool, grown to at least trials draws.
 func (sv *Server) EstimateF(ctx context.Context, s, t graph.Node, invited *graph.NodeSet, trials int64) (_ float64, err error) {
+	if err := sv.admit(ctx); err != nil {
+		return 0, err
+	}
+	defer sv.admitDone()
 	ctx, obsEnd := sv.obsBegin(ctx, KindEstimateF)
 	defer func() { obsEnd(err) }()
 	e, err := sv.acquire(ctx, KindEstimateF, s, t)
@@ -842,6 +907,10 @@ func (sv *Server) EstimateF(ctx context.Context, s, t graph.Node, invited *graph
 // guarantee, use PmaxEstimate. Concurrent identical calls coalesce into
 // one execution (see coalesce).
 func (sv *Server) Pmax(ctx context.Context, s, t graph.Node, trials int64) (float64, error) {
+	if err := sv.admit(ctx); err != nil {
+		return 0, err
+	}
+	defer sv.admitDone()
 	v, err := sv.coalesce(KindPmax, s, t, pairParams(trials), func() (any, error) {
 		return sv.pmaxQuery(ctx, s, t, trials)
 	})
@@ -871,6 +940,10 @@ func (sv *Server) pmaxQuery(ctx context.Context, s, t graph.Node, trials int64) 
 // pure function of (Seed, s, t, eps0, n, maxDraws). Concurrent identical
 // calls coalesce into one execution (see coalesce).
 func (sv *Server) PmaxEstimate(ctx context.Context, s, t graph.Node, eps0, n float64, maxDraws int64) (engine.PmaxResult, error) {
+	if err := sv.admit(ctx); err != nil {
+		return engine.PmaxResult{}, err
+	}
+	defer sv.admitDone()
 	v, err := sv.coalesce(KindPmaxEst, s, t, pairParams(eps0, n, maxDraws), func() (any, error) {
 		return sv.pmaxEstimate(ctx, s, t, eps0, n, maxDraws)
 	})
@@ -941,6 +1014,7 @@ func (sv *Server) Stats() Stats {
 		SpillLoadErrInstance: sv.spillLoadErrInstance.Load(),
 		SpillLoadErrOther:    sv.spillLoadErrOther.Load(),
 		SpillWriteErrors:     sv.spillWriteErrors.Load(),
+		SpillFilesExpired:    sv.spillExpired.Load(),
 		PmaxDrawsReused:      sv.pmaxDrawsReused.Load(),
 		Coalesced:            sv.coalesced.Load(),
 
@@ -950,6 +1024,12 @@ func (sv *Server) Stats() Stats {
 		RepairChunksResampled: sv.repairChunks.Load(),
 		RepairDrawsResampled:  sv.repairDraws.Load(),
 		RepairDrawsSaved:      sv.repairSaved.Load(),
+	}
+	if a := sv.adm; a != nil {
+		st.Inflight = int(a.inflight.Load())
+		st.Queued = int(a.queued.Load())
+		st.Admitted = a.admitted.Load()
+		st.Rejected = a.rejected.Load()
 	}
 	for k := range st.ByKind {
 		st.ByKind[k] = KindCounts{Hits: sv.kinds[k].hits.Load(), Misses: sv.kinds[k].misses.Load()}

@@ -1,0 +1,167 @@
+package server
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/weights"
+)
+
+func newTTLServer(tb testing.TB, dir string, ttl time.Duration) *Server {
+	g := testGraph(40, 60)
+	return New(g, weights.NewDegree(g), Config{
+		Seed:     7,
+		Workers:  2,
+		SpillDir: dir,
+		SpillTTL: ttl,
+	})
+}
+
+func spillFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "pair-*.afsnap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+// age rewinds every named file's mtime by d — the clock the TTL sweep
+// keys on, since rename(2) stamps a fresh mtime per rewrite.
+func age(t *testing.T, files []string, d time.Duration) {
+	t.Helper()
+	old := time.Now().Add(-d)
+	for _, f := range files {
+		if err := os.Chtimes(f, old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSpillTTLWarmSweep: Warm on a directory of expired snapshots
+// removes them instead of loading them, ledgers the removals, and the
+// server still answers identically by resampling — expiry is a cost
+// event, never a correctness event. Fresh files are untouched.
+func TestSpillTTLWarmSweep(t *testing.T) {
+	dir := t.TempDir()
+	sv := newTTLServer(t, dir, time.Hour)
+	pairs := validPairs(sv.Graph(), 4)
+	if len(pairs) < 2 {
+		t.Skip("not enough pairs")
+	}
+	want := queryAll(t, sv, pairs, 1)
+	if err := sv.SpillAll(); err != nil {
+		t.Fatal(err)
+	}
+	files := spillFiles(t, dir)
+	if len(files) == 0 {
+		t.Fatal("SpillAll wrote nothing")
+	}
+
+	// Fresh files survive a warm start wholesale.
+	warm := newTTLServer(t, dir, time.Hour)
+	n, err := warm.Warm()
+	if err != nil || n != len(files) {
+		t.Fatalf("Warm loaded %d of %d fresh files (err %v)", n, len(files), err)
+	}
+	if st := warm.Stats(); st.SpillFilesExpired != 0 {
+		t.Fatalf("fresh files expired: %+v", st)
+	}
+
+	// Past the TTL the same directory warms nothing: the sweep removes
+	// every file before the load walk, and the ledger says so.
+	age(t, files, 2*time.Hour)
+	cold := newTTLServer(t, dir, time.Hour)
+	n, err = cold.Warm()
+	if err != nil || n != 0 {
+		t.Fatalf("Warm loaded %d expired files (err %v)", n, err)
+	}
+	if st := cold.Stats(); st.SpillFilesExpired != int64(len(files)) {
+		t.Fatalf("expired %d files, ledger says %d", len(files), st.SpillFilesExpired)
+	}
+	if left := spillFiles(t, dir); len(left) != 0 {
+		t.Fatalf("%d expired files survived the sweep: %v", len(left), left)
+	}
+	// Resampled answers equal the originals: pools are pure functions of
+	// (Seed, s, t), so losing a snapshot costs draws, not answers.
+	if got := queryAll(t, cold, pairs, 1); !reflect.DeepEqual(got, want) {
+		t.Fatal("answers diverged after TTL expiry forced a resample")
+	}
+}
+
+// TestSpillTTLDeltaSweep: ApplyDelta sweeps expired files on its way
+// out (it already holds the delta mutex and walks the spill dir), and
+// the sweep only ever touches our own expired snapshots — tmp debris
+// and foreign files are not ours to delete.
+func TestSpillTTLDeltaSweep(t *testing.T) {
+	dir := t.TempDir()
+	sv := newTTLServer(t, dir, time.Hour)
+	pairs := validPairs(sv.Graph(), 4)
+	if len(pairs) < 2 {
+		t.Skip("not enough pairs")
+	}
+	queryAll(t, sv, pairs, 1)
+	if err := sv.SpillAll(); err != nil {
+		t.Fatal(err)
+	}
+	files := spillFiles(t, dir)
+	if len(files) == 0 {
+		t.Fatal("SpillAll wrote nothing")
+	}
+	foreign := filepath.Join(dir, "not-a-snapshot.txt")
+	if err := os.WriteFile(foreign, []byte("keep"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	age(t, append(append([]string{}, files...), foreign), 2*time.Hour)
+
+	// An edge append triggers repair; the sweep rides along under the
+	// same mutex. (The delta invalidates some pairs' spills anyway — the
+	// point here is the TTL ledger and the foreign file.)
+	g := sv.Graph()
+	a := graph.Node(0)
+	b := graph.Node(g.NumNodes() - 1)
+	if g.HasEdge(a, b) {
+		t.Skip("test graph grew an inconvenient edge")
+	}
+	if _, err := sv.ApplyDelta(context.Background(), &graph.Delta{Add: []graph.Edge{{U: a, V: b}}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := sv.Stats(); st.SpillFilesExpired == 0 {
+		t.Fatalf("delta sweep expired nothing: %+v", st)
+	}
+	if left := spillFiles(t, dir); len(left) != 0 {
+		t.Fatalf("expired files survived the delta sweep: %v", left)
+	}
+	if _, err := os.Stat(foreign); err != nil {
+		t.Errorf("foreign file deleted by the sweep: %v", err)
+	}
+}
+
+// TestSpillTTLDisabled: SpillTTL = 0 (the default) never expires
+// anything, however old.
+func TestSpillTTLDisabled(t *testing.T) {
+	dir := t.TempDir()
+	sv := newTTLServer(t, dir, 0)
+	pairs := validPairs(sv.Graph(), 2)
+	if len(pairs) < 1 {
+		t.Skip("not enough pairs")
+	}
+	queryAll(t, sv, pairs[:1], 1)
+	if err := sv.SpillAll(); err != nil {
+		t.Fatal(err)
+	}
+	files := spillFiles(t, dir)
+	age(t, files, 1000*time.Hour)
+	warm := newTTLServer(t, dir, 0)
+	if n, err := warm.Warm(); err != nil || n != len(files) {
+		t.Fatalf("Warm loaded %d of %d (err %v)", n, len(files), err)
+	}
+	if st := warm.Stats(); st.SpillFilesExpired != 0 {
+		t.Fatalf("TTL disabled but files expired: %+v", st)
+	}
+}

@@ -101,6 +101,10 @@ func (r *TopKResult) Winners() []int {
 // any eviction schedule. Concurrent identical calls coalesce into one
 // execution (see coalesce).
 func (sv *Server) TopK(ctx context.Context, q TopKQuery) (*TopKResult, error) {
+	if err := sv.admit(ctx); err != nil {
+		return nil, err
+	}
+	defer sv.admitDone()
 	v, err := sv.coalesce(KindTopK, q.S, q.S, pairParams(q.Targets, q.K, q.Budget, q.Realizations, q.MaxDraws), func() (any, error) {
 		return sv.topK(ctx, q)
 	})

@@ -1,0 +1,125 @@
+// Benchmarks for the query protocol's dispatcher overhead: the same
+// warm (cached) query answered four ways — a direct server call, a
+// typed Dispatch, the pipe's decode→dispatch→encode line path, and a
+// loopback HTTP round trip — so the cost of each protocol layer is the
+// delta between adjacent rows. A warm query isolates protocol cost:
+// the answer is a cache hit, so sampling never dominates.
+package activefriending_test
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/proto"
+	"repro/internal/proto/httpapi"
+	"repro/internal/server"
+	"repro/internal/weights"
+)
+
+type protoBench struct {
+	sv   *server.Server
+	d    *proto.Dispatcher
+	req  proto.Request
+	line []byte
+}
+
+func newProtoBench(b *testing.B) *protoBench {
+	b.Helper()
+	g, err := gen.BarabasiAlbert(300, 4, rand.New(rand.NewSource(17)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sv := server.New(g, weights.NewDegree(g), server.Config{Seed: 7, Workers: 2})
+	pb := &protoBench{
+		sv:  sv,
+		d:   proto.NewDispatcher(sv),
+		req: proto.Request{ID: 1, Op: "pmax", S: 0, T: 250, Trials: 4000},
+	}
+	pb.line, err = json.Marshal(pb.req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the pair so every measured iteration is a cache hit.
+	if resp := pb.d.Dispatch(context.Background(), pb.req); !resp.OK {
+		b.Fatalf("warmup: %+v", resp)
+	}
+	return pb
+}
+
+// BenchmarkProtoDirect is the baseline: the server call the dispatcher
+// wraps, with no protocol layer at all.
+func BenchmarkProtoDirect(b *testing.B) {
+	pb := newProtoBench(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pb.sv.Pmax(ctx, 0, 250, 4000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProtoDispatch adds the typed request→op mapping.
+func BenchmarkProtoDispatch(b *testing.B) {
+	pb := newProtoBench(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if resp := pb.d.Dispatch(ctx, pb.req); !resp.OK {
+			b.Fatalf("%+v", resp)
+		}
+	}
+}
+
+// BenchmarkProtoDispatchLine adds the pipe's JSON decode and encode —
+// the full per-line cost of the stdin/stdout transport minus the pipe.
+func BenchmarkProtoDispatchLine(b *testing.B) {
+	pb := newProtoBench(b)
+	ctx := context.Background()
+	enc := json.NewEncoder(discard{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp := pb.d.DispatchLine(ctx, pb.line)
+		if !resp.OK {
+			b.Fatalf("%+v", resp)
+		}
+		if err := enc.Encode(resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// BenchmarkProtoHTTP adds a loopback HTTP round trip per query — the
+// end-to-end single-request POST path.
+func BenchmarkProtoHTTP(b *testing.B) {
+	pb := newProtoBench(b)
+	ts := httptest.NewServer(httpapi.New(pb.d))
+	defer ts.Close()
+	body := string(pb.line) + "\n"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL, "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var r proto.Response
+		if err := json.NewDecoder(resp.Body).Decode(&r); err != nil || !r.OK {
+			b.Fatalf("%+v (%v)", r, err)
+		}
+		resp.Body.Close()
+	}
+}

@@ -3,7 +3,7 @@
 # readable perf trajectory point.
 #
 # Usage:
-#   scripts/bench.sh [output.json]     # default: BENCH_pr9.json
+#   scripts/bench.sh [output.json]     # default: BENCH_pr10.json
 #   BENCHTIME=3x scripts/bench.sh      # override -benchtime
 #
 # The JSON is a flat array of {name, ns_per_op, allocs_per_op} so future
@@ -12,14 +12,16 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr9.json}"
+out="${1:-BENCH_pr10.json}"
 benchtime="${BENCHTIME:-1s}"
-pattern='RepeatedSolves|CoverageBatch|CoverageScan|CoverageIndexed|SetcoverGreedy|SamplePool|Snapshot|Spill|Pmax|Delta|TopK|Obs'
+pattern='RepeatedSolves|CoverageBatch|CoverageScan|CoverageIndexed|SetcoverGreedy|SamplePool|Snapshot|Spill|Pmax|Delta|TopK|Obs|Proto|Admission'
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-go test -run 'xxx' -bench "$pattern" -benchmem -benchtime "$benchtime" . | tee "$raw" >&2
+# The root package carries the paper-artifact and protocol benches; the
+# admission-gate benches live with the server they gate.
+go test -run 'xxx' -bench "$pattern" -benchmem -benchtime "$benchtime" . ./internal/server | tee "$raw" >&2
 
 awk '
 /^Benchmark/ {

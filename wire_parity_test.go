@@ -1,0 +1,75 @@
+package activefriending
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/proto"
+)
+
+// jsonShape renders the JSON-visible structure of a type — exported
+// field names, tags and kinds, in declaration order, recursively — so
+// two mirror structs can be compared for wire compatibility without
+// being the same Go type.
+func jsonShape(t reflect.Type) string {
+	switch t.Kind() {
+	case reflect.Pointer, reflect.Slice, reflect.Array:
+		return "[" + jsonShape(t.Elem()) + "]"
+	case reflect.Map:
+		return "map[" + jsonShape(t.Key()) + "]" + jsonShape(t.Elem())
+	case reflect.Struct:
+		var b strings.Builder
+		b.WriteString("{")
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			fmt.Fprintf(&b, "%s tag=%q %s;", f.Name, f.Tag.Get("json"), jsonShape(f.Type))
+		}
+		b.WriteString("}")
+		return b.String()
+	default:
+		return t.Kind().String()
+	}
+}
+
+// TestWireMirrorsFacade pins internal/proto's wire structs to the
+// facade result types they mirror (wire.go documents this test by
+// name): same exported fields, same declaration order, same kinds and
+// tags — so the JSON the HTTP and pipe transports emit is exactly the
+// JSON a facade user would marshal, and a field added to one side
+// without the other fails here instead of on a client.
+func TestWireMirrorsFacade(t *testing.T) {
+	pairs := []struct {
+		name           string
+		facade, mirror any
+	}{
+		{"Solution", Solution{}, proto.Solution{}},
+		{"MaxSolution", MaxSolution{}, proto.MaxSolution{}},
+		{"TopKCandidate", TopKCandidate{}, proto.TopKCandidate{}},
+		{"TopKResult", TopKResult{}, proto.TopKResult{}},
+		{"DeltaSummary", DeltaSummary{}, proto.DeltaSummary{}},
+		{"ServerKindStats", ServerKindStats{}, proto.KindStats{}},
+		{"ServerStats", ServerStats{}, proto.Stats{}},
+	}
+	for _, p := range pairs {
+		want := jsonShape(reflect.TypeOf(p.facade))
+		got := jsonShape(reflect.TypeOf(p.mirror))
+		if got != want {
+			t.Errorf("%s: proto mirror diverged from facade\nfacade %s\nmirror %s", p.name, want, got)
+		}
+		// Belt and suspenders: the zero values marshal to identical bytes.
+		fb, err1 := json.Marshal(p.facade)
+		mb, err2 := json.Marshal(p.mirror)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: marshal: %v / %v", p.name, err1, err2)
+		}
+		if string(fb) != string(mb) {
+			t.Errorf("%s: zero-value JSON diverged\nfacade %s\nmirror %s", p.name, fb, mb)
+		}
+	}
+}
